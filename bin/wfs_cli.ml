@@ -1,0 +1,271 @@
+(* wfs — command-line front door to the library.
+
+   Subcommands:
+     hierarchy   regenerate Figure 1-1 with machine-checked evidence
+     verify      exhaustively verify one named consensus protocol
+                 (prints a concrete counterexample schedule on failure)
+     solve       run the bounded-protocol solvability solver
+     census      measure every zoo object's bounded consensus number
+     universal   run a universal-construction object exhaustively
+     critical    find a critical (bivalent) state of a protocol
+     randomized  check the randomized register-consensus extension
+     zoo         list the object zoo *)
+
+open Cmdliner
+open Wfs
+
+(* --- hierarchy --- *)
+
+let hierarchy_cmd =
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Include the expensive solver instances (minutes).")
+  in
+  let run full =
+    let table = Table.generate ~full () in
+    Fmt.pr "%a@." Table.pp table;
+    if Table.consistent table then begin
+      Fmt.pr "@.All rows consistent with Figure 1-1.@.";
+      0
+    end
+    else begin
+      Fmt.pr "@.INCONSISTENT rows found!@.";
+      1
+    end
+  in
+  Cmd.v
+    (Cmd.info "hierarchy" ~doc:"Regenerate the Figure 1-1 hierarchy table")
+    Term.(const run $ full)
+
+(* --- verify --- *)
+
+let verify_cmd =
+  let key =
+    let keys = Registry.keys () in
+    let doc = Fmt.str "Protocol key: one of %s." (String.concat ", " keys) in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc)
+  in
+  let n =
+    Arg.(value & opt int 2 & info [ "n" ] ~doc:"Number of processes.")
+  in
+  let run key n =
+    match (Registry.find key).Registry.build ~n with
+    | exception Invalid_argument msg ->
+        Fmt.epr "%s@." msg;
+        2
+    | None ->
+        Fmt.epr "%s does not support n = %d@." key n;
+        2
+    | Some protocol ->
+        let report = Protocol.verify protocol in
+        Fmt.pr "%s (%s), n = %d:@.%a@." protocol.Protocol.name
+          protocol.Protocol.theorem n Protocol.pp_report report;
+        if Protocol.passed report then 0
+        else begin
+          (match Protocol.find_violation protocol with
+          | Some v -> Fmt.pr "@.counterexample: %a@." Protocol.pp_violation v
+          | None -> ());
+          1
+        end
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Exhaustively verify a consensus protocol over all schedules")
+    Term.(const run $ key $ n)
+
+(* --- solve --- *)
+
+let solve_cmd =
+  let object_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OBJECT"
+          ~doc:"Zoo object name (see the zoo subcommand), e.g. fifo-queue.")
+  in
+  let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Number of processes.") in
+  let depth =
+    Arg.(value & opt int 2 & info [ "d"; "depth" ] ~doc:"Max operations per process.")
+  in
+  let budget =
+    Arg.(value & opt int 20_000_000 & info [ "budget" ] ~doc:"Search-node budget.")
+  in
+  let run object_name n depth budget =
+    match Zoo.find object_name with
+    | exception Invalid_argument msg ->
+        Fmt.epr "%s@." msg;
+        2
+    | spec ->
+        let verdict =
+          Solver.solve ~max_nodes:budget (Solver.of_spec ~n ~depth spec)
+        in
+        Fmt.pr "%s, n = %d, depth = %d:@.%a@." object_name n depth
+          Solver.pp_verdict verdict;
+        (match verdict with
+        | Solver.Solvable _ | Solver.Unsolvable -> 0
+        | Solver.Out_of_budget _ -> 1)
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:
+         "Decide bounded wait-free consensus solvability by strategy \
+          synthesis; UNSOLVABLE is a machine-checked impossibility proof")
+    Term.(const run $ object_name $ n $ depth $ budget)
+
+(* --- universal --- *)
+
+let universal_cmd =
+  let target =
+    Arg.(
+      value & opt string "fifo-queue"
+      & info [ "target" ] ~doc:"Zoo object to implement universally.")
+  in
+  let variant =
+    Arg.(
+      value
+      & opt (enum [ ("log", `Log); ("truncating", `Truncating) ]) `Log
+      & info [ "variant" ] ~doc:"Construction: log or truncating.")
+  in
+  let run target variant =
+    match Zoo.find target with
+    | exception Invalid_argument msg ->
+        Fmt.epr "%s@." msg;
+        2
+    | spec ->
+        let menu = Array.of_list spec.Object_spec.menu in
+        let scripts =
+          [| [ menu.(0); menu.(1 mod Array.length menu) ]; [ menu.(0) ] |]
+        in
+        (match variant with
+        | `Log ->
+            let v = Log_universal.verify ~target:spec ~scripts () in
+            Fmt.pr
+              "log universal construction of %s: ok=%b states=%d terminals=%d@."
+              target v.Log_universal.ok v.Log_universal.states
+              v.Log_universal.terminals;
+            if v.Log_universal.ok then 0 else 1
+        | `Truncating ->
+            let v = Truncating_universal.verify ~target:spec ~scripts () in
+            Fmt.pr
+              "truncating universal construction of %s: ok=%b states=%d \
+               max-replay=%d@."
+              target v.Truncating_universal.ok v.Truncating_universal.states
+              v.Truncating_universal.max_replay;
+            if v.Truncating_universal.ok then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "universal"
+       ~doc:"Exhaustively verify a universal construction of a zoo object")
+    Term.(const run $ target $ variant)
+
+(* --- census --- *)
+
+let census_cmd =
+  let budget =
+    Arg.(value & opt int 30_000_000
+         & info [ "budget" ] ~doc:"Search-node budget per solver run.")
+  in
+  let run budget =
+    Fmt.pr
+      "solver-only census (bounded: n=2 within 2 ops, n=3 within 1 op,@.\
+       over initializations reachable in ≤ 2 operations):@.@.";
+    let results = Census.run ~max_nodes:budget () in
+    Fmt.pr "%a@." Census.pp results;
+    0
+  in
+  Cmd.v
+    (Cmd.info "census"
+       ~doc:
+         "Measure every zoo object's bounded consensus number with the \
+          solver alone")
+    Term.(const run $ budget)
+
+(* --- critical --- *)
+
+let critical_cmd =
+  let key =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"PROTOCOL" ~doc:"Registry protocol key.")
+  in
+  let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Number of processes.") in
+  let run key n =
+    match (Registry.find key).Registry.build ~n with
+    | exception Invalid_argument msg ->
+        Fmt.epr "%s@." msg;
+        2
+    | None ->
+        Fmt.epr "%s does not support n = %d@." key n;
+        2
+    | Some protocol -> (
+        match Valency.find_critical protocol.Protocol.config with
+        | Some crit ->
+            Fmt.pr
+              "critical state of %s: bivalent, every successor univalent@."
+              protocol.Protocol.name;
+            List.iter
+              (fun (pid, _, v) ->
+                Fmt.pr "  P%d moves next  =>  outcome pinned to %a@." pid
+                  Valency.pp_valency v)
+              crit.Valency.branches;
+            0
+        | None ->
+            Fmt.pr "no critical state reachable (protocol univalent?)@.";
+            1)
+  in
+  Cmd.v
+    (Cmd.info "critical"
+       ~doc:
+         "Find a critical (bivalent, decision-pending) state of a protocol — \
+          the engine of the paper's impossibility proofs")
+    Term.(const run $ key $ n)
+
+(* --- randomized --- *)
+
+let randomized_cmd =
+  let flips =
+    Arg.(value & opt int 3 & info [ "flips" ]
+           ~doc:"Adversarial coin-sequence length for the exhaustive check.")
+  in
+  let run flips =
+    Fmt.pr
+      "randomized 2-process consensus from registers (Theorem 2 escapes@.\
+       via coin flips — §5's open problem, after Abrahamson):@.@.";
+    let v = Randomized.verify_all_coins ~flips () in
+    Fmt.pr
+      "exhaustive safety: ok=%b over %d configurations (%d joint states)@."
+      v.Randomized.ok v.Randomized.configurations v.Randomized.states;
+    Fmt.pr "aborts possible with only %d coins: %b@." flips
+      v.Randomized.aborts_possible;
+    if v.Randomized.ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "randomized"
+       ~doc:"Exhaustively check the randomized register consensus extension")
+    Term.(const run $ flips)
+
+(* --- zoo --- *)
+
+let zoo_cmd =
+  let run () =
+    List.iter
+      (fun spec ->
+        Fmt.pr "%-22s %d menu operations@." spec.Object_spec.name
+          (List.length spec.Object_spec.menu))
+      (Zoo.all ());
+    0
+  in
+  Cmd.v (Cmd.info "zoo" ~doc:"List the object zoo") Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "wfs" ~version:"1.0.0"
+       ~doc:
+         "Wait-free synchronization: the consensus hierarchy and universal \
+          constructions of Herlihy (PODC 1988), executable")
+    [
+      hierarchy_cmd; verify_cmd; solve_cmd; universal_cmd; census_cmd;
+      critical_cmd;
+      randomized_cmd; zoo_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

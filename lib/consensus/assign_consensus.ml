@@ -1,0 +1,270 @@
+(* Theorems 19 and 20: atomic multi-register assignment.
+
+   Theorem 19 — n-register assignment solves n-process consensus.
+   Each process P_i has a private register r_i, and each pair {i, j}
+   shares a register r_ij; all start at ⊥.  P_i atomically assigns its
+   identifier to r_i and to its n-1 shared registers (n registers at
+   once), then reads all private registers followed by all shared
+   registers, and decides on the *earliest* assigner: the candidate [a]
+   (private register non-⊥) such that for every other candidate [b] the
+   shared register r_ab holds [b]'s value — i.e. [b] overwrote it later.
+
+   Reading privates before shared registers matters: the first assigner F
+   assigned before the reader's own assignment, so F's private register
+   is set in every read; and any other candidate [b] observed in the
+   private pass assigned before the shared pass, so r_Fb was last written
+   by [b].  Hence F, and only F, appears minimal in every scan.
+
+   Theorem 20 — n-register assignment solves (2n-2)-process consensus.
+   The processes split into two groups of n-1.  Phase one: consensus
+   within each group by the Theorem 19 protocol with (n-1)-register
+   assignment.  Phase two: each process atomically assigns its group's
+   decision to a phase-two private register plus the n-1 registers shared
+   with the other group's members (n registers total), then reads all
+   phase-two registers and decides on the value of a *source* of the
+   cross-group precedence graph — a process with an outgoing but no
+   incoming edge.  The paper's Theorem 21 argument shows every source
+   lies in the globally-first assigner's group, so all processes decide
+   that group's value. *)
+
+open Wfs_spec
+open Wfs_sim
+
+let mem = "mem"
+
+(* ---------- generic staged assign-then-scan processes ----------
+
+   Each stage atomically assigns, then reads a fixed list of registers in
+   order, then concludes with a value carried into the next stage; the
+   last stage's conclusion is the decision.  Local state is the tuple
+   (stage, k, carried, acc) where k = 0 means "assign next", k-1 reads
+   have been issued otherwise. *)
+
+type stage = {
+  assign_of : Value.t -> Op.t;  (* carried value -> atomic assignment *)
+  reads : int list;  (* registers to read, in order *)
+  conclude : Value.t -> Value.t list -> Value.t;  (* carried -> reads -> out *)
+}
+
+let encode ~stage ~k ~carried ~acc =
+  Value.pair (Value.int stage)
+    (Value.pair (Value.int k) (Value.pair carried (Value.list acc)))
+
+let decode local =
+  let stage, rest = Value.as_pair local in
+  let k, rest = Value.as_pair rest in
+  let carried, acc = Value.as_pair rest in
+  (Value.as_int stage, Value.as_int k, carried, Value.as_list acc)
+
+let staged_proc ~pid ~input stages =
+  let stages = Array.of_list stages in
+  let rec step stage_idx k carried acc =
+    let st = stages.(stage_idx) in
+    let reads = Array.of_list st.reads in
+    if k = 0 then
+      Process.invoke ~obj:mem (st.assign_of carried) (fun _ ->
+          encode ~stage:stage_idx ~k:1 ~carried ~acc:[])
+    else if k - 1 < Array.length reads then
+      Process.invoke ~obj:mem
+        (Memory.read reads.(k - 1))
+        (fun res ->
+          encode ~stage:stage_idx ~k:(k + 1) ~carried ~acc:(res :: acc))
+    else begin
+      let out = st.conclude carried (List.rev acc) in
+      if stage_idx = Array.length stages - 1 then Process.decide out
+      else step (stage_idx + 1) 0 out []
+    end
+  in
+  Process.make ~pid
+    ~init:(encode ~stage:0 ~k:0 ~carried:input ~acc:[])
+    (fun local ->
+      let stage_idx, k, carried, acc = decode local in
+      step stage_idx k carried acc)
+
+(* ---------- Theorem 19 ---------- *)
+
+(* Register layout relative to [base], for member list [ms] (global pids):
+   privates base..base+m-1 in member order; then shared pair registers in
+   lexicographic member-index order. *)
+let pair_list m =
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b -> if a < b then Some (a, b) else None)
+        (List.init m Fun.id))
+    (List.init m Fun.id)
+
+let bank_size m = m + (m * (m - 1) / 2)
+
+let priv_reg ~base i = base + i
+
+let shared_reg ~base ~m a b =
+  let a, b = if a < b then (a, b) else (b, a) in
+  let rec index k = function
+    | [] -> invalid_arg "assign-consensus: bad pair"
+    | (x, y) :: rest -> if x = a && y = b then k else index (k + 1) rest
+  in
+  base + m + index 0 (pair_list m)
+
+(* The Theorem 19 stage for member [me] (index into [values]) of a bank of
+   [m] single-shot assigners, where [values.(i)] is what member [i]
+   assigns (distinct values required).  Concludes with the earliest
+   assigner's value. *)
+let thm19_stage ~base ~m ~me ~values =
+  let pairs = pair_list m in
+  let assignment _carried =
+    Memory.assign
+      ((priv_reg ~base me, values.(me))
+      :: List.filter_map
+           (fun j ->
+             if j = me then None
+             else Some (shared_reg ~base ~m me j, values.(me)))
+           (List.init m Fun.id))
+  in
+  let reads =
+    List.init m (fun i -> priv_reg ~base i)
+    @ List.map (fun (a, b) -> shared_reg ~base ~m a b) pairs
+  in
+  let conclude _carried results =
+    let results = Array.of_list results in
+    let private_of i = results.(i) in
+    let shared_of a b =
+      let a, b = if a < b then (a, b) else (b, a) in
+      let rec find k = function
+        | [] -> invalid_arg "assign: missing pair"
+        | (x, y) :: rest ->
+            if x = a && y = b then results.(m + k) else find (k + 1) rest
+      in
+      find 0 pairs
+    in
+    let candidates =
+      List.filter
+        (fun j -> not (Value.is_bottom (private_of j)))
+        (List.init m Fun.id)
+    in
+    (* a precedes b iff their shared register was last written by b *)
+    let precedes a b = Value.equal (shared_of a b) values.(b) in
+    let minimal a = List.for_all (fun b -> b = a || precedes a b) candidates in
+    match List.find_opt minimal candidates with
+    | Some a -> values.(a)
+    | None -> values.(me) (* unreachable; kept total *)
+  in
+  { assign_of = assignment; reads; conclude }
+
+let protocol ?(name = "n-assignment-consensus") ~n () =
+  let size = bank_size n in
+  let init = List.init size (fun _ -> Value.bottom) in
+  let spec =
+    Memory.n_assignment ~name:mem ~size ~init (Value.bottom :: Zoo.pids n)
+  in
+  let values = Array.init n Value.pid in
+  let procs =
+    Array.init n (fun pid ->
+        staged_proc ~pid ~input:(Value.pid pid)
+          [ thm19_stage ~base:0 ~m:n ~me:pid ~values ])
+  in
+  Protocol.make ~name ~theorem:"Theorem 19" ~procs
+    ~env:(Env.make [ (mem, spec) ])
+
+(* ---------- Theorem 20 ---------- *)
+
+(* (2n-2)-process protocol from n-register assignment.  Groups
+   A = {0..m-1}, B = {m..2m-1} with m = n-1.  Layout:
+   - phase-1 bank for A at 0, for B at [bank_size m];
+   - phase-2 privates (one per process) at [p2];
+   - phase-2 cross registers w_(j,k) (j in A, k in B) at [cross]. *)
+let two_phase ?(name = "n-assignment-2n-2-consensus") ~n () =
+  let m = n - 1 in
+  if m < 1 then invalid_arg "two_phase: n must be at least 2";
+  let nprocs = 2 * m in
+  let p2 = 2 * bank_size m in
+  let cross = p2 + nprocs in
+  let size = cross + (m * m) in
+  let p2_priv p = p2 + p in
+  let w j k = cross + ((j mod m) * m) + (k mod m) in
+  (* phase-2 conclusion: find a source of the cross-group precedence
+     graph among observed assigners.  [results] lists phase-2 privates in
+     pid order, then cross registers in (j, k) row order. *)
+  let conclude_phase2 my_value results =
+    let results = Array.of_list results in
+    let private_of p = results.(p) in
+    let cross_of j k = results.(nprocs + ((j mod m) * m) + (k mod m)) in
+    let assigned =
+      List.filter
+        (fun p -> not (Value.is_bottom (private_of p)))
+        (List.init nprocs Fun.id)
+    in
+    let values_seen =
+      List.sort_uniq Value.compare (List.map private_of assigned)
+    in
+    match values_seen with
+    | [] -> my_value (* unreachable: the reader itself assigned *)
+    | [ v ] -> v (* both groups agree (or only one group active) *)
+    | _ ->
+        (* distinct group values: the cross register w_jk was last written
+           by whichever of j, k assigned later, distinguishable by value.
+           Edge j -> k iff j's phase-2 assignment precedes k's. *)
+        let group_a p = p < m in
+        let edge p q =
+          (* p and q observed assigners in different groups *)
+          let j, k = if group_a p then (p, q) else (q, p) in
+          let last = cross_of j k in
+          if Value.equal last (private_of k) then
+            (* k wrote later: j precedes k *)
+            (if group_a p then `Forward else `Backward)
+          else if Value.equal last (private_of j) then
+            (if group_a p then `Backward else `Forward)
+          else `Unknown
+        in
+        let outgoing p =
+          List.exists
+            (fun q -> group_a p <> group_a q && edge p q = `Forward)
+            assigned
+        in
+        let incoming p =
+          List.exists
+            (fun q -> group_a p <> group_a q && edge q p = `Forward)
+            assigned
+        in
+        let source p = outgoing p && not (incoming p) in
+        (match List.find_opt source assigned with
+        | Some p -> private_of p
+        | None -> my_value (* unreachable; kept total *))
+  in
+  let proc pid =
+    let group_base = if pid < m then 0 else bank_size m in
+    let group_members =
+      if pid < m then Array.init m Value.pid
+      else Array.init m (fun i -> Value.pid (m + i))
+    in
+    let me = pid mod m in
+    (* Theorem 19 within the group; for m = 1 this degenerates gracefully
+       to "assign own value, read it back, decide it". *)
+    let phase1 = thm19_stage ~base:group_base ~m ~me ~values:group_members in
+    let phase2 =
+      {
+        assign_of =
+          (fun group_value ->
+            Memory.assign
+              ((p2_priv pid, group_value)
+              :: List.init m (fun k ->
+                     let reg =
+                       if pid < m then w pid (m + k) else w k pid
+                     in
+                     (reg, group_value))));
+        reads =
+          List.init nprocs p2_priv
+          @ List.concat_map
+              (fun j -> List.init m (fun k -> w j (m + k)))
+              (List.init m Fun.id);
+        conclude = conclude_phase2;
+      }
+    in
+    staged_proc ~pid ~input:(Value.pid pid) [ phase1; phase2 ]
+  in
+  let init = List.init size (fun _ -> Value.bottom) in
+  let spec =
+    Memory.n_assignment ~name:mem ~size ~init (Value.bottom :: Zoo.pids nprocs)
+  in
+  Protocol.make ~name ~theorem:"Theorem 20" ~procs:(Array.init nprocs proc)
+    ~env:(Env.make [ (mem, spec) ])

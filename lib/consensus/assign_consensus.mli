@@ -1,0 +1,33 @@
+(** Theorems 19–20: consensus from atomic multi-register assignment. *)
+
+open Wfs_spec
+open Wfs_sim
+
+(** A staged assign-then-scan step: one atomic assignment, a fixed list
+    of register reads, and a conclusion carried to the next stage (the
+    last stage's conclusion is the decision). *)
+type stage = {
+  assign_of : Value.t -> Op.t;
+  reads : int list;
+  conclude : Value.t -> Value.t list -> Value.t;
+}
+
+(** Build a process from stages; [input] is the initial carried value. *)
+val staged_proc : pid:int -> input:Value.t -> stage list -> Process.t
+
+(** Registers used by the Theorem 19 bank for [m] processes:
+    [m] privates plus [m(m-1)/2] shared pair registers. *)
+val bank_size : int -> int
+
+(** The Theorem 19 "assign, scan, take the earliest assigner" stage for
+    member [me] of a bank at [base]; [values.(i)] is what member [i]
+    assigns (values must be distinct). *)
+val thm19_stage :
+  base:int -> m:int -> me:int -> values:Value.t array -> stage
+
+(** Theorem 19: n-register assignment solves n-process consensus. *)
+val protocol : ?name:string -> n:int -> unit -> Protocol.t
+
+(** Theorem 20: n-register assignment solves (2n-2)-process consensus via
+    two-phase group consensus. *)
+val two_phase : ?name:string -> n:int -> unit -> Protocol.t

@@ -1,0 +1,49 @@
+(* Theorem 12: the augmented queue (FIFO queue + peek) solves n-process
+   consensus for arbitrary n.
+
+   The queue starts empty; each process enqueues its own identifier and
+   decides on peek — the process whose enq was ordered first wins. *)
+
+open Wfs_spec
+open Wfs_sim
+
+let obj = "q"
+
+let proc ~pid =
+  Process.make ~pid ~init:(Process.at 0) (fun local ->
+      match Process.pc local with
+      | 0 ->
+          Process.invoke ~obj (Queues.enq (Value.pid pid)) (fun _ ->
+              Process.at 1)
+      | 1 -> Process.invoke ~obj Queues.peek (fun res -> Process.at 2 ~data:res)
+      | 2 -> Process.decide (Process.data local)
+      | pc -> invalid_arg (Fmt.str "aug-queue-consensus: pc %d" pc))
+
+let protocol ?(name = "augmented-queue-consensus") ~n () =
+  let env = Env.make [ (obj, Queues.augmented ~name:obj ~items:(Zoo.pids n) ()) ] in
+  let procs = Array.init n (fun pid -> proc ~pid) in
+  Protocol.make ~name ~theorem:"Theorem 12" ~procs ~env
+
+(* The same one-shot election works for fetch-and-cons (level ∞ of
+   Figure 1-1): cons your identifier, decide the last element of the list
+   that follows yours — or yourself if nothing preceded you. *)
+let fetch_and_cons ?(name = "fetch-and-cons-consensus") ~n () =
+  let obj = "list" in
+  let proc ~pid =
+    Process.make ~pid ~init:(Process.at 0) (fun local ->
+        match Process.pc local with
+        | 0 ->
+            Process.invoke ~obj
+              (Fetch_and_cons.fetch_and_cons (Value.pid pid))
+              (fun res -> Process.at 1 ~data:res)
+        | 1 -> (
+            match List.rev (Value.as_list (Process.data local)) with
+            | [] -> Process.decide (Value.pid pid)
+            | earliest :: _ -> Process.decide earliest)
+        | pc -> invalid_arg (Fmt.str "fetch-and-cons-consensus: pc %d" pc))
+  in
+  let env =
+    Env.make [ (obj, Fetch_and_cons.list_object ~name:obj ~items:(Zoo.pids n) ()) ]
+  in
+  let procs = Array.init n (fun pid -> proc ~pid) in
+  Protocol.make ~name ~theorem:"§4.1 (fetch-and-cons is universal)" ~procs ~env

@@ -1,0 +1,5 @@
+(** Theorem 12: the augmented queue (peek) solves n-process consensus,
+    plus the analogous election on a fetch-and-cons list. *)
+
+val protocol : ?name:string -> n:int -> unit -> Protocol.t
+val fetch_and_cons : ?name:string -> n:int -> unit -> Protocol.t

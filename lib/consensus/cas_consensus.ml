@@ -1,0 +1,33 @@
+(* Theorem 7: compare-and-swap solves n-process consensus for arbitrary n.
+
+   The register starts at ⊥; process P_i executes
+   [old := compare-and-swap(r, ⊥, i)] and decides its own identifier if
+   [old = ⊥] (its CAS installed first), otherwise the identifier it
+   found. *)
+
+open Wfs_spec
+open Wfs_sim
+
+let reg = "r"
+
+let proc ~pid =
+  let mine = Value.pid pid in
+  Process.make ~pid ~init:(Process.at 0) (fun local ->
+      match Process.pc local with
+      | 0 ->
+          Process.invoke ~obj:reg
+            (Registers.cas ~expected:Value.bottom ~replacement:mine)
+            (fun res -> Process.at 1 ~data:res)
+      | 1 ->
+          let old = Process.data local in
+          Process.decide (if Value.is_bottom old then mine else old)
+      | pc -> invalid_arg (Fmt.str "cas-consensus: pc %d" pc))
+
+let protocol ?(name = "cas-consensus") ~n () =
+  let values = Value.bottom :: Zoo.pids n in
+  let env =
+    Env.make
+      [ (reg, Registers.compare_and_swap ~name:"r" ~init:Value.bottom values) ]
+  in
+  let procs = Array.init n (fun pid -> proc ~pid) in
+  Protocol.make ~name ~theorem:"Theorem 7" ~procs ~env

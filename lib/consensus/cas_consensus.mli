@@ -1,0 +1,5 @@
+(** Theorem 7: compare-and-swap solves n-process consensus for
+    arbitrary n. *)
+
+(** [protocol ~n ()] builds the n-process CAS election. *)
+val protocol : ?name:string -> n:int -> unit -> Protocol.t

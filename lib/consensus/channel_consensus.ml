@@ -1,0 +1,40 @@
+(* §3.1 discussion (Dolev–Dwork–Stockmeyer): broadcast with totally
+   ordered delivery solves n-process consensus.
+
+   Each process broadcasts its identifier and decides on the first entry
+   of the shared delivery order.  The cursor-based [next] of the
+   ordered-broadcast object returns entries in global order, so the first
+   [next] after one's own broadcast always yields the log's first
+   entry. *)
+
+open Wfs_spec
+open Wfs_sim
+
+let chan = "chan"
+
+let proc ~pid =
+  Process.make ~pid ~init:(Process.at 0) (fun local ->
+      match Process.pc local with
+      | 0 ->
+          Process.invoke ~obj:chan
+            (Channels.broadcast (Value.pid pid))
+            (fun _ -> Process.at 1)
+      | 1 ->
+          Process.invoke ~obj:chan (Channels.next ~me:pid) (fun res ->
+              Process.at 2 ~data:res)
+      | 2 -> (
+          match Value.to_option (Process.data local) with
+          | Some first -> Process.decide first
+          | None ->
+              (* unreachable: this process broadcast before reading *)
+              Process.decide (Value.pid pid))
+      | pc -> invalid_arg (Fmt.str "broadcast-consensus P%d: pc %d" pid pc))
+
+let protocol ?(name = "ordered-broadcast-consensus") ~n () =
+  let env =
+    Env.make
+      [ (chan, Channels.ordered_broadcast ~name:chan ~processes:n
+                 ~messages:(Zoo.pids n) ()) ]
+  in
+  let procs = Array.init n (fun pid -> proc ~pid) in
+  Protocol.make ~name ~theorem:"§3.1 (DDS: ordered broadcast)" ~procs ~env

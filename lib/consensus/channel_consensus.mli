@@ -1,0 +1,4 @@
+(** §3.1: broadcast with totally ordered delivery solves n-process
+    consensus (the positive Dolev–Dwork–Stockmeyer case). *)
+
+val protocol : ?name:string -> n:int -> unit -> Protocol.t

@@ -1,0 +1,7 @@
+(** Theorem 15: memory-to-memory move solves n-process consensus. *)
+
+(** The paper's two-process Decide_1/Decide_2 protocol. *)
+val two_proc_protocol : ?name:string -> unit -> Protocol.t
+
+(** The iterated-round n-process protocol. *)
+val n_proc_protocol : ?name:string -> n:int -> unit -> Protocol.t

@@ -1,0 +1,153 @@
+(* The consensus-protocol framework (§3).
+
+   A protocol is a system of n processes over a shared-object
+   environment; each process starts with its own identifier as input
+   (consensus as election) and must decide.  [verify] checks the paper's
+   conditions over *every* schedule, via the exhaustive explorer:
+
+   - agreement: no execution has two decision values;
+   - validity: if an execution decides P_j, then P_j took at least one
+     step (rules out predefined choices);
+   - wait-freedom: no process takes infinitely many steps without
+     deciding (= joint-state graph acyclicity), and nothing gets stuck. *)
+
+open Wfs_spec
+open Wfs_sim
+
+type t = {
+  name : string;
+  theorem : string;  (** which part of the paper this implements *)
+  processes : int;
+  config : Explorer.config;
+}
+
+type report = {
+  agreement : bool;
+  validity : bool;
+  wait_free : bool;
+  states : int;
+  step_bounds : int array option;
+  decisions_seen : Value.t list;  (** distinct decision values over all runs *)
+  stuck : (int * string) option;
+  truncated : bool;
+}
+
+let passed r = r.agreement && r.validity && r.wait_free && not r.truncated
+
+let make ~name ~theorem ~procs ~env =
+  {
+    name;
+    theorem;
+    processes = Array.length procs;
+    config = { Explorer.procs; env };
+  }
+
+let terminal_agreement (t : Explorer.terminal) =
+  let d0 = t.Explorer.decisions.(0) in
+  Array.for_all (Value.equal d0) t.Explorer.decisions
+
+let verify ?(max_states = 2_000_000) t =
+  let stats = Explorer.explore ~max_states t.config in
+  let agreement = List.for_all terminal_agreement stats.Explorer.terminals in
+  (* Validity is checked at every decide event during exploration — the
+     paper's condition applied to every history prefix. *)
+  let validity = stats.Explorer.invalid_decisions = [] in
+  let decisions_seen =
+    List.sort_uniq Value.compare
+      (List.concat_map
+         (fun (term : Explorer.terminal) ->
+           Array.to_list term.Explorer.decisions)
+         stats.Explorer.terminals)
+  in
+  {
+    agreement;
+    validity;
+    wait_free = Explorer.wait_free stats;
+    states = stats.Explorer.states;
+    step_bounds = stats.Explorer.step_bounds;
+    decisions_seen;
+    stuck = stats.Explorer.stuck;
+    truncated = stats.Explorer.truncated;
+  }
+
+(* Spot-check a protocol on a single schedule (used by tests and demos):
+   returns the decisions, checking completion. *)
+let run_once ?(max_steps = 100_000) ~schedule t =
+  Runner.run ~max_steps ~procs:t.config.Explorer.procs
+    ~env:t.config.Explorer.env ~schedule ()
+
+(* --- counterexample extraction ---
+
+   When verification fails, produce the concrete schedule that breaks
+   the protocol: the sequence of process ids whose steps lead to a
+   disagreeing terminal or an invalid decision.  Replaying it through
+   {!run_once} with [Scheduler.of_list] reproduces the failure. *)
+
+type violation = {
+  kind : [ `Disagreement | `Invalid_decision ];
+  schedule : int list;  (** pids, in step order *)
+  decisions : (int * Value.t) list;
+}
+
+let find_violation ?(max_states = 2_000_000) t =
+  let cfg = t.config in
+  let seen : (Value.t, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let exception Found of violation in
+  let violation_at node path kind =
+    let decisions =
+      Array.to_list node.Explorer.decided
+      |> List.mapi (fun pid d -> (pid, d))
+      |> List.filter_map (fun (pid, d) -> Option.map (fun v -> (pid, v)) d)
+    in
+    raise (Found { kind; schedule = List.rev path; decisions })
+  in
+  let rec dfs node path =
+    let k = Explorer.key node in
+    if (not (Hashtbl.mem seen k)) && Hashtbl.length seen < max_states then begin
+      Hashtbl.replace seen k ();
+      if Explorer.is_terminal node then begin
+        let ds = Array.map Option.get node.Explorer.decided in
+        if not (Array.for_all (Value.equal ds.(0)) ds) then
+          violation_at node path `Disagreement
+      end
+      else
+        List.iter
+          (fun (pid, edge, succ) ->
+            (match edge with
+            | Explorer.Decide_edge v
+              when not (Explorer.decision_valid node ~pid v) ->
+                violation_at succ (pid :: path) `Invalid_decision
+            | Explorer.Decide_edge _ | Explorer.Op_edge -> ());
+            dfs succ (pid :: path))
+          (Explorer.successors_with_edges cfg node)
+    end
+  in
+  match dfs (Explorer.initial cfg) [] with
+  | () -> None
+  | exception Found v -> Some v
+
+let pp_violation ppf v =
+  Fmt.pf ppf "@[<v>%s on schedule [%a]@ decisions: %a@]"
+    (match v.kind with
+    | `Disagreement -> "DISAGREEMENT"
+    | `Invalid_decision -> "INVALID DECISION")
+    Fmt.(list ~sep:(any "; ") int)
+    v.schedule
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (p, d) -> Fmt.pf ppf "P%d=%a" p Value.pp d))
+    v.decisions
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>agreement=%b validity=%b wait-free=%b states=%d truncated=%b@ \
+     decisions seen: %a%a%a@]"
+    r.agreement r.validity r.wait_free r.states r.truncated
+    Fmt.(list ~sep:(any ", ") Value.pp)
+    r.decisions_seen
+    Fmt.(
+      option (fun ppf b ->
+          Fmt.pf ppf "@ step bounds: %a" (Fmt.array ~sep:(Fmt.any " ") Fmt.int) b))
+    r.step_bounds
+    Fmt.(
+      option (fun ppf (p, reason) -> Fmt.pf ppf "@ STUCK P%d: %s" p reason))
+    r.stuck

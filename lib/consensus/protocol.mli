@@ -1,0 +1,53 @@
+(** Consensus-protocol framework (§3).
+
+    A protocol is a system of processes over a shared-object environment,
+    each using its own identifier as input (consensus as election).
+    {!verify} machine-checks the paper's partial-correctness and
+    wait-freedom conditions over every schedule, via the exhaustive
+    explorer. *)
+
+open Wfs_spec
+open Wfs_sim
+
+type t = {
+  name : string;
+  theorem : string;
+  processes : int;
+  config : Explorer.config;
+}
+
+type report = {
+  agreement : bool;  (** no execution has two decision values *)
+  validity : bool;
+      (** every decision names a process that took at least one step *)
+  wait_free : bool;
+  states : int;
+  step_bounds : int array option;
+  decisions_seen : Value.t list;
+  stuck : (int * string) option;
+  truncated : bool;
+}
+
+(** All conditions hold and exploration was complete. *)
+val passed : report -> bool
+
+val make :
+  name:string -> theorem:string -> procs:Process.t array -> env:Env.t -> t
+
+val verify : ?max_states:int -> t -> report
+
+(** Run on one concrete schedule (demos, tests). *)
+val run_once : ?max_steps:int -> schedule:Scheduler.t -> t -> Runner.outcome
+
+(** A concrete failing schedule, extracted when verification would fail:
+    replay it with [Scheduler.of_list] to reproduce. *)
+type violation = {
+  kind : [ `Disagreement | `Invalid_decision ];
+  schedule : int list;
+  decisions : (int * Value.t) list;
+}
+
+val find_violation : ?max_states:int -> t -> violation option
+val pp_violation : violation Fmt.t
+
+val pp_report : report Fmt.t

@@ -1,0 +1,83 @@
+(* Theorem 9: two-process consensus from a FIFO queue.
+
+   The queue is initialized to [first; second]; both processes dequeue;
+   whoever receives [first] won the race and the election.  Trivial
+   variations (per the paper) give protocols for stacks, priority
+   queues and sets — all included here, since they populate level 2 of
+   Figure 1-1. *)
+
+open Wfs_spec
+open Wfs_sim
+
+let obj = "q"
+let first = Value.str "first"
+let second = Value.str "second"
+
+let deq_and_decide ~remove ~winner_token ~pid ~rival =
+  Process.make ~pid ~init:(Process.at 0) (fun local ->
+      match Process.pc local with
+      | 0 -> Process.invoke ~obj remove (fun res -> Process.at 1 ~data:res)
+      | 1 ->
+          let got = Process.data local in
+          Process.decide
+            (if Value.equal got winner_token then Value.pid pid
+             else Value.pid rival)
+      | pc -> invalid_arg (Fmt.str "queue-consensus: pc %d" pc))
+
+let two_proc ~name ~theorem ~spec ~remove ~winner_token =
+  let env = Env.make [ (obj, spec) ] in
+  let procs =
+    [|
+      deq_and_decide ~remove ~winner_token ~pid:0 ~rival:1;
+      deq_and_decide ~remove ~winner_token ~pid:1 ~rival:0;
+    |]
+  in
+  Protocol.make ~name ~theorem ~procs ~env
+
+let protocol ?(name = "queue-consensus") () =
+  let spec =
+    Queues.fifo ~name:obj ~initial:[ first; second ]
+      ~items:[ first; second ] ()
+  in
+  two_proc ~name ~theorem:"Theorem 9" ~spec ~remove:Queues.deq
+    ~winner_token:first
+
+(* Stack variation: initialized [top; bottom]; the first popper takes
+   [top]. *)
+let stack ?(name = "stack-consensus") () =
+  let top = Value.str "top" and bottom = Value.str "bottom" in
+  let spec =
+    Queues.stack ~name:obj ~initial:[ top; bottom ] ~items:[ top; bottom ] ()
+  in
+  two_proc ~name ~theorem:"Theorem 9 (stack variation)" ~spec
+    ~remove:Queues.pop ~winner_token:top
+
+(* Priority-queue variation: initialized {1, 2}; the first extract-min
+   gets 1. *)
+let priority_queue ?(name = "priority-queue-consensus") () =
+  let spec =
+    Queues.priority_queue ~name:obj
+      ~initial:[ Value.int 1; Value.int 2 ]
+      ~keys:[ 1; 2 ] ()
+  in
+  two_proc ~name ~theorem:"Theorem 9 (priority-queue variation)" ~spec
+    ~remove:Queues.extract_min ~winner_token:(Value.int 1)
+
+(* Set variation: initialized {1, 2}; deterministic remove returns the
+   least element, so the first remover gets 1. *)
+let set ?(name = "set-consensus") () =
+  let spec =
+    Collections.set ~name:obj
+      ~initial:[ Value.int 1; Value.int 2 ]
+      ~elements:[ Value.int 1; Value.int 2 ] ()
+  in
+  two_proc ~name ~theorem:"Theorem 9 (set variation)" ~spec
+    ~remove:Collections.remove ~winner_token:(Value.int 1)
+
+(* Counter variation: incr returns the new count, so the first
+   incrementer sees 1 — "any deterministic object with operations that
+   return different results if applied in different orders". *)
+let counter ?(name = "counter-consensus") () =
+  let spec = Collections.counter ~name:obj () in
+  two_proc ~name ~theorem:"Theorem 9 (counter variation)" ~spec
+    ~remove:Collections.incr ~winner_token:(Value.int 1)

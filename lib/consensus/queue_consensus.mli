@@ -1,0 +1,9 @@
+(** Theorem 9: two-process consensus from a FIFO queue, plus the paper's
+    "trivial variations" for stacks, priority queues, sets and any
+    order-sensitive deterministic object. *)
+
+val protocol : ?name:string -> unit -> Protocol.t
+val stack : ?name:string -> unit -> Protocol.t
+val priority_queue : ?name:string -> unit -> Protocol.t
+val set : ?name:string -> unit -> Protocol.t
+val counter : ?name:string -> unit -> Protocol.t

@@ -1,0 +1,181 @@
+(* A catalogue of every consensus protocol in the repository, keyed by
+   the object family it runs on — the constructive half of Figure 1-1.
+   The hierarchy table and the CLI both drive verification through this
+   registry. *)
+
+open Wfs_spec
+open Wfs_sim
+
+type entry = {
+  key : string;  (** stable identifier, e.g. ["cas"] *)
+  object_family : string;  (** what Figure 1-1 calls the object *)
+  theorem : string;
+  consensus_number : [ `Exactly of int | `At_least_any_n ];
+      (** the paper's claim: level in Figure 1-1 *)
+  build : n:int -> Protocol.t option;
+      (** protocol for [n] processes, if the object supports it *)
+}
+
+(* The sticky consensus object trivially solves consensus at any n. *)
+let sticky_protocol ~n =
+  let obj = "c" in
+  let proc ~pid =
+    Process.make ~pid ~init:(Process.at 0) (fun local ->
+        match Process.pc local with
+        | 0 ->
+            Process.invoke ~obj
+              (Consensus_object.decide (Value.pid pid))
+              (fun res -> Process.at 1 ~data:res)
+        | 1 -> Process.decide (Process.data local)
+        | pc -> invalid_arg (Fmt.str "sticky-consensus: pc %d" pc))
+  in
+  let env =
+    Env.make
+      [ (obj, Consensus_object.single ~name:obj ~values:(Zoo.pids n) ()) ]
+  in
+  Protocol.make ~name:"consensus-object" ~theorem:"§4.2 (definition)"
+    ~procs:(Array.init n (fun pid -> proc ~pid))
+    ~env
+
+let only_two build ~n = if n = 2 then Some (build ()) else None
+let any_n build ~n = if n >= 2 then Some (build ~n ()) else None
+
+let entries : entry list =
+  [
+    {
+      key = "test-and-set";
+      object_family = "test-and-set";
+      theorem = "Theorem 4";
+      consensus_number = `Exactly 2;
+      build = only_two Rmw_consensus.test_and_set;
+    };
+    {
+      key = "rmw-swap";
+      object_family = "swap (read-modify-write)";
+      theorem = "Theorem 4";
+      consensus_number = `Exactly 2;
+      build = only_two Rmw_consensus.swap;
+    };
+    {
+      key = "fetch-and-add";
+      object_family = "fetch-and-add";
+      theorem = "Theorem 4";
+      consensus_number = `Exactly 2;
+      build = only_two Rmw_consensus.fetch_and_add;
+    };
+    {
+      key = "queue";
+      object_family = "FIFO queue";
+      theorem = "Theorems 9, 11";
+      consensus_number = `Exactly 2;
+      build = only_two (fun () -> Queue_consensus.protocol ());
+    };
+    {
+      key = "stack";
+      object_family = "stack";
+      theorem = "Theorem 9 (variation)";
+      consensus_number = `Exactly 2;
+      build = only_two (fun () -> Queue_consensus.stack ());
+    };
+    {
+      key = "priority-queue";
+      object_family = "priority queue";
+      theorem = "Theorem 9 (variation)";
+      consensus_number = `Exactly 2;
+      build = only_two (fun () -> Queue_consensus.priority_queue ());
+    };
+    {
+      key = "set";
+      object_family = "set";
+      theorem = "Theorem 9 (variation)";
+      consensus_number = `Exactly 2;
+      build = only_two (fun () -> Queue_consensus.set ());
+    };
+    {
+      key = "counter";
+      object_family = "counter";
+      theorem = "Theorem 9 (variation)";
+      consensus_number = `Exactly 2;
+      build = only_two (fun () -> Queue_consensus.counter ());
+    };
+    {
+      key = "cas";
+      object_family = "compare-and-swap";
+      theorem = "Theorem 7";
+      consensus_number = `At_least_any_n;
+      build = any_n (fun ~n () -> Cas_consensus.protocol ~n ());
+    };
+    {
+      key = "augmented-queue";
+      object_family = "augmented queue (peek)";
+      theorem = "Theorem 12";
+      consensus_number = `At_least_any_n;
+      build = any_n (fun ~n () -> Aug_queue_consensus.protocol ~n ());
+    };
+    {
+      key = "fetch-and-cons";
+      object_family = "fetch-and-cons";
+      theorem = "§4.1";
+      consensus_number = `At_least_any_n;
+      build = any_n (fun ~n () -> Aug_queue_consensus.fetch_and_cons ~n ());
+    };
+    {
+      key = "move";
+      object_family = "memory-to-memory move";
+      theorem = "Theorem 15";
+      consensus_number = `At_least_any_n;
+      build =
+        (fun ~n ->
+          if n = 2 then Some (Move_consensus.two_proc_protocol ())
+          else if n > 2 then Some (Move_consensus.n_proc_protocol ~n ())
+          else None);
+    };
+    {
+      key = "memory-swap";
+      object_family = "memory-to-memory swap";
+      theorem = "Theorem 16";
+      consensus_number = `At_least_any_n;
+      build = any_n (fun ~n () -> Swap_consensus.protocol ~n ());
+    };
+    {
+      key = "n-assignment";
+      object_family = "n-register assignment";
+      theorem = "Theorems 19-22";
+      consensus_number = `At_least_any_n (* 2n-2 for n-assignment *);
+      build = any_n (fun ~n () -> Assign_consensus.protocol ~n ());
+    };
+    {
+      key = "n-assignment-2n-2";
+      object_family = "n-register assignment (two-phase)";
+      theorem = "Theorem 20";
+      consensus_number = `At_least_any_n;
+      build =
+        (fun ~n ->
+          (* n here is the process count 2m; requires an (m+1)-register
+             assignment object *)
+          if n >= 2 && n mod 2 = 0 then
+            Some (Assign_consensus.two_phase ~n:((n / 2) + 1) ())
+          else None);
+    };
+    {
+      key = "ordered-broadcast";
+      object_family = "broadcast with ordered delivery";
+      theorem = "§3.1 (DDS)";
+      consensus_number = `At_least_any_n;
+      build = any_n (fun ~n () -> Channel_consensus.protocol ~n ());
+    };
+    {
+      key = "consensus-object";
+      object_family = "consensus object";
+      theorem = "§4.2";
+      consensus_number = `At_least_any_n;
+      build = any_n (fun ~n () -> sticky_protocol ~n);
+    };
+  ]
+
+let find key =
+  match List.find_opt (fun e -> String.equal e.key key) entries with
+  | Some e -> e
+  | None -> invalid_arg (Fmt.str "Registry.find: unknown protocol %S" key)
+
+let keys () = List.map (fun e -> e.key) entries

@@ -1,0 +1,14 @@
+(** Catalogue of every consensus protocol in the repository — the
+    constructive half of Figure 1-1. *)
+
+type entry = {
+  key : string;
+  object_family : string;
+  theorem : string;
+  consensus_number : [ `Exactly of int | `At_least_any_n ];
+  build : n:int -> Protocol.t option;
+}
+
+val entries : entry list
+val find : string -> entry
+val keys : unit -> string list

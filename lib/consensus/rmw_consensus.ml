@@ -1,0 +1,69 @@
+(* Theorem 4: two-process consensus from any non-trivial read-modify-write
+   operation.
+
+   Since f is not the identity there is a v with f(v) ≠ v.  Initialize the
+   shared register to v; both processes apply RMW(r, f); whoever sees v
+   went first and wins the election. *)
+
+open Wfs_spec
+open Wfs_sim
+
+let reg = "r"
+
+(* Find a witness value v with f(v) ≠ v, searching the given domain. *)
+let witness ~(rmw : Registers.rmw_op) ~domain =
+  let moved v =
+    List.filter_map
+      (fun arg ->
+        let v' = rmw.Registers.f ~arg v in
+        if Value.equal v v' then None else Some (arg, v))
+      rmw.Registers.args
+  in
+  let rec search = function
+    | [] -> None
+    | v :: rest -> ( match moved v with [] -> search rest | w :: _ -> Some w)
+  in
+  search domain
+
+let proc ~op ~v ~pid ~rival =
+  Process.make ~pid ~init:(Process.at 0) (fun local ->
+      match Process.pc local with
+      | 0 -> Process.invoke ~obj:reg op (fun res -> Process.at 1 ~data:res)
+      | 1 ->
+          let old = Process.data local in
+          Process.decide
+            (if Value.equal old v then Value.pid pid else Value.pid rival)
+      | pc -> invalid_arg (Fmt.str "rmw-consensus: pc %d" pc))
+
+(* [protocol ~rmw ~domain ()] builds the 2-process protocol for the given
+   RMW family, picking any witness value from [domain].  Returns [None]
+   when the family is trivial on the whole domain (e.g. [read]). *)
+let protocol ?(name = "rmw-consensus") ~(rmw : Registers.rmw_op) ~domain () =
+  match witness ~rmw ~domain with
+  | None -> None
+  | Some (arg, v) ->
+      let op = Op.make rmw.Registers.rmw_name arg in
+      let env =
+        Env.make [ (reg, Registers.rmw_register ~name:"r" ~init:v [ rmw ]) ]
+      in
+      let procs =
+        [| proc ~op ~v ~pid:0 ~rival:1; proc ~op ~v ~pid:1 ~rival:0 |]
+      in
+      Some (Protocol.make ~name ~theorem:"Theorem 4" ~procs ~env)
+
+let test_and_set () =
+  Option.get
+    (protocol ~name:"test-and-set-consensus" ~rmw:Registers.test_and_set_op
+       ~domain:[ Value.int 0 ] ())
+
+let swap () =
+  Option.get
+    (protocol ~name:"swap-consensus"
+       ~rmw:(Registers.swap_op [ Value.int 1 ])
+       ~domain:[ Value.int 0 ] ())
+
+let fetch_and_add () =
+  Option.get
+    (protocol ~name:"fetch-and-add-consensus"
+       ~rmw:(Registers.fetch_and_add_op [ 1 ])
+       ~domain:[ Value.int 0 ] ())

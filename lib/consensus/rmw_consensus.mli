@@ -1,0 +1,21 @@
+(** Theorem 4: two-process consensus from any non-trivial
+    read-modify-write operation. *)
+
+open Wfs_spec
+
+(** [witness ~rmw ~domain] finds an argument and a register value [v]
+    with [f ~arg v ≠ v], if the family is non-trivial on [domain]. *)
+val witness :
+  rmw:Registers.rmw_op -> domain:Value.t list -> (Value.t * Value.t) option
+
+(** Build the 2-process protocol; [None] if [rmw] is trivial on
+    [domain]. *)
+val protocol :
+  ?name:string -> rmw:Registers.rmw_op -> domain:Value.t list -> unit ->
+  Protocol.t option
+
+(** Canonical instances. *)
+
+val test_and_set : unit -> Protocol.t
+val swap : unit -> Protocol.t
+val fetch_and_add : unit -> Protocol.t

@@ -1,0 +1,55 @@
+(* Theorem 16: memory-to-memory swap solves n-process consensus.
+
+   Registers p[0..n-1] start at 0 and a single register r starts at 1.
+   Process P_i swaps p[i] with r, then scans p[0..n-1]: exactly one
+   process ever holds the 1 (the first to swap takes it out of r), its
+   slot never changes, and every scanner decides on that slot's owner. *)
+
+open Wfs_spec
+open Wfs_sim
+
+let mem = "mem"
+
+let slot i = i
+let token_reg n = n
+
+let ph_swap = 0
+let ph_scan = 1 (* data = k: issue the read of slot k *)
+let ph_check = 2 (* data = (k, res): decide on slot k or read slot k+1 *)
+
+let proc ~n ~pid =
+  let read_slot k next =
+    Process.invoke ~obj:mem
+      (Memory.read (slot k))
+      (fun res -> next (Value.pair (Value.int k) res))
+  in
+  Process.make ~pid ~init:(Process.at ph_swap) (fun local ->
+      let pc = Process.pc local in
+      if pc = ph_swap then
+        Process.invoke ~obj:mem
+          (Memory.swap (slot pid) (token_reg n))
+          (fun _ -> Process.at ph_scan ~data:(Value.int 0))
+      else if pc = ph_scan then begin
+        let k = Value.as_int (Process.data local) in
+        read_slot k (fun data -> Process.at ph_check ~data)
+      end
+      else if pc = ph_check then begin
+        let kv, res = Value.as_pair (Process.data local) in
+        let k = Value.as_int kv in
+        if Value.equal res (Value.int 1) then Process.decide (Value.pid k)
+        else if k = n - 1 then
+          (* Unreachable: the scanner itself swapped, so the token is in
+             some slot by the time any scan begins; kept total. *)
+          Process.decide (Value.pid pid)
+        else read_slot (k + 1) (fun data -> Process.at ph_check ~data)
+      end
+      else invalid_arg (Fmt.str "swap-consensus P%d: pc %d" pid pc))
+
+let protocol ?(name = "memory-swap-consensus") ~n () =
+  let init = List.init (n + 1) (fun i -> Value.int (if i = n then 1 else 0)) in
+  let spec =
+    Memory.with_swap ~name:mem ~size:(n + 1) ~init [ Value.int 0; Value.int 1 ]
+  in
+  let procs = Array.init n (fun pid -> proc ~n ~pid) in
+  Protocol.make ~name ~theorem:"Theorem 16" ~procs
+    ~env:(Env.make [ (mem, spec) ])

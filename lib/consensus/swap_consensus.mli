@@ -1,0 +1,3 @@
+(** Theorem 16: memory-to-memory swap solves n-process consensus. *)
+
+val protocol : ?name:string -> n:int -> unit -> Protocol.t

@@ -1,0 +1,42 @@
+(** A solver-measured census of the object zoo: consensus solvability at
+    n = 2 and n = 3 within a bounded number of operations per process,
+    decided directly by strategy synthesis — Figure 1-1 re-derived with
+    no protocol-specific knowledge.
+
+    Implementations may initialize their objects, so the census
+    quantifies over initial states reachable within two menu operations
+    — it is the solver that discovers the paper's queue pre-loading
+    trick.  Negative verdicts are bounded ("no ≤ d-op protocol from any
+    tried initialization"); the protocol-verified {!Table} complements
+    them for objects whose canonical protocols need more operations. *)
+
+open Wfs_spec
+
+type outcome = Solvable | Unsolvable | Budget
+
+type measurement = {
+  object_name : string;
+  menu_size : int;
+  inits_tried : int;
+  two_proc : outcome * int;  (** verdict, total search nodes *)
+  three_proc : outcome * int;
+  winning_init2 : Value.t option;
+  winning_init3 : Value.t option;
+  depth2 : int;
+  depth3 : int;
+  interpretation : string;
+}
+
+(** Initial states reachable within two menu operations (capped). *)
+val candidate_inits : ?max_candidates:int -> Object_spec.t -> Value.t list
+
+val measure :
+  ?depth2:int -> ?depth3:int -> ?max_nodes:int -> ?max_candidates:int ->
+  Object_spec.t -> measurement
+
+val run :
+  ?depth2:int -> ?depth3:int -> ?max_nodes:int -> unit -> measurement list
+
+val pp_outcome : outcome Fmt.t
+val pp_measurement : measurement Fmt.t
+val pp : measurement list Fmt.t

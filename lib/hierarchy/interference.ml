@@ -1,0 +1,147 @@
+(* The interference analysis of Theorem 6, mechanized.
+
+   Let F be a set of unary functions over register values.  F is
+   *interfering* if for every f_i, f_j in F and every value v, either
+
+   - they commute:  f_i (f_j v) = f_j (f_i v), or
+   - one overwrites the other:  f_i (f_j v) = f_i v  (or symmetrically).
+
+   Theorem 6: no combination of read-modify-write operations drawn from
+   an interfering set solves 3-process consensus.  Combined with
+   Theorem 4 (any non-trivial RMW that returns the old value solves
+   2-process consensus) and Theorem 2 (no observable non-trivial RMW
+   means not even 2), the classification below reproduces the bottom
+   levels of Figure 1-1 from operation semantics alone. *)
+
+open Wfs_spec
+
+(* A concrete unary function: an RMW family applied to one argument. *)
+type concrete = { label : string; fn : Value.t -> Value.t; observes : bool }
+
+let concretize (ops : Registers.rmw_op list) : concrete list =
+  List.concat_map
+    (fun (r : Registers.rmw_op) ->
+      List.map
+        (fun arg ->
+          {
+            label = Op.show (Op.make r.Registers.rmw_name arg);
+            fn = (fun v -> r.Registers.f ~arg v);
+            observes = r.Registers.returns_old;
+          })
+        r.Registers.args)
+    ops
+
+type pair_class =
+  | Commute
+  | First_overwrites  (* f_i (f_j v) = f_i v for all v *)
+  | Second_overwrites
+  | Interfering_not  (* neither — the pair escapes Theorem 6 *)
+
+(* Apply f, treating an [Invalid_argument] (e.g. fetch-and-add on a
+   non-integer) as "v outside f's domain". *)
+let safe_apply f v =
+  match f v with w -> Some w | exception Invalid_argument _ -> None
+
+let forall_domain domain p =
+  List.for_all
+    (fun v -> match p v with Some b -> b | None -> true (* outside domain *))
+    domain
+
+let classify_pair ~domain a b =
+  let commute =
+    forall_domain domain (fun v ->
+        match (safe_apply a.fn v, safe_apply b.fn v) with
+        | Some av, Some bv -> (
+            match (safe_apply a.fn bv, safe_apply b.fn av) with
+            | Some abv, Some bav -> Some (Value.equal abv bav)
+            | _ -> None)
+        | _ -> None)
+  in
+  let overwrites f g =
+    (* f (g v) = f v *)
+    forall_domain domain (fun v ->
+        match safe_apply g.fn v with
+        | Some gv -> (
+            match (safe_apply f.fn gv, safe_apply f.fn v) with
+            | Some fgv, Some fv -> Some (Value.equal fgv fv)
+            | _ -> None)
+        | None -> None)
+  in
+  if commute then Commute
+  else if overwrites a b then First_overwrites
+  else if overwrites b a then Second_overwrites
+  else Interfering_not
+
+(* A set is interfering if every pair (including an op with itself)
+   commutes or overwrites. *)
+let interfering ~domain (ops : concrete list) =
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b -> classify_pair ~domain a b <> Interfering_not)
+        ops)
+    ops
+
+let non_interfering_pairs ~domain (ops : concrete list) =
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          if classify_pair ~domain a b = Interfering_not then Some (a, b)
+          else None)
+        ops)
+    ops
+
+(* Non-trivial and observable: f moves some domain value AND the caller
+   sees the old contents (Theorem 4's hypothesis).  A plain write is
+   non-trivial but blind, which is why registers stay at level 1. *)
+let observable_nontrivial ~domain (c : concrete) =
+  c.observes
+  && List.exists
+       (fun v ->
+         match safe_apply c.fn v with
+         | Some v' -> not (Value.equal v v')
+         | None -> false)
+       domain
+
+type verdict = {
+  family : string;
+  interfering_set : bool;
+  has_observable_nontrivial : bool;
+  level : [ `Level_1 | `Level_2 | `Above_2 ];
+  witnesses : (string * string) list;
+      (** non-interfering pairs, when the set escapes Theorem 6 *)
+}
+
+(* Classify an RMW family per Figure 1-1:
+   - interfering + no observable non-trivial op  -> level 1 (registers);
+   - interfering + some observable non-trivial   -> level 2 exactly
+     (Theorem 4 gives ≥ 2, Theorem 6 gives < 3);
+   - non-interfering                             -> above 2 (Theorem 6
+     does not apply; a protocol must witness the actual level). *)
+let classify ~family ~domain ops =
+  let concrete = concretize ops in
+  let interfering_set = interfering ~domain concrete in
+  let has_observable_nontrivial =
+    List.exists (observable_nontrivial ~domain) concrete
+  in
+  let level =
+    if not interfering_set then `Above_2
+    else if has_observable_nontrivial then `Level_2
+    else `Level_1
+  in
+  let witnesses =
+    List.map
+      (fun (a, b) -> (a.label, b.label))
+      (non_interfering_pairs ~domain concrete)
+  in
+  { family; interfering_set; has_observable_nontrivial; level; witnesses }
+
+let pp_level ppf = function
+  | `Level_1 -> Fmt.string ppf "1"
+  | `Level_2 -> Fmt.string ppf "2"
+  | `Above_2 -> Fmt.string ppf ">2"
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "%s: interfering=%b observable-nontrivial=%b level=%a" v.family
+    v.interfering_set v.has_observable_nontrivial pp_level v.level

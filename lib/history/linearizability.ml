@@ -1,0 +1,98 @@
+(* Linearizability checking (§2.3), in the style of Wing & Gong.
+
+   Given the subhistory of a single object and that object's sequential
+   specification, search for a legal sequential history S that (a) extends
+   the real-time precedence order of the concurrent history and (b) agrees
+   with every completed response.  Pending invocations may be linearized
+   (with whatever result the spec gives) or dropped.
+
+   The search is a DFS over "which operation is linearized next", with
+   memoization on (specification state, set of already-linearized
+   operations).  Linearizability is a local property (the paper cites
+   [10]), so a multi-object history is checked object by object. *)
+
+open Wfs_spec
+
+type verdict = { linearizable : bool; witness : History.operation list option }
+
+exception Too_many_operations of int
+
+let max_ops = 62 (* operations per object history tracked in one bitmask *)
+
+let check_object (spec : Object_spec.t) (h : History.t) : verdict =
+  let ops = Array.of_list (History.operations h) in
+  let n = Array.length ops in
+  if n > max_ops then raise (Too_many_operations n);
+  let full_mask = if n = 0 then 0 else (1 lsl n) - 1 in
+  (* memo: (state, done-mask) -> known failure.  Successes short-circuit
+     out of the search, so only failures are cached. *)
+  let failed = Hashtbl.create 251 in
+  (* [minimal mask i]: no not-yet-linearized operation responded before
+     operation [i] was invoked. *)
+  let minimal mask i =
+    let rec go j =
+      j >= n
+      || ((j = i || mask land (1 lsl j) <> 0
+          || not (History.precedes ops.(j) ops.(i)))
+         && go (j + 1))
+    in
+    go 0
+  in
+  let rec search state mask acc =
+    if mask = full_mask then Some (List.rev acc)
+    else if Hashtbl.mem failed (state, mask) then None
+    else begin
+      let result = ref None in
+      let i = ref 0 in
+      while !result = None && !i < n do
+        let idx = !i in
+        incr i;
+        if mask land (1 lsl idx) = 0 && minimal mask idx then begin
+          let o = ops.(idx) in
+          let state', res = Object_spec.apply spec state o.History.op in
+          let ok =
+            match o.History.res with
+            | Some expected -> Value.equal res expected
+            | None -> true
+          in
+          if ok then
+            match search state' (mask lor (1 lsl idx)) (o :: acc) with
+            | Some w -> result := Some w
+            | None -> ()
+        end
+      done;
+      (* Alternatively, every remaining operation may be a dropped pending
+         invocation. *)
+      (if !result = None then
+         let rec all_pending j =
+           j >= n
+           || ((mask land (1 lsl j) <> 0 || History.is_pending ops.(j))
+              && all_pending (j + 1))
+         in
+         if all_pending 0 then result := Some (List.rev acc));
+      if !result = None then Hashtbl.replace failed (state, mask) ();
+      !result
+    end
+  in
+  match search spec.Object_spec.init 0 [] with
+  | Some witness -> { linearizable = true; witness = Some witness }
+  | None -> { linearizable = false; witness = None }
+
+(* Check a multi-object history against an environment of specifications,
+   object by object (locality). *)
+let check (env : (string * Object_spec.t) list) (h : History.t) : verdict =
+  if not (History.well_formed h) then { linearizable = false; witness = None }
+  else
+    let verdicts =
+      List.map
+        (fun obj ->
+          match List.assoc_opt obj env with
+          | Some spec -> check_object spec (History.project_obj obj h)
+          | None -> invalid_arg (Fmt.str "Linearizability.check: no spec for %S" obj))
+        (History.objects h)
+    in
+    if List.for_all (fun v -> v.linearizable) verdicts then
+      { linearizable = true; witness = None }
+    else { linearizable = false; witness = None }
+
+let is_linearizable env h = (check env h).linearizable

@@ -1,0 +1,29 @@
+(** Linearizability checking (§2.3), Wing-&-Gong style: exhaustive search
+    for a legal sequential witness extending the real-time order, with
+    memoization on (specification state, linearized set).
+
+    Linearizability is a local property, so multi-object histories are
+    checked one object at a time. *)
+
+open Wfs_spec
+
+type verdict = {
+  linearizable : bool;
+  witness : History.operation list option;
+      (** a legal linearization order, when one was produced *)
+}
+
+(** Raised when a single object's history has more operations than the
+    checker's bitmask can track. *)
+exception Too_many_operations of int
+
+val max_ops : int
+
+(** Check the subhistory of a single object against its specification. *)
+val check_object : Object_spec.t -> History.t -> verdict
+
+(** Check a multi-object history against an environment of
+    specifications.  Ill-formed histories are not linearizable. *)
+val check : (string * Object_spec.t) list -> History.t -> verdict
+
+val is_linearizable : (string * Object_spec.t) list -> History.t -> bool

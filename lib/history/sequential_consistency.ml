@@ -1,0 +1,166 @@
+(* Sequential consistency (Lamport 1979), the weaker cousin §2.3
+   contrasts with linearizability.
+
+   A history is sequentially consistent w.r.t. a specification if some
+   legal sequential history contains the same operations in the same
+   PER-PROCESS order — the real-time order between different processes
+   is NOT required to be preserved.  The checker below is the
+   linearizability search with the precedence relation weakened to
+   program order.
+
+   The paper's point — "unlike sequential consistency ... linearizability
+   is a local property" — is demonstrated in the test suite: a two-queue
+   history can be sequentially consistent per object yet have no global
+   witness, whereas per-object linearizability always composes. *)
+
+open Wfs_spec
+
+type verdict = { consistent : bool; witness : History.operation list option }
+
+exception Too_many_operations of int
+
+let max_ops = 62
+
+(* program order: same process, earlier invocation *)
+let program_precedes (a : History.operation) (b : History.operation) =
+  a.History.pid = b.History.pid && a.History.invoke_at < b.History.invoke_at
+
+let check_object (spec : Object_spec.t) (h : History.t) : verdict =
+  let ops = Array.of_list (History.operations h) in
+  let n = Array.length ops in
+  if n > max_ops then raise (Too_many_operations n);
+  let full_mask = if n = 0 then 0 else (1 lsl n) - 1 in
+  let failed = Hashtbl.create 251 in
+  let minimal mask i =
+    let rec go j =
+      j >= n
+      || ((j = i || mask land (1 lsl j) <> 0
+          || not (program_precedes ops.(j) ops.(i)))
+         && go (j + 1))
+    in
+    go 0
+  in
+  let rec search state mask acc =
+    if mask = full_mask then Some (List.rev acc)
+    else if Hashtbl.mem failed (state, mask) then None
+    else begin
+      let result = ref None in
+      let i = ref 0 in
+      while !result = None && !i < n do
+        let idx = !i in
+        incr i;
+        if mask land (1 lsl idx) = 0 && minimal mask idx then begin
+          let o = ops.(idx) in
+          let state', res = Object_spec.apply spec state o.History.op in
+          let ok =
+            match o.History.res with
+            | Some expected -> Value.equal res expected
+            | None -> true
+          in
+          if ok then
+            match search state' (mask lor (1 lsl idx)) (o :: acc) with
+            | Some w -> result := Some w
+            | None -> ()
+        end
+      done;
+      (if !result = None then
+         let rec all_pending j =
+           j >= n
+           || ((mask land (1 lsl j) <> 0 || History.is_pending ops.(j))
+              && all_pending (j + 1))
+         in
+         if all_pending 0 then result := Some (List.rev acc));
+      if !result = None then Hashtbl.replace failed (state, mask) ();
+      !result
+    end
+  in
+  match search spec.Object_spec.init 0 [] with
+  | Some witness -> { consistent = true; witness = Some witness }
+  | None -> { consistent = false; witness = None }
+
+(* Global sequential consistency over several objects: ONE witness
+   ordering all operations, program order preserved, each object's spec
+   respected.  Not local: per-object success does not imply this. *)
+let check_global (env : (string * Object_spec.t) list) (h : History.t) : verdict
+    =
+  if not (History.well_formed h) then { consistent = false; witness = None }
+  else begin
+    let ops = Array.of_list (History.operations h) in
+    let n = Array.length ops in
+    if n > max_ops then raise (Too_many_operations n);
+    let full_mask = if n = 0 then 0 else (1 lsl n) - 1 in
+    let spec_of obj =
+      match List.assoc_opt obj env with
+      | Some spec -> spec
+      | None ->
+          invalid_arg
+            (Fmt.str "Sequential_consistency.check_global: no spec for %S" obj)
+    in
+    let objects = History.objects h in
+    let failed = Hashtbl.create 251 in
+    let minimal mask i =
+      let rec go j =
+        j >= n
+        || ((j = i || mask land (1 lsl j) <> 0
+            || not (program_precedes ops.(j) ops.(i)))
+           && go (j + 1))
+      in
+      go 0
+    in
+    let encode_states states =
+      Value.list (List.map (fun obj -> List.assoc obj states) objects)
+    in
+    let rec search states mask acc =
+      if mask = full_mask then Some (List.rev acc)
+      else if Hashtbl.mem failed (encode_states states, mask) then None
+      else begin
+        let result = ref None in
+        let i = ref 0 in
+        while !result = None && !i < n do
+          let idx = !i in
+          incr i;
+          if mask land (1 lsl idx) = 0 && minimal mask idx then begin
+            let o = ops.(idx) in
+            let spec = spec_of o.History.obj in
+            let state = List.assoc o.History.obj states in
+            let state', res = Object_spec.apply spec state o.History.op in
+            let ok =
+              match o.History.res with
+              | Some expected -> Value.equal res expected
+              | None -> true
+            in
+            if ok then begin
+              let states' =
+                List.map
+                  (fun (obj, s) ->
+                    if String.equal obj o.History.obj then (obj, state')
+                    else (obj, s))
+                  states
+              in
+              match search states' (mask lor (1 lsl idx)) (o :: acc) with
+              | Some w -> result := Some w
+              | None -> ()
+            end
+          end
+        done;
+        (if !result = None then
+           let rec all_pending j =
+             j >= n
+             || ((mask land (1 lsl j) <> 0 || History.is_pending ops.(j))
+                && all_pending (j + 1))
+           in
+           if all_pending 0 then result := Some (List.rev acc));
+        if !result = None then
+          Hashtbl.replace failed (encode_states states, mask) ();
+        !result
+      end
+    in
+    let initial_states =
+      List.map (fun obj -> (obj, (spec_of obj).Object_spec.init)) objects
+    in
+    match search initial_states 0 [] with
+    | Some witness -> { consistent = true; witness = Some witness }
+    | None -> { consistent = false; witness = None }
+  end
+
+let is_sequentially_consistent spec h = (check_object spec h).consistent

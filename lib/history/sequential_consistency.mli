@@ -1,0 +1,21 @@
+(** Sequential consistency — the weaker condition §2.3 contrasts with
+    linearizability: a legal sequential witness need only preserve
+    per-process program order, not real time.  Unlike linearizability it
+    is not a local property (see the test suite's two-queue example). *)
+
+open Wfs_spec
+
+type verdict = { consistent : bool; witness : History.operation list option }
+
+exception Too_many_operations of int
+
+val max_ops : int
+
+(** SC of a single object's subhistory. *)
+val check_object : Object_spec.t -> History.t -> verdict
+
+(** Global SC over several objects: one witness for all operations.
+    Per-object success does NOT imply this. *)
+val check_global : (string * Object_spec.t) list -> History.t -> verdict
+
+val is_sequentially_consistent : Object_spec.t -> History.t -> bool

@@ -1,0 +1,56 @@
+(* Hand-crafted lock-free structures used as benchmark comparators for
+   the universal construction: the Treiber stack and the Michael–Scott
+   queue, both built (as Theorem 7 predicts everything can be) from
+   compare-and-swap. *)
+
+module Treiber_stack = struct
+  type 'a t = 'a list Atomic.t
+
+  let make () = Atomic.make []
+
+  let rec push t x =
+    let old = Atomic.get t in
+    if not (Atomic.compare_and_set t old (x :: old)) then push t x
+
+  let rec pop t =
+    match Atomic.get t with
+    | [] -> None
+    | x :: rest as old ->
+        if Atomic.compare_and_set t old rest then Some x else pop t
+
+  let peek t = match Atomic.get t with [] -> None | x :: _ -> Some x
+end
+
+module Michael_scott_queue = struct
+  type 'a node = { value : 'a option; next : 'a node option Atomic.t }
+
+  type 'a t = { head : 'a node Atomic.t; tail : 'a node Atomic.t }
+
+  let make () =
+    let dummy = { value = None; next = Atomic.make None } in
+    { head = Atomic.make dummy; tail = Atomic.make dummy }
+
+  let rec enqueue t x =
+    let node = { value = Some x; next = Atomic.make None } in
+    let tail = Atomic.get t.tail in
+    match Atomic.get tail.next with
+    | Some next ->
+        (* tail is lagging: help advance it and retry *)
+        ignore (Atomic.compare_and_set t.tail tail next);
+        enqueue t x
+    | None ->
+        if Atomic.compare_and_set tail.next None (Some node) then
+          (* linearized; advancing tail is cooperative *)
+          ignore (Atomic.compare_and_set t.tail tail node)
+        else enqueue t x
+
+  let rec dequeue t =
+    let head = Atomic.get t.head in
+    match Atomic.get head.next with
+    | None -> None
+    | Some next ->
+        if Atomic.compare_and_set t.head head next then next.value
+        else dequeue t
+
+  let is_empty t = Atomic.get (Atomic.get t.head).next = None
+end

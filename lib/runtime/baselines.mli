@@ -1,0 +1,19 @@
+(** Hand-crafted lock-free comparators built from compare-and-swap. *)
+
+module Treiber_stack : sig
+  type 'a t
+
+  val make : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+  val peek : 'a t -> 'a option
+end
+
+module Michael_scott_queue : sig
+  type 'a t
+
+  val make : unit -> 'a t
+  val enqueue : 'a t -> 'a -> unit
+  val dequeue : 'a t -> 'a option
+  val is_empty : 'a t -> bool
+end

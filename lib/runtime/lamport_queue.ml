@@ -1,0 +1,61 @@
+(* Lamport's single-enqueuer / single-dequeuer wait-free queue (§3.3).
+
+   The paper's Corollary 10 forbids a wait-free MULTI-consumer queue
+   from read/write registers; §3.3 points out the positive boundary:
+   Lamport's queue supports ONE enqueuing process concurrent with ONE
+   dequeuing process, from registers alone.  This is that construction:
+   a bounded ring with two counters, [head] written only by the
+   dequeuer, [tail] written only by the enqueuer — single-writer
+   registers, the weakest rung of Figure 1-1.
+
+   Theorem 2 implies this cannot be extended to two concurrent dequeuers
+   without stronger primitives; [test_runtime] exercises the legal
+   1P/1C regime. *)
+
+type 'a t = {
+  buffer : 'a option Atomic.t array;
+  head : int Atomic.t;  (* next slot to read; written by the dequeuer *)
+  tail : int Atomic.t;  (* next slot to write; written by the enqueuer *)
+  mask : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lamport_queue.create: capacity";
+  (* round up to a power of two for cheap wrap-around *)
+  let rec pow2 c = if c >= capacity then c else pow2 (c * 2) in
+  let size = pow2 1 in
+  {
+    buffer = Array.init size (fun _ -> Atomic.make None);
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    mask = size - 1;
+  }
+
+let capacity t = t.mask + 1
+let length t = Atomic.get t.tail - Atomic.get t.head
+let is_empty t = length t = 0
+let is_full t = length t > t.mask
+
+(* Enqueuer side only.  Returns false when full (total, never blocks). *)
+let enqueue t x =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then false
+  else begin
+    Atomic.set t.buffer.(tail land t.mask) (Some x);
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+(* Dequeuer side only.  Returns None when empty. *)
+let dequeue t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if tail = head then None
+  else begin
+    let slot = t.buffer.(head land t.mask) in
+    let x = Atomic.get slot in
+    Atomic.set slot None;
+    Atomic.set t.head (head + 1);
+    x
+  end

@@ -1,0 +1,18 @@
+(** Lamport's single-enqueuer / single-dequeuer wait-free queue from
+    read/write registers (§3.3) — the positive boundary of
+    Corollary 10.  Exactly one thread may enqueue and exactly one may
+    dequeue, concurrently. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+(** Enqueuer only; [false] when full.  Never blocks. *)
+val enqueue : 'a t -> 'a -> bool
+
+(** Dequeuer only; [None] when empty.  Never blocks. *)
+val dequeue : 'a t -> 'a option

@@ -1,0 +1,96 @@
+(* The classical synchronization primitives of §3.2 on real multicore
+   OCaml, as thin disciplined wrappers over [Atomic].
+
+   These mirror the simulated object zoo: the simulator proves what each
+   primitive can and cannot do; this module is the same operation on
+   hardware, used by the runtime constructions and the benchmarks. *)
+
+module Register = struct
+  type 'a t = 'a Atomic.t
+
+  let make v = Atomic.make v
+  let read = Atomic.get
+  let write = Atomic.set
+end
+
+module Test_and_set = struct
+  type t = bool Atomic.t
+
+  let make () = Atomic.make false
+
+  (* returns the OLD value: false means "you won" *)
+  let test_and_set t = Atomic.exchange t true
+  let read = Atomic.get
+  let reset t = Atomic.set t false
+end
+
+module Fetch_and_add = struct
+  type t = int Atomic.t
+
+  let make init = Atomic.make init
+  let fetch_and_add t k = Atomic.fetch_and_add t k
+  let read = Atomic.get
+end
+
+module Swap = struct
+  type 'a t = 'a Atomic.t
+
+  let make v = Atomic.make v
+
+  (* the read-modify-write swap: exchange register contents with a
+     private value, returning the old contents *)
+  let swap t v = Atomic.exchange t v
+  let read = Atomic.get
+end
+
+module Cas = struct
+  type 'a t = 'a Atomic.t
+
+  let make v = Atomic.make v
+
+  (* compare-and-swap in the paper's sense: returns the old contents,
+     installing [replacement] iff the old contents were (physically
+     equal to) [expected] *)
+  let compare_and_swap t ~expected ~replacement =
+    let rec loop () =
+      let old = Atomic.get t in
+      if old != expected then old
+      else if Atomic.compare_and_set t expected replacement then old
+      else loop ()
+    in
+    loop ()
+
+  let compare_and_set = Atomic.compare_and_set
+  let read = Atomic.get
+end
+
+(* A sense-reversing spin barrier for launching benchmark/test domains
+   at the same instant. *)
+module Barrier = struct
+  type t = { parties : int; count : int Atomic.t; sense : bool Atomic.t }
+
+  let make parties = { parties; count = Atomic.make 0; sense = Atomic.make false }
+
+  let wait t =
+    let my_sense = not (Atomic.get t.sense) in
+    if Atomic.fetch_and_add t.count 1 = t.parties - 1 then begin
+      Atomic.set t.count 0;
+      Atomic.set t.sense my_sense
+    end
+    else
+      while Atomic.get t.sense <> my_sense do
+        Domain.cpu_relax ()
+      done
+end
+
+(* Run [f 0 .. f (n-1)] on n fresh domains, collecting results in pid
+   order.  All domains start after a common barrier. *)
+let run_domains n f =
+  let barrier = Barrier.make n in
+  let domains =
+    List.init n (fun pid ->
+        Domain.spawn (fun () ->
+            Barrier.wait barrier;
+            f pid))
+  in
+  List.map Domain.join domains

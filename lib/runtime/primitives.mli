@@ -1,0 +1,67 @@
+(** The classical synchronization primitives of §3.2 on multicore OCaml —
+    thin wrappers over [Atomic], mirroring the simulated object zoo. *)
+
+module Register : sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val read : 'a t -> 'a
+  val write : 'a t -> 'a -> unit
+end
+
+module Test_and_set : sig
+  type t
+
+  val make : unit -> t
+
+  (** Returns the old value: [false] means the caller won. *)
+  val test_and_set : t -> bool
+
+  val read : t -> bool
+  val reset : t -> unit
+end
+
+module Fetch_and_add : sig
+  type t
+
+  val make : int -> t
+  val fetch_and_add : t -> int -> int
+  val read : t -> int
+end
+
+module Swap : sig
+  type 'a t
+
+  val make : 'a -> 'a t
+
+  (** Exchange contents with a private value, returning the old
+      contents (the read-modify-write swap, §3.2). *)
+  val swap : 'a t -> 'a -> 'a
+
+  val read : 'a t -> 'a
+end
+
+module Cas : sig
+  type 'a t
+
+  val make : 'a -> 'a t
+
+  (** The paper's compare-and-swap: install [replacement] iff the
+      contents are physically equal to [expected]; always return the old
+      contents. *)
+  val compare_and_swap : 'a t -> expected:'a -> replacement:'a -> 'a
+
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  val read : 'a t -> 'a
+end
+
+module Barrier : sig
+  type t
+
+  val make : int -> t
+  val wait : t -> unit
+end
+
+(** [run_domains n f] runs [f pid] on [n] fresh domains released by a
+    common barrier, returning results in pid order. *)
+val run_domains : int -> (int -> 'a) -> 'a list

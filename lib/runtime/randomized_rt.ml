@@ -1,0 +1,34 @@
+(* Randomized 2-process binary consensus from registers, on real
+   domains — the runtime twin of [Wfs_consensus.Randomized].
+
+   Deterministically impossible (Theorem 2); with coin flips, agreement
+   and validity hold always and termination holds with probability 1.
+   Expected flips per conflict round are constant, measured by the
+   benchmark harness. *)
+
+type t = { flags : int Atomic.t array }
+(* flag encoding: -1 = ⊥, 0 = false, 1 = true *)
+
+let create () = { flags = [| Atomic.make (-1); Atomic.make (-1) |] }
+
+let bit b = if b then 1 else 0
+
+(* [decide t ~pid ~rng input] returns (decision, flips used). *)
+let decide t ~pid ~rng input =
+  if pid < 0 || pid > 1 then invalid_arg "Randomized_rt.decide: pid";
+  let rival = 1 - pid in
+  let pref = ref (bit input) in
+  let flips = ref 0 in
+  Atomic.set t.flags.(pid) !pref;
+  let rec loop () =
+    let q = Atomic.get t.flags.(rival) in
+    if q = -1 || q = !pref then !pref
+    else begin
+      incr flips;
+      pref := bit (Random.State.bool rng);
+      Atomic.set t.flags.(pid) !pref;
+      loop ()
+    end
+  in
+  let d = loop () in
+  (d = 1, !flips)

@@ -1,0 +1,11 @@
+(** Randomized 2-process binary consensus from registers on real
+    domains: always safe, terminates with probability 1 (the §5
+    extension; contrast Theorem 2). *)
+
+type t
+
+val create : unit -> t
+
+(** [decide t ~pid ~rng input] is [(decision, coin flips used)]; [pid]
+    must be 0 or 1, each used by one domain. *)
+val decide : t -> pid:int -> rng:Random.State.t -> bool -> bool * int

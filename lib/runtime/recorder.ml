@@ -1,0 +1,53 @@
+(* Concurrent history recording for runtime linearizability testing.
+
+   Each INVOKE/RESPOND event takes a ticket from an atomic counter and
+   writes itself into the corresponding slot of a preallocated array.
+   Ticket acquisition is a single atomic instruction, so the recorded
+   order is a legal interleaving consistent with real time: if operation
+   A responded before operation B was invoked, A's RESPOND ticket is
+   smaller than B's INVOKE ticket.  The resulting event sequence is fed
+   to the exhaustive linearizability checker from [Wfs_history]. *)
+
+type t = {
+  slots : Wfs_history.Event.t option Atomic.t array;
+  next : int Atomic.t;
+}
+
+let create ~capacity =
+  {
+    slots = Array.init capacity (fun _ -> Atomic.make None);
+    next = Atomic.make 0;
+  }
+
+exception Capacity_exceeded
+
+let record t event =
+  let ticket = Atomic.fetch_and_add t.next 1 in
+  if ticket >= Array.length t.slots then raise Capacity_exceeded;
+  Atomic.set t.slots.(ticket) (Some event)
+
+let invoke t ~pid ~obj op = record t (Wfs_history.Event.invoke ~pid ~obj op)
+
+let respond t ~pid ~obj res = record t (Wfs_history.Event.respond ~pid ~obj res)
+
+(* The recorded history, in ticket order.  Call at quiescence: a [None]
+   gap means some event's write is still in flight. *)
+let history t : Wfs_history.History.t =
+  let n = min (Atomic.get t.next) (Array.length t.slots) in
+  let rec collect i acc =
+    if i < 0 then acc
+    else
+      match Atomic.get t.slots.(i) with
+      | Some e -> collect (i - 1) (e :: acc)
+      | None -> collect (i - 1) acc
+  in
+  collect (n - 1) []
+
+(* Convenience: record around an operation execution. *)
+let around t ~pid ~obj ~op ~encode_res f =
+  invoke t ~pid ~obj op;
+  let res = f () in
+  respond t ~pid ~obj (encode_res res);
+  res
+
+let pp ppf t = Wfs_history.History.pp ppf (history t)

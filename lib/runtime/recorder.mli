@@ -1,0 +1,25 @@
+(** Concurrent history recorder: ticketed event slots whose order is a
+    real-time-consistent interleaving, for feeding runtime executions to
+    the exhaustive linearizability checker. *)
+
+open Wfs_spec
+
+type t
+
+exception Capacity_exceeded
+
+val create : capacity:int -> t
+val record : t -> Wfs_history.Event.t -> unit
+val invoke : t -> pid:int -> obj:string -> Op.t -> unit
+val respond : t -> pid:int -> obj:string -> Value.t -> unit
+
+(** The recorded history in ticket order; call at quiescence. *)
+val history : t -> Wfs_history.History.t
+
+(** [around t ~pid ~obj ~op ~encode_res f] records INVOKE, runs [f],
+    records RESPOND with the encoded result. *)
+val around :
+  t -> pid:int -> obj:string -> op:Op.t -> encode_res:('a -> Value.t) ->
+  (unit -> 'a) -> 'a
+
+val pp : t Fmt.t

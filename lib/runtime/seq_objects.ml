@@ -1,0 +1,107 @@
+(* Ready-made sequential objects for the runtime universal construction:
+   the data types the paper proves registers canNOT implement wait-free
+   (Corollary 10), here made wait-free via consensus primitives. *)
+
+module Counter = struct
+  type state = int
+  type op = Incr | Decr | Read
+  type res = int
+
+  let init = 0
+
+  let apply state = function
+    | Incr -> (state + 1, state + 1)
+    | Decr -> (state - 1, state - 1)
+    | Read -> (state, state)
+end
+
+module Queue_of_int = struct
+  (* Batched FIFO queue (front list, reversed back list) so that enq and
+     deq are O(1) amortized even through the universal construction. *)
+  type state = { front : int list; back : int list }
+  type op = Enq of int | Deq
+  type res = Enqueued | Deqd of int | Empty
+
+  let init = { front = []; back = [] }
+
+  let apply state = function
+    | Enq x -> ({ state with back = x :: state.back }, Enqueued)
+    | Deq -> (
+        match state.front with
+        | x :: front -> ({ state with front }, Deqd x)
+        | [] -> (
+            match List.rev state.back with
+            | [] -> (state, Empty)
+            | x :: front -> ({ front; back = [] }, Deqd x)))
+end
+
+module Stack_of_int = struct
+  type state = int list
+  type op = Push of int | Pop
+  type res = Pushed | Popped of int | Empty
+
+  let init = []
+
+  let apply state = function
+    | Push x -> (x :: state, Pushed)
+    | Pop -> (
+        match state with
+        | x :: rest -> (rest, Popped x)
+        | [] -> (state, Empty))
+end
+
+module Ledger = struct
+  (* A bank ledger: the motivating "database synchronization" shape the
+     paper cites for fetch-and-add (Stone), here with multi-account
+     transfers that fetch-and-add cannot express atomically. *)
+  module Accounts = Map.Make (String)
+
+  type state = int Accounts.t
+  type op =
+    | Open of string * int  (* account, opening balance *)
+    | Deposit of string * int
+    | Withdraw of string * int
+    | Transfer of { src : string; dst : string; amount : int }
+    | Balance of string
+
+  type res =
+    | Ok_balance of int
+    | Insufficient
+    | No_such_account
+    | Already_exists
+
+  let init = Accounts.empty
+
+  let apply state = function
+    | Open (name, opening) ->
+        if Accounts.mem name state then (state, Already_exists)
+        else (Accounts.add name opening state, Ok_balance opening)
+    | Deposit (name, amount) -> (
+        match Accounts.find_opt name state with
+        | None -> (state, No_such_account)
+        | Some bal ->
+            let bal = bal + amount in
+            (Accounts.add name bal state, Ok_balance bal))
+    | Withdraw (name, amount) -> (
+        match Accounts.find_opt name state with
+        | None -> (state, No_such_account)
+        | Some bal ->
+            if bal < amount then (state, Insufficient)
+            else (Accounts.add name (bal - amount) state, Ok_balance (bal - amount)))
+    | Transfer { src; dst; amount } -> (
+        match (Accounts.find_opt src state, Accounts.find_opt dst state) with
+        | None, _ | _, None -> (state, No_such_account)
+        | Some s, Some d ->
+            if s < amount then (state, Insufficient)
+            else
+              let state =
+                Accounts.add src (s - amount) (Accounts.add dst (d + amount) state)
+              in
+              (state, Ok_balance (s - amount)))
+    | Balance name -> (
+        match Accounts.find_opt name state with
+        | None -> (state, No_such_account)
+        | Some bal -> (state, Ok_balance bal))
+
+  let total state = Accounts.fold (fun _ v acc -> acc + v) state 0
+end

@@ -1,0 +1,59 @@
+(** Ready-made sequential objects for the runtime universal construction
+    — the data types Corollary 10 proves registers cannot implement
+    wait-free. *)
+
+module Counter : sig
+  type state = int
+  type op = Incr | Decr | Read
+  type res = int
+
+  val init : state
+  val apply : state -> op -> state * res
+end
+
+(** Batched (front/back) FIFO queue with O(1) amortized operations. *)
+module Queue_of_int : sig
+  type state = { front : int list; back : int list }
+  type op = Enq of int | Deq
+  type res = Enqueued | Deqd of int | Empty
+
+  val init : state
+  val apply : state -> op -> state * res
+end
+
+module Stack_of_int : sig
+  type state = int list
+  type op = Push of int | Pop
+  type res = Pushed | Popped of int | Empty
+
+  val init : state
+  val apply : state -> op -> state * res
+end
+
+(** A bank ledger with atomic multi-account transfers — the shape of
+    "database synchronization" the paper cites for fetch-and-add, but
+    beyond fetch-and-add's power. *)
+module Ledger : sig
+  module Accounts : Map.S with type key = string
+
+  type state = int Accounts.t
+
+  type op =
+    | Open of string * int
+    | Deposit of string * int
+    | Withdraw of string * int
+    | Transfer of { src : string; dst : string; amount : int }
+    | Balance of string
+
+  type res =
+    | Ok_balance of int
+    | Insufficient
+    | No_such_account
+    | Already_exists
+
+  val init : state
+  val apply : state -> op -> state * res
+
+  (** Sum of all balances — conserved by transfers. *)
+  val total : state -> int
+end

@@ -1,0 +1,172 @@
+(* The universal construction on real multicore OCaml.
+
+   Given any sequential object (pure [apply] on an immutable state), we
+   build linearizable wait-free/lock-free shared versions of it — the
+   practical payoff of §4: "a machine architecture is powerful enough to
+   support arbitrary wait-free synchronization iff it provides a
+   universal object".  OCaml's [Atomic] provides compare-and-swap, which
+   Theorem 7 places at the top of the hierarchy, so everything below is
+   built from it.
+
+   Three constructions over the same signature:
+
+   - [Lock_free]: the log head is a snapshot node (state + result); an
+     operation replays nothing — it CASes a fresh node carrying the new
+     state.  Lock-free: a loser retries, but some operation always
+     completes.  (This is the paper's fetch-and-cons log with the
+     truncation of §4.1 taken to its limit: every node carries its
+     state, so replay cost is 0.)
+
+   - [Wait_free]: adds announcing and helping: each operation announces
+     its invocation, and every thread helps thread the announced
+     invocation of process (seq mod n) before its own, so a stalled
+     process's operation is completed by its peers within n rounds —
+     strong wait-freedom, following Herlihy's universal construction
+     with per-node one-shot consensus on the successor.
+
+   - [Locked]: the mutex baseline the introduction argues against: a
+     page fault / preemption inside the critical section stalls
+     everyone.  Used by the benchmarks as the comparison point. *)
+
+module type SEQ = sig
+  type state
+  type op
+  type res
+
+  val init : state
+  val apply : state -> op -> state * res
+end
+
+module type S = sig
+  type t
+  type op
+  type res
+
+  val create : unit -> t
+  val apply : t -> op -> res
+end
+
+module Lock_free (Seq : SEQ) = struct
+  type op = Seq.op
+  type res = Seq.res
+
+  type node = { state : Seq.state; result : Seq.res option; length : int }
+
+  type t = node Atomic.t
+
+  let create () =
+    Atomic.make { state = Seq.init; result = None; length = 0 }
+
+  let rec apply t op =
+    let head = Atomic.get t in
+    let state, result = Seq.apply head.state op in
+    let node = { state; result = Some result; length = head.length + 1 } in
+    if Atomic.compare_and_set t head node then result else apply t op
+
+  let length t = (Atomic.get t).length
+  let read t = (Atomic.get t).state
+end
+
+module Wait_free (Seq : SEQ) = struct
+  type op = Seq.op
+  type res = Seq.res
+
+  (* A log node.  [decide_next] is a one-shot consensus object on the
+     successor: whoever wins threads their invocation after this node.
+     [seq] is 0 until the node is threaded; helpers then fill [seq],
+     [state] and [result] with identical values (wrapped in Atomic to
+     stay race-free under the OCaml memory model). *)
+  type node = {
+    invoc : (int * int * Seq.op) option; (* pid, ticket, op; None = sentinel *)
+    decide_next : node Consensus_rt.One_shot.t;
+    seq : int Atomic.t;
+    state : Seq.state Atomic.t;
+    result : Seq.res option Atomic.t;
+  }
+
+  type t = {
+    n : int;
+    announce : node Atomic.t array;
+    head : node Atomic.t array;  (* per-process view of the latest node *)
+    sentinel : node;
+  }
+
+  let fresh_node invoc =
+    {
+      invoc;
+      decide_next = Consensus_rt.One_shot.make ();
+      seq = Atomic.make 0;
+      state = Atomic.make Seq.init;
+      result = Atomic.make None;
+    }
+
+  let create ~n =
+    let sentinel = fresh_node None in
+    Atomic.set sentinel.seq 1;
+    {
+      n;
+      announce = Array.init n (fun _ -> Atomic.make sentinel);
+      head = Array.init n (fun _ -> Atomic.make sentinel);
+      sentinel;
+    }
+
+  (* the highest-sequence node any process has published *)
+  let max_head t =
+    let best = ref (Atomic.get t.head.(0)) in
+    for i = 1 to t.n - 1 do
+      let h = Atomic.get t.head.(i) in
+      if Atomic.get h.seq > Atomic.get !best.seq then best := h
+    done;
+    !best
+
+  let tickets = Atomic.make 0
+
+  (* Herlihy's wait-free universal algorithm: announce, then repeatedly
+     thread the preferred node after the current head — helping the
+     announced operation of process (seq mod n) first — until our own
+     node is threaded. *)
+  let apply t ~pid op =
+    let ticket = Atomic.fetch_and_add tickets 1 in
+    let mine = fresh_node (Some (pid, ticket, op)) in
+    Atomic.set t.announce.(pid) mine;
+    Atomic.set t.head.(pid) (max_head t);
+    while Atomic.get mine.seq = 0 do
+      let before = Atomic.get t.head.(pid) in
+      let help = Atomic.get t.announce.(Atomic.get before.seq mod t.n) in
+      let prefer = if Atomic.get help.seq = 0 then help else mine in
+      let after = Consensus_rt.One_shot.decide before.decide_next prefer in
+      (* fill in the threaded node's fields (idempotent: every helper
+         computes the same values) *)
+      (match after.invoc with
+      | Some (_, _, threaded_op) ->
+          let state', res = Seq.apply (Atomic.get before.state) threaded_op in
+          Atomic.set after.state state';
+          Atomic.set after.result (Some res)
+      | None -> ());
+      Atomic.set after.seq (Atomic.get before.seq + 1);
+      Atomic.set t.head.(pid) after
+    done;
+    Option.get (Atomic.get mine.result)
+end
+
+module Locked (Seq : SEQ) = struct
+  type op = Seq.op
+  type res = Seq.res
+
+  type t = { mutex : Mutex.t; mutable state : Seq.state }
+
+  let create () = { mutex = Mutex.create (); state = Seq.init }
+
+  let apply t op =
+    Mutex.lock t.mutex;
+    let state, result = Seq.apply t.state op in
+    t.state <- state;
+    Mutex.unlock t.mutex;
+    result
+
+  let read t =
+    Mutex.lock t.mutex;
+    let state = t.state in
+    Mutex.unlock t.mutex;
+    state
+end

@@ -1,0 +1,64 @@
+(** The universal construction on multicore OCaml: any sequential object
+    made linearizable and lock-free / wait-free from compare-and-swap
+    (§4, Theorem 26's practical payoff). *)
+
+module type SEQ = sig
+  type state
+  type op
+  type res
+
+  val init : state
+  val apply : state -> op -> state * res
+end
+
+module type S = sig
+  type t
+  type op
+  type res
+
+  val create : unit -> t
+  val apply : t -> op -> res
+end
+
+(** Snapshot-node CAS log: zero replay, lock-free. *)
+module Lock_free (Seq : SEQ) : sig
+  type t
+  type op = Seq.op
+  type res = Seq.res
+
+  val create : unit -> t
+  val apply : t -> op -> res
+
+  (** Number of operations applied so far. *)
+  val length : t -> int
+
+  (** Current abstract state (linearizes at the read of the head). *)
+  val read : t -> Seq.state
+end
+
+(** Announce-and-help universal object (Herlihy): every operation
+    completes within a bounded number of rounds even if its process
+    stalls — strongly wait-free. *)
+module Wait_free (Seq : SEQ) : sig
+  type t
+  type op = Seq.op
+  type res = Seq.res
+
+  val create : n:int -> t
+
+  (** [apply t ~pid op]; [pid] must be in [0..n-1] and unique per
+      concurrent caller. *)
+  val apply : t -> pid:int -> op -> res
+end
+
+(** Mutex baseline — the locking discipline the paper's introduction
+    argues against. *)
+module Locked (Seq : SEQ) : sig
+  type t
+  type op = Seq.op
+  type res = Seq.res
+
+  val create : unit -> t
+  val apply : t -> op -> res
+  val read : t -> Seq.state
+end

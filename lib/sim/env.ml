@@ -1,0 +1,62 @@
+(* Shared-object environments.
+
+   An environment is a fixed set of named objects, each given by its
+   sequential specification.  The environment state is the vector of
+   object states, kept in the declaration order so it can be encoded as a
+   single [Value.t] and used in hash keys by the explorer.
+
+   Applying an operation is atomic — the linearizable-object reduction
+   the paper performs in all its proofs. *)
+
+open Wfs_spec
+
+type t = { specs : (string * Object_spec.t) array }
+
+type state = Value.t array
+
+let make bindings =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) ->
+      if Hashtbl.mem seen name then
+        invalid_arg (Fmt.str "Env.make: duplicate object %S" name);
+      Hashtbl.replace seen name ())
+    bindings;
+  { specs = Array.of_list bindings }
+
+let names t = Array.to_list (Array.map fst t.specs)
+
+let specs t = Array.to_list t.specs
+
+let init t : state = Array.map (fun (_, spec) -> spec.Object_spec.init) t.specs
+
+let index t obj =
+  let rec go i =
+    if i >= Array.length t.specs then
+      invalid_arg (Fmt.str "Env: unknown object %S" obj)
+    else if String.equal (fst t.specs.(i)) obj then i
+    else go (i + 1)
+  in
+  go 0
+
+let spec t obj = snd t.specs.(index t obj)
+
+let get (state : state) t obj = state.(index t obj)
+
+(* [apply t state obj op] applies [op] atomically, returning the new
+   environment state (a fresh array) and the result. *)
+let apply t (state : state) obj op =
+  let i = index t obj in
+  let _, spec = t.specs.(i) in
+  let obj_state', result = Object_spec.apply spec state.(i) op in
+  let state' = Array.copy state in
+  state'.(i) <- obj_state';
+  (state', result)
+
+let encode (state : state) = Value.list (Array.to_list state)
+
+let pp_state t ppf (state : state) =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(
+      list ~sep:cut (fun ppf (name, v) -> Fmt.pf ppf "%s = %a" name Value.pp v))
+    (List.mapi (fun i (name, _) -> (name, state.(i))) (Array.to_list t.specs))

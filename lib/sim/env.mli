@@ -1,0 +1,28 @@
+(** Shared-object environments: a fixed set of named linearizable objects,
+    each applied atomically from its sequential specification. *)
+
+open Wfs_spec
+
+type t
+
+(** Environment state: the vector of object states in declaration order. *)
+type state = Value.t array
+
+(** [make bindings] builds an environment; raises [Invalid_argument] on
+    duplicate names. *)
+val make : (string * Object_spec.t) list -> t
+
+val names : t -> string list
+val specs : t -> (string * Object_spec.t) list
+val spec : t -> string -> Object_spec.t
+val init : t -> state
+val get : state -> t -> string -> Value.t
+
+(** [apply t state obj op] applies [op] to [obj] atomically; returns the
+    new environment state (fresh array) and the operation's result. *)
+val apply : t -> state -> string -> Op.t -> state * Value.t
+
+(** Encode a state as a single hashable value. *)
+val encode : state -> Value.t
+
+val pp_state : t -> state Fmt.t

@@ -1,0 +1,209 @@
+(* Exhaustive interleaving exploration.
+
+   The adversarial scheduler of the wait-free model is universally
+   quantified; for protocols with finite reachable state spaces we can
+   quantify literally, by depth-first search over "which undecided process
+   takes the next atomic step".
+
+   Joint protocol states — local states, decisions, environment state,
+   plus the set of processes that have taken at least one step (needed for
+   the paper's validity condition) — are encoded as values and memoized.
+
+   Wait-freedom on a finite state graph is exactly acyclicity: an infinite
+   execution must revisit a joint state, and every edge is a step of an
+   undecided process, so a reachable cycle is precisely a schedule on
+   which some process runs forever without deciding.  Conversely in a DAG
+   every execution reaches a terminal state, and the longest-path bound
+   gives the strong-wait-freedom step bound of §2.4. *)
+
+open Wfs_spec
+
+type config = { procs : Process.t array; env : Env.t }
+
+type node = {
+  locals : Value.t array;
+  decided : Value.t option array;
+  env_state : Env.state;
+  stepped : int;  (* bitmask: processes that have taken ≥ 1 step *)
+}
+
+type terminal = {
+  decisions : Value.t array;
+  who_stepped : int;  (* bitmask of processes that took ≥ 1 step *)
+}
+
+type stats = {
+  states : int;  (** distinct joint states visited *)
+  terminals : terminal list;
+      (** deduplicated (decision vector, stepped mask) terminal outcomes *)
+  cyclic : bool;  (** a reachable cycle exists — not wait-free *)
+  stuck : (int * string) option;
+      (** a process raised / had no enabled action *)
+  truncated : bool;  (** state or depth budget exhausted *)
+  invalid_decisions : (int * Value.t) list;
+      (** decide events naming a process that had not yet stepped *)
+  step_bounds : int array option;
+      (** per-process worst-case step counts (longest path), when the
+          graph is acyclic and fully explored *)
+}
+
+let initial config =
+  {
+    locals = Array.map (fun p -> p.Process.init) config.procs;
+    decided = Array.make (Array.length config.procs) None;
+    env_state = Env.init config.env;
+    stepped = 0;
+  }
+
+let key node =
+  Value.list
+    [
+      Value.list (Array.to_list node.locals);
+      Value.list
+        (Array.to_list (Array.map Value.of_option node.decided));
+      Env.encode node.env_state;
+      Value.int node.stepped;
+    ]
+
+let is_terminal node = Array.for_all Option.is_some node.decided
+
+type edge = Decide_edge of Value.t | Op_edge
+
+(* The successors of a node: one per undecided process.  A [Decide]
+   transition is itself a step for scheduling purposes (the DECIDE output
+   event), but does not touch the environment. *)
+let successors_with_edges config node =
+  let n = Array.length config.procs in
+  let rec go pid acc =
+    if pid < 0 then acc
+    else if node.decided.(pid) <> None then go (pid - 1) acc
+    else
+      let proc = config.procs.(pid) in
+      let edge, succ =
+        match Process.action proc node.locals.(pid) with
+        | Process.Decide v ->
+            let decided = Array.copy node.decided in
+            decided.(pid) <- Some v;
+            ( Decide_edge v,
+              { node with decided; stepped = node.stepped lor (1 lsl pid) } )
+        | Process.Invoke { obj; op; next } ->
+            let env_state, res = Env.apply config.env node.env_state obj op in
+            let locals = Array.copy node.locals in
+            locals.(pid) <- next res;
+            ( Op_edge,
+              {
+                node with
+                locals;
+                env_state;
+                stepped = node.stepped lor (1 lsl pid);
+              } )
+      in
+      go (pid - 1) ((pid, edge, succ) :: acc)
+  in
+  go (n - 1) []
+
+let successors config node =
+  List.map (fun (pid, _, succ) -> (pid, succ)) (successors_with_edges config node)
+
+(* Validity of a decision at the moment it is output (§3, partial
+   correctness condition 2, applied to every history prefix): a decision
+   naming P_j requires that P_j has already taken a step, or that P_j is
+   the decider itself (the decide is then P_j's step). *)
+let decision_valid node ~pid v =
+  match v with
+  | Value.Int j ->
+      j = pid || (j >= 0 && node.stepped land (1 lsl j) <> 0)
+  | _ -> false
+
+type color = Gray | Black
+
+let explore ?(max_states = 2_000_000) ?(max_depth = 10_000) config =
+  let colors : (Value.t, color) Hashtbl.t = Hashtbl.create 4096 in
+  let terminals : (Value.t, terminal) Hashtbl.t = Hashtbl.create 64 in
+  let cyclic = ref false in
+  let stuck = ref None in
+  let truncated = ref false in
+  let invalid_decisions = ref [] in
+  let rec dfs node depth =
+    let k = key node in
+    match Hashtbl.find_opt colors k with
+    | Some Gray -> cyclic := true
+    | Some Black -> ()
+    | None ->
+        if Hashtbl.length colors >= max_states || depth >= max_depth then
+          truncated := true
+        else begin
+          Hashtbl.replace colors k Gray;
+          if is_terminal node then begin
+            let decisions = Array.map Option.get node.decided in
+            Hashtbl.replace terminals
+              (Value.pair
+                 (Value.list (Array.to_list decisions))
+                 (Value.int node.stepped))
+              { decisions; who_stepped = node.stepped }
+          end
+          else begin
+            match successors_with_edges config node with
+            | exception Object_spec.Unknown_operation { obj; op } ->
+                stuck :=
+                  Some (-1, Fmt.str "unknown operation %a on %s" Op.pp op obj)
+            | [] ->
+                (* undecided processes but no successor: impossible by
+                   construction, kept for totality *)
+                stuck := Some (-1, "no successor")
+            | succs ->
+                List.iter
+                  (fun (pid, edge, succ) ->
+                    (match edge with
+                    | Decide_edge v when not (decision_valid node ~pid v) ->
+                        if List.length !invalid_decisions < 10 then
+                          invalid_decisions := (pid, v) :: !invalid_decisions
+                    | Decide_edge _ | Op_edge -> ());
+                    dfs succ (depth + 1))
+                  succs
+          end;
+          Hashtbl.replace colors k Black
+        end
+  in
+  dfs (initial config) 0;
+  let acyclic = (not !cyclic) && not !truncated && !stuck = None in
+  (* Longest-path DP for per-process step bounds, only on a fully explored
+     DAG. *)
+  let step_bounds =
+    if not acyclic then None
+    else begin
+      let n = Array.length config.procs in
+      let memo : (Value.t, int array) Hashtbl.t = Hashtbl.create 4096 in
+      let rec bound node =
+        let k = key node in
+        match Hashtbl.find_opt memo k with
+        | Some b -> b
+        | None ->
+            let best = Array.make n 0 in
+            List.iter
+              (fun (pid, succ) ->
+                let sub = bound succ in
+                Array.iteri
+                  (fun p v ->
+                    let v = if p = pid then v + 1 else v in
+                    if v > best.(p) then best.(p) <- v)
+                  sub)
+              (successors config node);
+            Hashtbl.replace memo k best;
+            best
+      in
+      Some (bound (initial config))
+    end
+  in
+  {
+    states = Hashtbl.length colors;
+    terminals = Hashtbl.fold (fun _ d acc -> d :: acc) terminals [];
+    cyclic = !cyclic;
+    stuck = !stuck;
+    truncated = !truncated;
+    invalid_decisions = !invalid_decisions;
+    step_bounds;
+  }
+
+let wait_free stats =
+  (not stats.cyclic) && (not stats.truncated) && stats.stuck = None

@@ -1,0 +1,62 @@
+(** Exhaustive interleaving exploration — the literal universal
+    quantification over the adversarial scheduler, for protocols with
+    finite reachable joint-state spaces.
+
+    On a finite state graph, wait-freedom is acyclicity: a reachable
+    cycle is exactly a schedule on which some undecided process steps
+    forever; on a DAG, the longest-path bound is the strong-wait-freedom
+    step bound of §2.4. *)
+
+open Wfs_spec
+
+type config = { procs : Process.t array; env : Env.t }
+
+type node = {
+  locals : Value.t array;
+  decided : Value.t option array;
+  env_state : Env.state;
+  stepped : int;  (** bitmask of processes that have taken ≥ 1 step *)
+}
+
+type terminal = {
+  decisions : Value.t array;
+  who_stepped : int;  (** bitmask of processes that took ≥ 1 step *)
+}
+
+type stats = {
+  states : int;
+  terminals : terminal list;
+      (** deduplicated (decision vector, stepped-mask) terminal
+          outcomes *)
+  cyclic : bool;
+  stuck : (int * string) option;
+  truncated : bool;
+  invalid_decisions : (int * Value.t) list;
+      (** decide events naming a process that had not yet stepped — the
+          paper's validity condition, checked on every history prefix *)
+  step_bounds : int array option;
+      (** worst-case per-process step counts, when acyclic and fully
+          explored *)
+}
+
+val initial : config -> node
+val key : node -> Value.t
+val is_terminal : node -> bool
+
+type edge = Decide_edge of Value.t | Op_edge
+
+(** Successor relation: one edge per undecided process; a [Decide]
+    transition counts as that process's step. *)
+val successors : config -> node -> (int * node) list
+
+val successors_with_edges : config -> node -> (int * edge * node) list
+
+(** [decision_valid node ~pid v]: deciding [v] in [node] satisfies the
+    paper's validity condition — [v] names the decider or a process that
+    has already stepped. *)
+val decision_valid : node -> pid:int -> Value.t -> bool
+
+val explore : ?max_states:int -> ?max_depth:int -> config -> stats
+
+(** No cycle, nothing stuck, nothing truncated. *)
+val wait_free : stats -> bool

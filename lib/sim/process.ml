@@ -1,0 +1,40 @@
+(* Processes as pure state machines.
+
+   A process is a deterministic function from its local state to its next
+   action: either invoke an operation on a named shared object (supplying
+   a continuation from the response to the new local state) or decide and
+   halt.  Because local states are [Value.t] and the program is pure, a
+   joint protocol state is a hashable value and the exhaustive explorer
+   can memoize over it — the executable counterpart of the paper's
+   I/O-automaton processes.
+
+   The continuation inside [Invoke] must be a pure function of the local
+   state it was created from; the explorer re-derives it by re-running
+   [program] on the stored local state, so closures never enter the state
+   key. *)
+
+open Wfs_spec
+
+type action =
+  | Invoke of { obj : string; op : Op.t; next : Value.t -> Value.t }
+  | Decide of Value.t
+
+type t = { pid : int; init : Value.t; program : Value.t -> action }
+
+let make ~pid ~init program = { pid; init; program }
+
+let action t local = t.program local
+
+(* Common small-step idiom: a numbered program counter paired with
+   auxiliary data.  Helpers for writing protocol processes compactly. *)
+
+let at ?(data = Value.unit) pc = Value.pair (Value.int pc) data
+let pc local = Value.as_int (fst (Value.as_pair local))
+let data local = snd (Value.as_pair local)
+
+let invoke ~obj op next = Invoke { obj; op; next }
+let decide v = Decide v
+
+let pp_action ppf = function
+  | Invoke { obj; op; _ } -> Fmt.pf ppf "invoke %s.%a" obj Op.pp op
+  | Decide v -> Fmt.pf ppf "decide %a" Value.pp v

@@ -1,0 +1,34 @@
+(** Processes as pure state machines — the executable counterpart of the
+    paper's I/O-automaton processes.
+
+    A process maps its local state (a {!Wfs_spec.Value.t}) to its next
+    action: invoke an operation on a named shared object, or decide and
+    halt.  Programs must be pure: the explorer re-derives continuations by
+    re-running [program] on stored local states, which is what makes
+    joint protocol states hashable and exhaustive exploration sound. *)
+
+open Wfs_spec
+
+type action =
+  | Invoke of { obj : string; op : Op.t; next : Value.t -> Value.t }
+      (** invoke [op] on object [obj]; [next response] is the new local
+          state *)
+  | Decide of Value.t  (** output a decision and halt *)
+
+type t = { pid : int; init : Value.t; program : Value.t -> action }
+
+val make : pid:int -> init:Value.t -> (Value.t -> action) -> t
+val action : t -> Value.t -> action
+
+(** {1 Program-counter helpers}
+
+    Protocol processes are usually written as a numbered sequence of
+    steps with auxiliary data: local state [= Pair (Int pc, data)]. *)
+
+val at : ?data:Value.t -> int -> Value.t
+val pc : Value.t -> int
+val data : Value.t -> Value.t
+
+val invoke : obj:string -> Op.t -> (Value.t -> Value.t) -> action
+val decide : Value.t -> action
+val pp_action : action Fmt.t

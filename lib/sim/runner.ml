@@ -1,0 +1,83 @@
+(* Single-schedule execution of a protocol: run the processes under a
+   scheduling policy until every process has decided (or a step budget is
+   exhausted), recording the trace, the induced event history, and the
+   decisions. *)
+
+open Wfs_spec
+
+type step = { pid : int; obj : string; op : Op.t; res : Value.t }
+
+type outcome = {
+  decisions : (int * Value.t) list;  (** pid, decision — in decision order *)
+  trace : step list;  (** atomic steps in execution order *)
+  history : Wfs_history.History.t;  (** the same steps as INVOKE/RESPOND events *)
+  steps_taken : int array;  (** per-process operation count *)
+  completed : bool;  (** all processes decided within the budget *)
+}
+
+exception Stuck of { pid : int; reason : string }
+
+let history_of_trace trace =
+  List.concat_map
+    (fun { pid; obj; op; res } ->
+      [
+        Wfs_history.Event.invoke ~pid ~obj op;
+        Wfs_history.Event.respond ~pid ~obj res;
+      ])
+    trace
+
+let run ?(max_steps = 100_000) ~procs ~env ~schedule () =
+  let n = Array.length procs in
+  let locals = Array.map (fun p -> p.Process.init) procs in
+  let decided = Array.make n None in
+  let steps_taken = Array.make n 0 in
+  let env_state = ref (Env.init env) in
+  let trace = ref [] in
+  let decisions = ref [] in
+  let step_no = ref 0 in
+  let runnable () =
+    List.filter (fun p -> decided.(p) = None) (List.init n Fun.id)
+  in
+  let completed = ref false in
+  (try
+     while not !completed do
+       match runnable () with
+       | [] -> completed := true
+       | runnable_pids ->
+           if !step_no >= max_steps then raise Exit;
+           let pid = schedule ~step:!step_no ~runnable:runnable_pids in
+           if not (List.mem pid runnable_pids) then
+             raise (Stuck { pid; reason = "scheduler chose a decided process" });
+           incr step_no;
+           let proc = procs.(pid) in
+           (match Process.action proc locals.(pid) with
+           | Process.Decide v ->
+               decided.(pid) <- Some v;
+               decisions := (pid, v) :: !decisions
+           | Process.Invoke { obj; op; next } ->
+               let env_state', res = Env.apply env !env_state obj op in
+               env_state := env_state';
+               locals.(pid) <- next res;
+               steps_taken.(pid) <- steps_taken.(pid) + 1;
+               trace := { pid; obj; op; res } :: !trace)
+     done
+   with Exit -> ());
+  let trace = List.rev !trace in
+  {
+    decisions = List.rev !decisions;
+    trace;
+    history = history_of_trace trace;
+    steps_taken;
+    completed = !completed;
+  }
+
+let pp_step ppf { pid; obj; op; res } =
+  Fmt.pf ppf "P%d: %s.%a -> %a" pid obj Op.pp op Value.pp res
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "@[<v>%a@ decisions: %a@]"
+    Fmt.(list ~sep:cut pp_step)
+    o.trace
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (p, v) -> Fmt.pf ppf "P%d=%a" p Value.pp v))
+    o.decisions

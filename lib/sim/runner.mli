@@ -1,0 +1,31 @@
+(** Single-schedule protocol execution: run processes under a scheduling
+    policy, recording trace, event history and decisions. *)
+
+open Wfs_spec
+
+type step = { pid : int; obj : string; op : Op.t; res : Value.t }
+
+type outcome = {
+  decisions : (int * Value.t) list;
+  trace : step list;
+  history : Wfs_history.History.t;
+  steps_taken : int array;
+  completed : bool;
+}
+
+exception Stuck of { pid : int; reason : string }
+
+(** Expand an atomic-step trace into the equivalent INVOKE/RESPOND event
+    history. *)
+val history_of_trace : step list -> Wfs_history.History.t
+
+val run :
+  ?max_steps:int ->
+  procs:Process.t array ->
+  env:Env.t ->
+  schedule:Scheduler.t ->
+  unit ->
+  outcome
+
+val pp_step : step Fmt.t
+val pp_outcome : outcome Fmt.t

@@ -1,0 +1,45 @@
+(* Schedulers: policies for choosing which runnable process steps next.
+
+   The concurrent scheduler of §2.3 relays invocations asynchronously but
+   reliably; operationally, all its freedom is in the interleaving order,
+   which is what a policy below picks.  The exhaustive explorer plays the
+   full adversary instead and does not use these. *)
+
+type t = step:int -> runnable:int list -> int
+
+let round_robin : t =
+ fun ~step ~runnable ->
+  match runnable with
+  | [] -> invalid_arg "Scheduler.round_robin: no runnable process"
+  | _ -> List.nth runnable (step mod List.length runnable)
+
+(* Deterministic splitmix-style PRNG so simulated "random" schedules are
+   reproducible from a seed. *)
+let random ~seed : t =
+  let state = ref (Int64.of_int (seed lxor 0x9e3779b9)) in
+  let next_int bound =
+    state := Int64.add (Int64.mul !state 6364136223846793005L) 1442695040888963407L;
+    let x = Int64.to_int (Int64.shift_right_logical !state 17) in
+    abs x mod bound
+  in
+  fun ~step:_ ~runnable ->
+    match runnable with
+    | [] -> invalid_arg "Scheduler.random: no runnable process"
+    | _ -> List.nth runnable (next_int (List.length runnable))
+
+(* Run one process as long as possible, then the next — the schedule that
+   exhibits the worst case for lock-based objects and that wait-free
+   protocols must survive: a process may be "paused" arbitrarily long. *)
+let sequential : t =
+ fun ~step:_ ~runnable ->
+  match runnable with
+  | [] -> invalid_arg "Scheduler.sequential: no runnable process"
+  | p :: _ -> p
+
+(* Follow an explicit list of pids; after the list is exhausted fall back
+   to round-robin.  Used to replay counterexample schedules. *)
+let of_list pids : t =
+  let arr = Array.of_list pids in
+  fun ~step ~runnable ->
+    if step < Array.length arr && List.mem arr.(step) runnable then arr.(step)
+    else round_robin ~step ~runnable

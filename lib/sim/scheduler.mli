@@ -1,0 +1,19 @@
+(** Scheduling policies for single-run simulation.
+
+    A policy picks which runnable process takes the next atomic step.  The
+    exhaustive explorer quantifies over all policies instead. *)
+
+type t = step:int -> runnable:int list -> int
+
+val round_robin : t
+
+(** Deterministic seeded pseudo-random interleaving. *)
+val random : seed:int -> t
+
+(** Always run the lowest-numbered runnable process to completion first —
+    the "paused adversary" schedule. *)
+val sequential : t
+
+(** Replay an explicit pid list (falling back to round-robin), used for
+    counterexample schedules. *)
+val of_list : int list -> t

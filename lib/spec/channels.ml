@@ -1,0 +1,115 @@
+(* Message channels (§3.1 discussion of Dolev–Dwork–Stockmeyer and §3.3's
+   message-passing architectures).
+
+   Two deterministic channel objects:
+
+   - [fifo_point_to_point]: per-(sender, receiver) FIFO delivery; receive
+     is total and returns "none" when no message is waiting.  Cannot solve
+     2-process consensus (DDS; reproduced by the bounded solver).
+
+   - [ordered_broadcast]: a single global totally-ordered log; every
+     process reads the log in the same order via a private cursor.  This
+     DOES solve n-process consensus (the paper quotes the DDS result that
+     broadcast with ordered delivery solves consensus): everyone
+     broadcasts its input and decides on the first message in the log. *)
+
+let send ~target msg = Op.make "send" (Value.pair (Value.int target) msg)
+let recv ~me = Op.make "recv" (Value.int me)
+let broadcast msg = Op.make "broadcast" msg
+let next ~me = Op.make "next" (Value.int me)
+
+let no_message = Value.none
+
+(* State: per-receiver FIFO queues, as a list indexed by receiver id. *)
+let fifo_point_to_point ?(name = "fifo-channel") ~processes ~messages () =
+  let init = Value.list (List.init processes (fun _ -> Value.list [])) in
+  let apply state op =
+    let queues = Value.as_list state in
+    let check p =
+      if p < 0 || p >= processes then
+        raise (Object_spec.Unknown_operation { obj = name; op })
+    in
+    match Op.name op with
+    | "send" ->
+        let target, msg = Value.as_pair (Op.arg op) in
+        let target = Value.as_int target in
+        check target;
+        let queues' =
+          List.mapi
+            (fun i q ->
+              if i = target then Value.list (Value.as_list q @ [ msg ]) else q)
+            queues
+        in
+        (Value.list queues', Value.unit)
+    | "recv" ->
+        let me = Value.as_int (Op.arg op) in
+        check me;
+        let inbox = Value.as_list (List.nth queues me) in
+        (match inbox with
+        | [] -> (state, no_message)
+        | msg :: rest ->
+            let queues' =
+              List.mapi
+                (fun i q -> if i = me then Value.list rest else q)
+                queues
+            in
+            (Value.list queues', Value.some msg))
+    | _ -> raise (Object_spec.Unknown_operation { obj = name; op })
+  in
+  let targets = List.init processes Fun.id in
+  let menu =
+    List.map (fun p -> recv ~me:p) targets
+    @ List.concat_map
+        (fun target -> List.map (fun m -> send ~target m) messages)
+        targets
+  in
+  (* a receive endpoint belongs to its process: "a message, unlike a
+     queue item, is addressed to a particular process" *)
+  let owner op =
+    match Op.name op with
+    | "recv" -> Some (Value.as_int (Op.arg op))
+    | _ -> None
+  in
+  Object_spec.with_owner owner (Object_spec.make ~name ~init ~apply ~menu)
+
+(* State: Pair (log, cursors) where [log] is the global totally-ordered
+   message sequence and [cursors] records how far each process has read. *)
+let ordered_broadcast ?(name = "ordered-broadcast") ~processes ~messages () =
+  let init =
+    Value.pair (Value.list [])
+      (Value.list (List.init processes (fun _ -> Value.int 0)))
+  in
+  let apply state op =
+    let log, cursors = Value.as_pair state in
+    let entries = Value.as_list log in
+    match Op.name op with
+    | "broadcast" ->
+        ( Value.pair (Value.list (entries @ [ Op.arg op ])) cursors,
+          Value.unit )
+    | "next" ->
+        let me = Value.as_int (Op.arg op) in
+        if me < 0 || me >= processes then
+          raise (Object_spec.Unknown_operation { obj = name; op });
+        let positions = Value.as_list cursors in
+        let pos = Value.as_int (List.nth positions me) in
+        if pos >= List.length entries then (state, no_message)
+        else
+          let msg = List.nth entries pos in
+          let positions' =
+            List.mapi
+              (fun i c -> if i = me then Value.int (pos + 1) else c)
+              positions
+          in
+          (Value.pair log (Value.list positions'), Value.some msg)
+    | _ -> raise (Object_spec.Unknown_operation { obj = name; op })
+  in
+  let menu =
+    List.init processes (fun p -> next ~me:p)
+    @ List.map broadcast messages
+  in
+  let owner op =
+    match Op.name op with
+    | "next" -> Some (Value.as_int (Op.arg op))
+    | _ -> None
+  in
+  Object_spec.with_owner owner (Object_spec.make ~name ~init ~apply ~menu)

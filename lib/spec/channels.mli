@@ -1,0 +1,38 @@
+(** Message channels (§3.1, §3.3).
+
+    Deterministic models of the two ends of the Dolev–Dwork–Stockmeyer
+    spectrum discussed in the paper:
+
+    - point-to-point FIFO channels, which cannot solve 2-process
+      consensus;
+    - broadcast with totally-ordered delivery, which solves n-process
+      consensus.
+
+    Receives are total: they return {!no_message} instead of blocking. *)
+
+(** Result of a receive with nothing to deliver. *)
+val no_message : Value.t
+
+(** {1 Invocation builders} *)
+
+val send : target:int -> Value.t -> Op.t
+val recv : me:int -> Op.t
+val broadcast : Value.t -> Op.t
+
+(** [next ~me] reads the next log entry not yet seen by process [me]. *)
+val next : me:int -> Op.t
+
+(** {1 Objects} *)
+
+(** Per-(sender, receiver) FIFO delivery; a message is addressed to one
+    receiver, unlike a queue item (the distinction the paper draws after
+    Theorem 11). *)
+val fifo_point_to_point :
+  ?name:string -> processes:int -> messages:Value.t list -> unit ->
+  Object_spec.t
+
+(** Single global totally-ordered broadcast log with per-process read
+    cursors. *)
+val ordered_broadcast :
+  ?name:string -> processes:int -> messages:Value.t list -> unit ->
+  Object_spec.t

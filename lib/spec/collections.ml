@@ -1,0 +1,60 @@
+(* Set and list objects (§3.3 mentions sets and lists among the types that
+   solve 2-process consensus but not 3).  The set keeps its elements
+   sorted so states are canonical; remove is made deterministic by always
+   removing the least element, the paper's own suggestion (§4.1: implement
+   a non-deterministic remove by a deterministic choice). *)
+
+let insert x = Op.make "insert" x
+let remove = Op.nullary "remove"
+let remove_elt x = Op.make "remove-elt" x
+let member x = Op.make "member" x
+let size = Op.nullary "size"
+
+let empty_result = Value.str "empty"
+
+let set ?(name = "set") ?(initial = []) ~elements () =
+  let canonical vs = List.sort_uniq Value.compare vs in
+  let apply state op =
+    let contents = Value.as_list state in
+    match Op.name op with
+    | "insert" ->
+        let x = Op.arg op in
+        let present = List.exists (Value.equal x) contents in
+        (Value.list (canonical (x :: contents)), Value.bool (not present))
+    | "remove" -> (
+        (* Deterministic choice: remove the least element. *)
+        match contents with
+        | [] -> (state, empty_result)
+        | x :: rest -> (Value.list rest, x))
+    | "remove-elt" ->
+        let x = Op.arg op in
+        let present = List.exists (Value.equal x) contents in
+        let rest = List.filter (fun y -> not (Value.equal x y)) contents in
+        (Value.list rest, Value.bool present)
+    | "member" ->
+        (state, Value.bool (List.exists (Value.equal (Op.arg op)) contents))
+    | "size" -> (state, Value.int (List.length contents))
+    | _ -> raise (Object_spec.Unknown_operation { obj = name; op })
+  in
+  let menu =
+    remove :: List.concat_map (fun x -> [ insert x; member x ]) elements
+  in
+  Object_spec.make ~name ~init:(Value.list (canonical initial)) ~apply ~menu
+
+(* A shared counter: increment/decrement/read.  Increment returns the new
+   value, making concurrent increments observably ordered. *)
+let counter ?(name = "counter") ?(init = 0) () =
+  let apply state op =
+    let n = Value.as_int state in
+    match Op.name op with
+    | "incr" -> (Value.int (n + 1), Value.int (n + 1))
+    | "decr" -> (Value.int (n - 1), Value.int (n - 1))
+    | "read" -> (state, state)
+    | _ -> raise (Object_spec.Unknown_operation { obj = name; op })
+  in
+  let menu = [ Op.nullary "incr"; Op.nullary "decr"; Op.nullary "read" ] in
+  Object_spec.make ~name ~init:(Value.int init) ~apply ~menu
+
+let incr = Op.nullary "incr"
+let decr = Op.nullary "decr"
+let read = Op.nullary "read"

@@ -1,0 +1,33 @@
+(** Set and counter objects.
+
+    The set's state is kept sorted so equal abstract sets have equal
+    representations; its argumentless [remove] is made deterministic by
+    removing the least element (the paper's own recipe for implementing a
+    non-deterministic operation with a deterministic choice, §4.1). *)
+
+val empty_result : Value.t
+
+(** {1 Invocation builders} *)
+
+val insert : Value.t -> Op.t
+
+(** Remove the least element (deterministic non-specific remove). *)
+val remove : Op.t
+
+(** Remove a specific element; result says whether it was present. *)
+val remove_elt : Value.t -> Op.t
+
+val member : Value.t -> Op.t
+val size : Op.t
+val incr : Op.t
+val decr : Op.t
+val read : Op.t
+
+(** {1 Objects} *)
+
+val set :
+  ?name:string -> ?initial:Value.t list -> elements:Value.t list -> unit ->
+  Object_spec.t
+
+(** Shared counter whose [incr]/[decr] return the new value. *)
+val counter : ?name:string -> ?init:int -> unit -> Object_spec.t

@@ -1,0 +1,54 @@
+(* The abstract consensus object of §4.2.
+
+   A single-shot agreement object: the first [decide v] "sticks" and every
+   decide — including the first — returns the stuck value.  The paper's
+   universal construction (Figure 4-5) consumes an unbounded array
+   [consensus[k]] of these; [array ~rounds] models a finite prefix of it. *)
+
+let decide v = Op.make "decide" v
+
+let single ?(name = "consensus-object") ~values () =
+  let apply state op =
+    match Op.name op with
+    | "decide" -> (
+        match Value.to_option state with
+        | Some winner -> (state, winner)
+        | None ->
+            let v = Op.arg op in
+            (Value.some v, v))
+    | _ -> raise (Object_spec.Unknown_operation { obj = name; op })
+  in
+  let menu = List.map decide values in
+  Object_spec.make ~name ~init:Value.none ~apply ~menu
+
+(* [decide_round k v]: join round [k] with input [v]. *)
+let decide_round k v = Op.make "decide" (Value.pair (Value.int k) v)
+
+(* An array of single-shot consensus objects indexed 0..rounds-1, as one
+   composite object; state is the list of per-round outcomes. *)
+let array ?(name = "consensus-array") ~rounds ~values () =
+  let init = Value.list (List.init rounds (fun _ -> Value.none)) in
+  let apply state op =
+    match Op.name op with
+    | "decide" ->
+        let kv, v = Value.as_pair (Op.arg op) in
+        let k = Value.as_int kv in
+        if k < 0 || k >= rounds then
+          raise (Object_spec.Unknown_operation { obj = name; op });
+        let cells = Value.as_list state in
+        let cell = List.nth cells k in
+        (match Value.to_option cell with
+        | Some winner -> (state, winner)
+        | None ->
+            let cells' =
+              List.mapi (fun i c -> if i = k then Value.some v else c) cells
+            in
+            (Value.list cells', v))
+    | _ -> raise (Object_spec.Unknown_operation { obj = name; op })
+  in
+  let menu =
+    List.concat_map
+      (fun k -> List.map (fun v -> decide_round k v) values)
+      (List.init rounds Fun.id)
+  in
+  Object_spec.make ~name ~init ~apply ~menu

@@ -1,0 +1,16 @@
+(** Abstract single-shot consensus objects (§4.2).
+
+    The first [decide v] sticks; every decide returns the stuck value.
+    {!array} models a finite prefix of the unbounded [consensus[k]] array
+    consumed by the Figure 4-5 universal construction. *)
+
+val decide : Value.t -> Op.t
+
+(** [decide_round k v] joins round [k] of a consensus {!array} with input
+    [v]. *)
+val decide_round : int -> Value.t -> Op.t
+
+val single : ?name:string -> values:Value.t list -> unit -> Object_spec.t
+
+val array :
+  ?name:string -> rounds:int -> values:Value.t list -> unit -> Object_spec.t

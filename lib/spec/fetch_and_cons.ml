@@ -1,0 +1,36 @@
+(* The fetch-and-cons list object (§4.1).
+
+   A list whose only destructive operation, fetch-and-cons, atomically
+   (1) places an item at the head and (2) returns the list of items that
+   followed the new item — i.e. the previous contents.  The universal
+   construction threads an operation log through exactly this object.
+
+   Non-destructive list operations (car, cdr, null) are provided for
+   completeness, as the paper mentions "the usual operations". *)
+
+let fetch_and_cons x = Op.make "fetch-and-cons" x
+let car = Op.nullary "car"
+let cdr = Op.nullary "cdr"
+let null = Op.nullary "null"
+
+let empty_result = Value.str "empty"
+
+let list_object ?(name = "fetch-and-cons") ?(initial = []) ~items () =
+  let apply state op =
+    let contents = Value.as_list state in
+    match Op.name op with
+    | "fetch-and-cons" ->
+        (Value.list (Op.arg op :: contents), Value.list contents)
+    | "car" -> (
+        match contents with
+        | [] -> (state, empty_result)
+        | x :: _ -> (state, x))
+    | "cdr" -> (
+        match contents with
+        | [] -> (state, empty_result)
+        | _ :: rest -> (state, Value.list rest))
+    | "null" -> (state, Value.bool (contents = []))
+    | _ -> raise (Object_spec.Unknown_operation { obj = name; op })
+  in
+  let menu = car :: null :: List.map fetch_and_cons items in
+  Object_spec.make ~name ~init:(Value.list initial) ~apply ~menu

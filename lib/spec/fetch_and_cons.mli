@@ -1,0 +1,16 @@
+(** The fetch-and-cons list object (§4.1).
+
+    [fetch-and-cons x] atomically threads [x] onto the head of the list
+    and returns the items that follow it — the heart of the paper's first
+    universal construction.  The read-only list operations [car], [cdr]
+    and [null] are also provided. *)
+
+val fetch_and_cons : Value.t -> Op.t
+val car : Op.t
+val cdr : Op.t
+val null : Op.t
+val empty_result : Value.t
+
+val list_object :
+  ?name:string -> ?initial:Value.t list -> items:Value.t list -> unit ->
+  Object_spec.t

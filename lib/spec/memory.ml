@@ -1,0 +1,139 @@
+(* Memory-to-memory operations (§3.5) and atomic multi-register assignment
+   (§3.6).
+
+   The paper treats these as operations over a *collection* of registers;
+   we model the collection as a single composite object whose state is the
+   vector of register contents.  This is faithful: the operations are
+   atomic across the collection, and modelling them on one composite
+   object is exactly what "memory-to-memory" means. *)
+
+let read i = Op.make "read" (Value.int i)
+let write i v = Op.make "write" (Value.pair (Value.int i) v)
+
+(* move(src, dst): atomically copy the contents of register [src] into
+   register [dst] (Theorem 15's protocol relies on exactly this
+   direction: Decide_2 does move(r2, r1) then reads r1). *)
+let move ~src ~dst = Op.make "move" (Value.pair (Value.int src) (Value.int dst))
+
+(* swap(i, j): atomically exchange the contents of two registers
+   (Theorem 16; distinct from the read-modify-write swap, which exchanges
+   a register with a private value — see the paper's footnote 3). *)
+let swap i j = Op.make "swap" (Value.pair (Value.int i) (Value.int j))
+
+(* assign [(i1,v1); ...]: atomic multi-register assignment (§3.6). *)
+let assign bindings =
+  Op.make "assign"
+    (Value.list
+       (List.map (fun (i, v) -> Value.pair (Value.int i) v) bindings))
+
+let get vec i = List.nth vec i
+
+let set vec i v = List.mapi (fun j x -> if j = i then v else x) vec
+
+(* [memory ~size ~init values] builds a register file of [size] registers.
+   [init] gives per-register initial contents (padded with ⊥); [values]
+   is the write domain used for the menu.  [ops] selects which operation
+   families are exposed, so "registers + move" and "registers + swap" are
+   distinct object types in the hierarchy. *)
+type family = Read | Write | Move | Swap | Assign
+
+let memory ?(name = "memory") ?(ops = [ Read; Write; Move; Swap; Assign ])
+    ~size ~init values =
+  let initial =
+    List.init size (fun i ->
+        match List.nth_opt init i with Some v -> v | None -> Value.bottom)
+  in
+  let has fam = List.mem fam ops in
+  let apply state op =
+    let vec = Value.as_list state in
+    let check i =
+      if i < 0 || i >= size then
+        raise (Object_spec.Unknown_operation { obj = name; op })
+    in
+    match Op.name op with
+    | "read" when has Read ->
+        let i = Value.as_int (Op.arg op) in
+        check i;
+        (state, get vec i)
+    | "write" when has Write ->
+        let iv, v = Value.as_pair (Op.arg op) in
+        let i = Value.as_int iv in
+        check i;
+        (Value.list (set vec i v), Value.unit)
+    | "move" when has Move ->
+        let src, dst = Value.as_pair (Op.arg op) in
+        let src = Value.as_int src and dst = Value.as_int dst in
+        check src;
+        check dst;
+        (Value.list (set vec dst (get vec src)), Value.unit)
+    | "swap" when has Swap ->
+        let i, j = Value.as_pair (Op.arg op) in
+        let i = Value.as_int i and j = Value.as_int j in
+        check i;
+        check j;
+        let a = get vec i and b = get vec j in
+        (Value.list (set (set vec i b) j a), Value.unit)
+    | "assign" when has Assign ->
+        let bindings = Value.as_list (Op.arg op) in
+        let vec' =
+          List.fold_left
+            (fun acc binding ->
+              let iv, v = Value.as_pair binding in
+              let i = Value.as_int iv in
+              check i;
+              set acc i v)
+            vec bindings
+        in
+        (Value.list vec', Value.unit)
+    | _ -> raise (Object_spec.Unknown_operation { obj = name; op })
+  in
+  let indices = List.init size Fun.id in
+  let menu_for = function
+    | Read -> List.map read indices
+    | Write ->
+        List.concat_map
+          (fun i -> List.map (fun v -> write i v) values)
+          indices
+    | Move ->
+        List.concat_map
+          (fun src ->
+            List.filter_map
+              (fun dst -> if src = dst then None else Some (move ~src ~dst))
+              indices)
+          indices
+    | Swap ->
+        List.concat_map
+          (fun i ->
+            List.filter_map
+              (fun j -> if i < j then Some (swap i j) else None)
+              indices)
+          indices
+    | Assign ->
+        (* Menu: single- and pairwise assignments of each value; full
+           n-way assignments are built by protocols directly. *)
+        List.concat_map
+          (fun v ->
+            List.map (fun i -> assign [ (i, v) ]) indices
+            @ List.concat_map
+                (fun i ->
+                  List.filter_map
+                    (fun j ->
+                      if i < j then Some (assign [ (i, v); (j, v) ]) else None)
+                    indices)
+                indices)
+          values
+  in
+  let menu = List.concat_map menu_for ops in
+  Object_spec.make ~name ~init:(Value.list initial) ~apply ~menu
+
+let with_move ?(name = "memory+move") ~size ~init values =
+  memory ~name ~ops:[ Read; Write; Move ] ~size ~init values
+
+let with_swap ?(name = "memory+swap") ~size ~init values =
+  memory ~name ~ops:[ Read; Write; Swap ] ~size ~init values
+
+(* [n_assignment ~registers ~arity] — read/write registers plus atomic
+   assignment to up to [arity] registers at once (§3.6: n-register
+   assignment solves n-process, indeed (2n-2)-process, consensus). *)
+let n_assignment ?(name = "n-assignment") ~size ~init values =
+  memory ~name ~ops:[ Read; Write; Assign ] ~size ~init values

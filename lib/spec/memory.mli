@@ -1,0 +1,47 @@
+(** Memory-to-memory operations (§3.5) and atomic multi-register
+    assignment (§3.6), modelled as one composite register-file object
+    whose state is the vector of register contents.
+
+    Operation families can be selected per object, so "registers + move",
+    "registers + memory-to-memory swap" and "registers + n-assignment"
+    are distinct object types in the hierarchy of Figure 1-1. *)
+
+type family = Read | Write | Move | Swap | Assign
+
+(** {1 Invocation builders} *)
+
+val read : int -> Op.t
+val write : int -> Value.t -> Op.t
+
+(** [move ~src ~dst] atomically copies register [src] into [dst]
+    (Theorem 15). *)
+val move : src:int -> dst:int -> Op.t
+
+(** [swap i j] atomically exchanges registers [i] and [j] (Theorem 16 —
+    distinct from the RMW swap, cf. the paper's footnote 3). *)
+val swap : int -> int -> Op.t
+
+(** [assign bindings] atomically writes every [(register, value)] pair
+    (§3.6 multi-register assignment). *)
+val assign : (int * Value.t) list -> Op.t
+
+(** {1 Objects} *)
+
+(** [memory ~size ~init values] is a register file of [size] registers
+    with initial contents [init] (padded with ⊥) and write domain
+    [values], exposing the listed operation families. *)
+val memory :
+  ?name:string -> ?ops:family list -> size:int -> init:Value.t list ->
+  Value.t list -> Object_spec.t
+
+val with_move :
+  ?name:string -> size:int -> init:Value.t list -> Value.t list ->
+  Object_spec.t
+
+val with_swap :
+  ?name:string -> size:int -> init:Value.t list -> Value.t list ->
+  Object_spec.t
+
+val n_assignment :
+  ?name:string -> size:int -> init:Value.t list -> Value.t list ->
+  Object_spec.t

@@ -1,0 +1,84 @@
+(* Sequential object specifications.
+
+   An object is specified exactly as in §2.2 of the paper: a set of states,
+   a distinguished initial state, and total deterministic operations given
+   by pre/postconditions — here, by a pure [apply] function from state and
+   invocation to new state and result.  Linearizable concurrent objects in
+   the simulator are obtained by applying [apply] atomically. *)
+
+exception Unknown_operation of { obj : string; op : Value.t }
+
+type t = {
+  name : string;
+  init : Value.t;
+  apply : Value.t -> Op.t -> Value.t * Value.t;
+  menu : Op.t list;
+  owner : Op.t -> int option;
+}
+
+let make ~name ~init ~apply ~menu =
+  { name; init; apply; menu; owner = (fun _ -> None) }
+
+(* Attach per-process ownership to some operations. *)
+let with_owner owner t = { t with owner }
+
+(* Menu restricted to what process [pid] may invoke: unowned operations
+   plus those owned by [pid] (e.g. a channel endpoint's receive). *)
+let menu_for t pid =
+  List.filter
+    (fun op -> match t.owner op with None -> true | Some p -> p = pid)
+    t.menu
+
+let unknown t op = raise (Unknown_operation { obj = t.name; op })
+
+let apply t state op = t.apply state op
+
+(* [eval t ops] is the paper's [eval : OP* -> STATE]: the state reached by
+   replaying [ops] from the initial state (§4.1). *)
+let eval t ops =
+  List.fold_left (fun state op -> fst (t.apply state op)) t.init ops
+
+(* [result t state op] is the paper's [apply : OP x STATE -> RES]. *)
+let result t state op = snd (t.apply state op)
+
+(* Check that every menu operation is defined (total) in a given state. *)
+let total_in t state =
+  List.for_all
+    (fun op ->
+      match t.apply state op with
+      | _ -> true
+      | exception Unknown_operation _ -> false)
+    t.menu
+
+(* A deterministic bound on the states reachable through menu operations,
+   used by tests and by the bounded solver to size its search space.
+   Explores breadth-first up to [limit] distinct states. *)
+let reachable_states ?(limit = 10_000) t =
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.replace seen t.init ();
+  Queue.add t.init queue;
+  let rec loop acc =
+    if Queue.is_empty queue || Hashtbl.length seen > limit then List.rev acc
+    else begin
+      let state = Queue.pop queue in
+      List.iter
+        (fun op ->
+          match t.apply state op with
+          | state', _ ->
+              if not (Hashtbl.mem seen state') then begin
+                Hashtbl.replace seen state' ();
+                Queue.add state' queue
+              end
+          | exception Unknown_operation _ -> ())
+        t.menu;
+      loop (state :: acc)
+    end
+  in
+  loop []
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v 2>object %s:@ init = %a@ menu = %a@]" t.name Value.pp
+    t.init
+    Fmt.(list ~sep:(any ", ") Op.pp)
+    t.menu

@@ -1,0 +1,62 @@
+(** Sequential object specifications (§2.2 of the paper).
+
+    An object type is a set of states plus total, deterministic operations.
+    The simulator obtains a linearizable concurrent object from such a
+    specification by applying operations atomically; the universal
+    construction replays them through {!eval}/{!result}. *)
+
+exception Unknown_operation of { obj : string; op : Value.t }
+
+type t = {
+  name : string;  (** human-readable type name, e.g. ["fifo-queue"] *)
+  init : Value.t;  (** initial state *)
+  apply : Value.t -> Op.t -> Value.t * Value.t;
+      (** [apply state op] is [(state', result)].  Must be total on the
+          reachable states for every menu operation, and deterministic.
+          Raises {!Unknown_operation} on invocations outside the type. *)
+  menu : Op.t list;
+      (** a finite menu of concrete invocations used by the exhaustive
+          tools (bounded solver, reachability); protocols may apply
+          operations outside the menu as long as [apply] accepts them. *)
+  owner : Op.t -> int option;
+      (** per-process operations: [Some p] restricts the invocation to
+          process [p] (e.g. a channel endpoint's receive; §3.3 notes a
+          message, unlike a queue item, is addressed to one process).
+          [None] (the default) means any process may invoke it. *)
+}
+
+(** Build an object with no per-process ownership. *)
+val make :
+  name:string ->
+  init:Value.t ->
+  apply:(Value.t -> Op.t -> Value.t * Value.t) ->
+  menu:Op.t list ->
+  t
+
+(** Attach per-process ownership to some operations. *)
+val with_owner : (Op.t -> int option) -> t -> t
+
+(** The menu restricted to what process [pid] may invoke. *)
+val menu_for : t -> int -> Op.t list
+
+(** [unknown t op] raises {!Unknown_operation} for object [t]. *)
+val unknown : t -> Op.t -> 'a
+
+val apply : t -> Value.t -> Op.t -> Value.t * Value.t
+
+(** [eval t ops] is the paper's [eval : OP* → STATE]: the state reached by
+    replaying [ops] left-to-right from [t.init] (§4.1). *)
+val eval : t -> Op.t list -> Value.t
+
+(** [result t state op] is the paper's [apply : OP × STATE → RES]. *)
+val result : t -> Value.t -> Op.t -> Value.t
+
+(** [total_in t state] checks every menu operation is defined in [state]. *)
+val total_in : t -> Value.t -> bool
+
+(** [reachable_states t] enumerates states reachable from [t.init] through
+    menu operations, breadth-first, stopping after [limit] distinct states
+    (default 10000). *)
+val reachable_states : ?limit:int -> t -> Value.t list
+
+val pp : t Fmt.t

@@ -1,0 +1,85 @@
+(* Queue-like objects (§3.3, §3.4): FIFO queue, augmented queue (peek),
+   stack, priority queue.  All operations are total: removing from an
+   empty container returns the distinguished [empty] error value rather
+   than blocking, exactly as the paper requires for total deq. *)
+
+let empty_result = Value.str "empty"
+
+(* Invocation builders shared by the containers. *)
+let enq x = Op.make "enq" x
+let deq = Op.nullary "deq"
+let peek = Op.nullary "peek"
+let push x = Op.make "push" x
+let pop = Op.nullary "pop"
+let insert x = Op.make "insert" x
+let extract_min = Op.nullary "extract-min"
+let min_op = Op.nullary "min"
+
+(* FIFO queue.  State: List of items, head of the queue first.  [initial]
+   pre-loads the queue (the 2-process consensus protocol of Theorem 9
+   starts from the queue [first; second]). *)
+let fifo ?(name = "fifo-queue") ?(initial = []) ~items () =
+  let apply state op =
+    let contents = Value.as_list state in
+    match Op.name op with
+    | "enq" -> (Value.list (contents @ [ Op.arg op ]), Value.unit)
+    | "deq" -> (
+        match contents with
+        | [] -> (state, empty_result)
+        | x :: rest -> (Value.list rest, x))
+    | _ -> raise (Object_spec.Unknown_operation { obj = name; op })
+  in
+  let menu = deq :: List.map enq items in
+  Object_spec.make ~name ~init:(Value.list initial) ~apply ~menu
+
+(* Augmented queue (§3.4): FIFO queue plus [peek], which returns but does
+   not remove the head.  Universal (Theorem 12). *)
+let augmented ?(name = "augmented-queue") ?(initial = []) ~items () =
+  let base = fifo ~name ~initial ~items () in
+  let apply state op =
+    match Op.name op with
+    | "peek" -> (
+        match Value.as_list state with
+        | [] -> (state, empty_result)
+        | x :: _ -> (state, x))
+    | _ -> base.Object_spec.apply state op
+  in
+  Object_spec.make ~name ~init:base.Object_spec.init ~apply
+    ~menu:(peek :: base.Object_spec.menu)
+
+(* LIFO stack.  State: List of items, top first. *)
+let stack ?(name = "stack") ?(initial = []) ~items () =
+  let apply state op =
+    let contents = Value.as_list state in
+    match Op.name op with
+    | "push" -> (Value.list (Op.arg op :: contents), Value.unit)
+    | "pop" -> (
+        match contents with
+        | [] -> (state, empty_result)
+        | x :: rest -> (Value.list rest, x))
+    | _ -> raise (Object_spec.Unknown_operation { obj = name; op })
+  in
+  let menu = pop :: List.map push items in
+  Object_spec.make ~name ~init:(Value.list initial) ~apply ~menu
+
+(* Priority queue over integer keys.  State: sorted List (ascending), so
+   equal states are structurally equal regardless of insertion order;
+   [extract-min] removes and returns the least element. *)
+let priority_queue ?(name = "priority-queue") ?(initial = []) ~keys () =
+  let sort vs = List.sort Value.compare vs in
+  let apply state op =
+    let contents = Value.as_list state in
+    match Op.name op with
+    | "insert" -> (Value.list (sort (Op.arg op :: contents)), Value.unit)
+    | "extract-min" -> (
+        match contents with
+        | [] -> (state, empty_result)
+        | x :: rest -> (Value.list rest, x))
+    | "min" -> (
+        match contents with
+        | [] -> (state, empty_result)
+        | x :: _ -> (state, x))
+    | _ -> raise (Object_spec.Unknown_operation { obj = name; op })
+  in
+  let menu = extract_min :: List.map (fun k -> insert (Value.int k)) keys in
+  Object_spec.make ~name ~init:(Value.list (sort initial)) ~apply ~menu

@@ -1,0 +1,46 @@
+(** Queue-like objects (§3.3–§3.4): FIFO queue, augmented queue with
+    [peek], LIFO stack, and an integer priority queue.
+
+    All removal operations are total — on an empty container they return
+    {!empty_result} instead of blocking, as the paper requires for
+    wait-free interpretation of partial operations. *)
+
+(** Error result returned by [deq]/[pop]/[extract-min]/[peek] on an empty
+    container. *)
+val empty_result : Value.t
+
+(** {1 Invocation builders} *)
+
+val enq : Value.t -> Op.t
+val deq : Op.t
+val peek : Op.t
+val push : Value.t -> Op.t
+val pop : Op.t
+val insert : Value.t -> Op.t
+val extract_min : Op.t
+val min_op : Op.t
+
+(** {1 Objects} *)
+
+(** FIFO queue over the given item domain.  [initial] pre-loads the queue
+    front-first, as used by the Theorem 9 consensus protocol. *)
+val fifo :
+  ?name:string -> ?initial:Value.t list -> items:Value.t list -> unit ->
+  Object_spec.t
+
+(** FIFO queue augmented with [peek] (returns but does not remove the
+    head) — universal for any number of processes (Theorem 12). *)
+val augmented :
+  ?name:string -> ?initial:Value.t list -> items:Value.t list -> unit ->
+  Object_spec.t
+
+(** LIFO stack; [initial] is top-first. *)
+val stack :
+  ?name:string -> ?initial:Value.t list -> items:Value.t list -> unit ->
+  Object_spec.t
+
+(** Priority queue over integer keys with [insert], [extract-min] and a
+    non-destructive [min]. *)
+val priority_queue :
+  ?name:string -> ?initial:Value.t list -> keys:int list -> unit ->
+  Object_spec.t

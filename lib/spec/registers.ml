@@ -1,0 +1,112 @@
+(* Register objects: plain atomic read/write registers and registers
+   augmented with read-modify-write operations (§3.1, §3.2).
+
+   A read-modify-write operation RMW(r, f) atomically replaces the
+   register's contents by [f] of the old contents and returns the old
+   contents.  The classical primitives — test-and-set, swap,
+   compare-and-swap, fetch-and-add — are all instances.
+
+   A plain write is the one exception: it must NOT return the old
+   contents.  A write that reported the previous value would be an atomic
+   swap, which solves 2-process consensus — it would silently break the
+   Theorem 2 impossibility that the solver and tests reproduce. *)
+
+(* A named read-modify-write operation family: [f ~arg state] gives the new
+   register contents.  [returns_old] says whether the caller observes the
+   old contents (true for genuine RMWs and reads) or nothing (writes).
+   [args] lists the concrete arguments included in the menu. *)
+type rmw_op = {
+  rmw_name : string;
+  args : Value.t list;
+  f : arg:Value.t -> Value.t -> Value.t;
+  returns_old : bool;
+}
+
+let read_op =
+  { rmw_name = "read"; args = [ Value.unit ]; f = (fun ~arg:_ s -> s);
+    returns_old = true }
+
+let write_ops values =
+  { rmw_name = "write"; args = values; f = (fun ~arg _ -> arg);
+    returns_old = false }
+
+let test_and_set_op =
+  { rmw_name = "test-and-set"; args = [ Value.unit ];
+    f = (fun ~arg:_ _ -> Value.int 1); returns_old = true }
+
+let swap_op values =
+  { rmw_name = "swap"; args = values; f = (fun ~arg _ -> arg);
+    returns_old = true }
+
+let fetch_and_add_op increments =
+  {
+    rmw_name = "fetch-and-add";
+    args = List.map Value.int increments;
+    f = (fun ~arg s -> Value.int (Value.as_int s + Value.as_int arg));
+    returns_old = true;
+  }
+
+(* compare-and-swap(v, v'): if the current contents equal v they are
+   replaced by v'; the old contents are returned either way (§3.2). *)
+let compare_and_swap_op values =
+  let args =
+    List.concat_map (fun v -> List.map (fun v' -> Value.pair v v') values) values
+  in
+  {
+    rmw_name = "compare-and-swap";
+    args;
+    f =
+      (fun ~arg s ->
+        let expected, replacement = Value.as_pair arg in
+        if Value.equal s expected then replacement else s);
+    returns_old = true;
+  }
+
+(* Build a register object supporting the given RMW families.  The menu is
+   the cartesian product of each family with its argument list. *)
+let rmw_register ~name ~init ops =
+  let apply state op =
+    let opname = Op.name op and arg = Op.arg op in
+    match List.find_opt (fun r -> String.equal r.rmw_name opname) ops with
+    | Some r ->
+        let state' = r.f ~arg state in
+        let result = if r.returns_old then state else Value.unit in
+        (state', result)
+    | None -> raise (Object_spec.Unknown_operation { obj = name; op })
+  in
+  let menu =
+    List.concat_map (fun r -> List.map (fun a -> Op.make r.rmw_name a) r.args) ops
+  in
+  Object_spec.make ~name ~init ~apply ~menu
+
+(* Plain atomic read/write register over the given value domain. *)
+let atomic ?(name = "atomic-register") ~init values =
+  rmw_register ~name ~init [ read_op; write_ops values ]
+
+let test_and_set ?(name = "test-and-set") () =
+  rmw_register ~name ~init:(Value.int 0) [ read_op; test_and_set_op ]
+
+let swap_register ?(name = "swap-register") ~init values =
+  rmw_register ~name ~init [ read_op; swap_op values ]
+
+let fetch_and_add ?(name = "fetch-and-add") ?(increments = [ 1 ]) ~init () =
+  rmw_register ~name ~init:(Value.int init) [ read_op; fetch_and_add_op increments ]
+
+let compare_and_swap ?(name = "compare-and-swap") ~init values =
+  rmw_register ~name ~init [ read_op; compare_and_swap_op values ]
+
+(* A register bundling all the "classically weak" primitives of
+   Corollary 8: read, write, test-and-set, swap, fetch-and-add. *)
+let classical ?(name = "classical-rmw") ~init values =
+  rmw_register ~name ~init
+    [ read_op; write_ops values; test_and_set_op; swap_op values;
+      fetch_and_add_op [ 1 ] ]
+
+(* Convenience builders for the operations themselves. *)
+let read = Op.nullary "read"
+let write v = Op.make "write" v
+let tas = Op.nullary "test-and-set"
+let swap v = Op.make "swap" v
+let faa k = Op.make "fetch-and-add" (Value.int k)
+let cas ~expected ~replacement =
+  Op.make "compare-and-swap" (Value.pair expected replacement)

@@ -1,0 +1,66 @@
+(** Register objects: atomic read/write registers and read-modify-write
+    registers (§3.1–§3.2 of the paper).
+
+    Every register operation here is expressed as a read-modify-write
+    family [RMW(r, f)] — atomically replace the contents by [f](old) and
+    return the old contents — following Kruskal, Rudolph and Snir.  Plain
+    reads and writes are the instances with [f] the identity and a
+    constant function respectively.  Keeping everything in RMW form is
+    what lets {!Wfs_hierarchy.Interference} run the commute/overwrite
+    analysis of Theorem 6 directly on the operation semantics. *)
+
+(** A named RMW family.  [f ~arg state] is the new register contents; the
+    caller receives the old contents iff [returns_old] (true for genuine
+    RMWs and reads; false for plain writes, which must not observe the
+    register — a value-returning write would be a swap and would break
+    Theorem 2).  [args] are the concrete arguments to include in
+    exhaustive menus. *)
+type rmw_op = {
+  rmw_name : string;
+  args : Value.t list;
+  f : arg:Value.t -> Value.t -> Value.t;
+  returns_old : bool;
+}
+
+val read_op : rmw_op
+val write_ops : Value.t list -> rmw_op
+val test_and_set_op : rmw_op
+val swap_op : Value.t list -> rmw_op
+val fetch_and_add_op : int list -> rmw_op
+val compare_and_swap_op : Value.t list -> rmw_op
+
+(** [rmw_register ~name ~init ops] builds a register object supporting the
+    given RMW families; its menu is each family paired with each of its
+    listed arguments. *)
+val rmw_register : name:string -> init:Value.t -> rmw_op list -> Object_spec.t
+
+(** Atomic read/write register over the given writable values. *)
+val atomic : ?name:string -> init:Value.t -> Value.t list -> Object_spec.t
+
+(** Test-and-set register, initial contents [0]; [test-and-set] sets it to
+    [1] and returns the old contents. *)
+val test_and_set : ?name:string -> unit -> Object_spec.t
+
+(** Register with an atomic swap (exchange) operation. *)
+val swap_register : ?name:string -> init:Value.t -> Value.t list -> Object_spec.t
+
+(** Fetch-and-add register over integers. *)
+val fetch_and_add :
+  ?name:string -> ?increments:int list -> init:int -> unit -> Object_spec.t
+
+(** Compare-and-swap register: [cas(v, v')] replaces contents equal to [v]
+    by [v'] and returns the old contents (Theorem 7). *)
+val compare_and_swap : ?name:string -> init:Value.t -> Value.t list -> Object_spec.t
+
+(** A register with all of Corollary 8's weak primitives: read, write,
+    test-and-set, swap, fetch-and-add. *)
+val classical : ?name:string -> init:Value.t -> Value.t list -> Object_spec.t
+
+(** {1 Invocation builders} *)
+
+val read : Op.t
+val write : Value.t -> Op.t
+val tas : Op.t
+val swap : Value.t -> Op.t
+val faa : int -> Op.t
+val cas : expected:Value.t -> replacement:Value.t -> Op.t

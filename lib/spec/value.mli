@@ -1,0 +1,61 @@
+(** Universal value domain for the simulated world.
+
+    Every object state, operation argument and result in the simulation
+    layer ([wfs_sim], [wfs_consensus], [wfs_hierarchy], [wfs_universal])
+    is a {!t}.  One closed, comparable, hashable universe lets the generic
+    tooling — the exhaustive interleaving explorer, the bounded-protocol
+    solver and the linearizability checker — treat protocol and object
+    state uniformly. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | List of t list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** {1 Constructors} *)
+
+val unit : t
+val bool : bool -> t
+val int : int -> t
+val str : string -> t
+val pair : t -> t -> t
+val list : t list -> t
+
+(** {1 Conventional encodings} *)
+
+(** [bottom] is the distinguished "unwritten" value, the paper's ⊥. *)
+val bottom : t
+
+val is_bottom : t -> bool
+
+(** Options are encoded as empty/singleton lists. *)
+
+val none : t
+val some : t -> t
+val to_option : t -> t option
+val of_option : t option -> t
+
+(** Process identifiers, as used for consensus-as-election decisions. *)
+
+val pid : int -> t
+val as_pid : t -> int
+
+(** {1 Destructors} — raise [Invalid_argument] on tag mismatch. *)
+
+val truth : t -> bool
+val as_int : t -> int
+val as_str : t -> string
+val as_pair : t -> t * t
+val as_list : t -> t list
+
+(** {1 Printing} *)
+
+val pp : t Fmt.t
+val show : t -> string

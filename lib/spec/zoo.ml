@@ -1,0 +1,74 @@
+(* The object zoo: one canonical small instance of every object type in
+   Figure 1-1, with the value domains the hierarchy tools explore. *)
+
+let pids n = List.init n Value.pid
+
+(* Small canonical domains.  Hierarchy experiments run with 2-3 processes,
+   so domains of process ids {0,1,2} plus ⊥ suffice. *)
+let small_values = [ Value.bottom; Value.pid 0; Value.pid 1; Value.pid 2 ]
+
+let register () = Registers.atomic ~init:Value.bottom small_values
+let test_and_set () = Registers.test_and_set ()
+let swap_register () = Registers.swap_register ~init:Value.bottom small_values
+let fetch_and_add () = Registers.fetch_and_add ~init:0 ()
+let compare_and_swap () = Registers.compare_and_swap ~init:Value.bottom small_values
+(* The classical combination includes fetch-and-add, so its domain must
+   be integers. *)
+let int_values = [ Value.int 0; Value.int 1; Value.int 2 ]
+let classical () = Registers.classical ~init:(Value.int 0) int_values
+
+let queue () = Queues.fifo ~items:(pids 3) ()
+let augmented_queue () = Queues.augmented ~items:(pids 3) ()
+let stack () = Queues.stack ~items:(pids 3) ()
+let priority_queue () = Queues.priority_queue ~keys:[ 0; 1; 2 ] ()
+let set () = Collections.set ~elements:(pids 3) ()
+let counter () = Collections.counter ()
+
+let memory_move () =
+  Memory.with_move ~size:2 ~init:[ Value.bottom; Value.bottom ] small_values
+
+let memory_swap () =
+  Memory.with_swap ~size:2 ~init:[ Value.bottom; Value.bottom ] small_values
+
+let n_assignment () =
+  Memory.n_assignment ~size:3
+    ~init:[ Value.bottom; Value.bottom; Value.bottom ]
+    small_values
+
+let fifo_channel () =
+  Channels.fifo_point_to_point ~processes:2 ~messages:(pids 2) ()
+
+let ordered_broadcast () =
+  Channels.ordered_broadcast ~processes:2 ~messages:(pids 2) ()
+
+let fetch_and_cons () = Fetch_and_cons.list_object ~items:(pids 3) ()
+let consensus () = Consensus_object.single ~values:(pids 3) ()
+
+(* Every zoo inhabitant, in roughly the order of Figure 1-1. *)
+let all () =
+  [
+    register ();
+    test_and_set ();
+    swap_register ();
+    fetch_and_add ();
+    classical ();
+    queue ();
+    stack ();
+    priority_queue ();
+    set ();
+    counter ();
+    fifo_channel ();
+    n_assignment ();
+    memory_move ();
+    memory_swap ();
+    augmented_queue ();
+    compare_and_swap ();
+    fetch_and_cons ();
+    ordered_broadcast ();
+    consensus ();
+  ]
+
+let find name =
+  match List.find_opt (fun o -> String.equal o.Object_spec.name name) (all ()) with
+  | Some o -> o
+  | None -> invalid_arg (Fmt.str "Zoo.find: unknown object %S" name)

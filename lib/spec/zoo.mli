@@ -1,0 +1,42 @@
+(** Canonical small instances of every object type in Figure 1-1, with the
+    value domains the hierarchy tools explore. *)
+
+(** [pids n] is the list of process-id values [0 .. n-1]. *)
+val pids : int -> Value.t list
+
+(** The default small value domain: ⊥ and three process ids. *)
+val small_values : Value.t list
+
+(** Small integer domain, for objects whose operations need arithmetic. *)
+val int_values : Value.t list
+
+val register : unit -> Object_spec.t
+val test_and_set : unit -> Object_spec.t
+val swap_register : unit -> Object_spec.t
+val fetch_and_add : unit -> Object_spec.t
+val compare_and_swap : unit -> Object_spec.t
+
+(** All of read/write/test-and-set/swap/fetch-and-add on one register
+    (Corollary 8's "classical" combination). *)
+val classical : unit -> Object_spec.t
+
+val queue : unit -> Object_spec.t
+val augmented_queue : unit -> Object_spec.t
+val stack : unit -> Object_spec.t
+val priority_queue : unit -> Object_spec.t
+val set : unit -> Object_spec.t
+val counter : unit -> Object_spec.t
+val memory_move : unit -> Object_spec.t
+val memory_swap : unit -> Object_spec.t
+val n_assignment : unit -> Object_spec.t
+val fifo_channel : unit -> Object_spec.t
+val ordered_broadcast : unit -> Object_spec.t
+val fetch_and_cons : unit -> Object_spec.t
+val consensus : unit -> Object_spec.t
+
+(** Every zoo inhabitant, in roughly the order of Figure 1-1. *)
+val all : unit -> Object_spec.t list
+
+(** Look an object up by its [name]; raises [Invalid_argument] if
+    unknown. *)
+val find : string -> Object_spec.t

@@ -1,0 +1,43 @@
+(** Fetch-and-cons from rounds of n-process consensus (§4.2, Figure 4-5)
+    — the construction behind Theorem 26's universality test. *)
+
+open Wfs_spec
+open Wfs_sim
+
+val regs : string
+val cons : string
+
+(** Result view marker used when an item unexpectedly fails to appear in
+    the winning preference (flagged by verification; never produced in a
+    correct run). *)
+val missing_marker : Value.t
+
+(** Front-end performing one fetch-and-cons per script item; items are
+    tagged (pid, seq).  A process decides the list of (item, returned
+    view) pairs. *)
+val front_end : n:int -> pid:int -> script:Op.t list -> Process.t
+
+(** Consensus rounds provisioned for the given scripts. *)
+val rounds_needed : n:int -> scripts:Op.t list array -> int
+
+val config : scripts:Op.t list array -> Explorer.config
+
+type verification = {
+  ok : bool;
+  states : int;
+  terminals : int;
+  wait_free : bool;
+  failure : string option;
+}
+
+(** Exhaustively check Lemma 24's view coherence (any two views
+    suffix-related), uniqueness of entries, and wait-freedom, over all
+    interleavings. *)
+val verify : ?max_states:int -> scripts:Op.t list array -> unit -> verification
+
+val run :
+  ?max_steps:int -> scripts:Op.t list array -> schedule:Scheduler.t -> unit ->
+  Runner.outcome
+
+(** (pid, item, full view) triples from a completed run. *)
+val views_of_outcome : Runner.outcome -> (int * Value.t * Value.t list) list

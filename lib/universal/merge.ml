@@ -1,0 +1,43 @@
+(* The merge operator (the paper's backslash) of §4.2.
+
+     Λ \ h = h
+     (p • g) \ h = if p ∈ h then g \ h else p • (g \ h)
+
+   [merge ~prefix ~suffix] prepends to [suffix] all entries of [prefix]
+   not already in [suffix], preserving their relative order in [prefix].
+   Entries are compared by value, so the universal construction tags
+   operations with (process, sequence number) to make them unique. *)
+
+open Wfs_spec
+
+let mem x h = List.exists (Value.equal x) h
+
+let rec merge ~prefix ~suffix =
+  match prefix with
+  | [] -> suffix
+  | p :: g ->
+      if mem p suffix then merge ~prefix:g ~suffix
+      else p :: merge ~prefix:g ~suffix
+
+(* [trim list x]: the suffix of [list] strictly after the first
+   occurrence of [x] — 'the items that follow x'.  [None] if x does not
+   occur. *)
+let rec trim list x =
+  match list with
+  | [] -> None
+  | y :: rest -> if Value.equal y x then Some rest else trim rest x
+
+(* [is_suffix a b]: [a] is a suffix of [b] — the coherence relation of
+   Lemma 24's views. *)
+let is_suffix a b =
+  let la = List.length a and lb = List.length b in
+  la <= lb
+  && List.for_all2 Value.equal a
+       (List.filteri (fun i _ -> i >= lb - la) b)
+
+(* [coherent views]: any two views are suffix-related (condition (1) of
+   the §4.2 linearizability criterion). *)
+let coherent views =
+  List.for_all
+    (fun a -> List.for_all (fun b -> is_suffix a b || is_suffix b a) views)
+    views

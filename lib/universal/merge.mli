@@ -1,0 +1,20 @@
+(** The merge operator (the paper's backslash) of §4.2 and the
+    view-coherence relations used by Lemmas 23–25. *)
+
+open Wfs_spec
+
+val mem : Value.t -> Value.t list -> bool
+
+(** [merge ~prefix ~suffix] is the paper's [prefix \ suffix]: prepend to
+    [suffix] every entry of [prefix] not already in it, preserving
+    relative order. *)
+val merge : prefix:Value.t list -> suffix:Value.t list -> Value.t list
+
+(** [trim list x] is the suffix strictly after the first occurrence of
+    [x], if any. *)
+val trim : Value.t list -> Value.t -> Value.t list option
+
+val is_suffix : Value.t list -> Value.t list -> bool
+
+(** Any two views are suffix-related. *)
+val coherent : Value.t list list -> bool

@@ -1,0 +1,60 @@
+(* Log entries and deterministic replay (§4.1).
+
+   The universal construction represents an object's state as the list
+   of invocations applied to it, most recent first.  Entries are tagged
+   with (process, sequence number) so identical operations by different
+   processes — or by the same process at different times — stay
+   distinct.  The strongly-wait-free variant also stores reconstructed
+   *states* in the list; replay stops at the first state entry. *)
+
+open Wfs_spec
+
+type entry = Op of { pid : int; seq : int; op : Op.t } | State of Value.t
+
+let op_entry ~pid ~seq op : Value.t =
+  Value.pair (Value.str "op")
+    (Value.pair (Value.pair (Value.int pid) (Value.int seq)) op)
+
+let state_entry state : Value.t = Value.pair (Value.str "state") state
+
+let decode_entry v : entry =
+  let tag, payload = Value.as_pair v in
+  match Value.as_str tag with
+  | "op" ->
+      let key, op = Value.as_pair payload in
+      let pid, seq = Value.as_pair key in
+      Op { pid = Value.as_int pid; seq = Value.as_int seq; op }
+  | "state" -> State payload
+  | s -> invalid_arg (Fmt.str "Replay.decode_entry: bad tag %S" s)
+
+let entry_op v =
+  match decode_entry v with
+  | Op { op; _ } -> Some op
+  | State _ -> None
+
+(* [reconstruct spec log] walks the log (most recent first) collecting
+   operations until it hits a state entry (or the end, where the initial
+   state applies), then replays forward.  Returns the reconstructed
+   state and the number of operations replayed — the §4.1 replay-cost
+   metric measured by the benchmarks. *)
+let reconstruct (spec : Object_spec.t) (log : Value.t list) =
+  let rec collect acc = function
+    | [] -> (spec.Object_spec.init, acc)
+    | v :: rest -> (
+        match decode_entry v with
+        | Op { op; _ } -> collect (op :: acc) rest
+        | State s -> (s, acc))
+  in
+  let base, ops = collect [] log in
+  let state =
+    List.fold_left (fun st op -> fst (Object_spec.apply spec st op)) base ops
+  in
+  (state, List.length ops)
+
+(* [response spec log op] — the §4.1 two-step execution: the state before
+   [op] is reconstructed from the log of its predecessors, and the
+   result read off [apply]. *)
+let response spec log op =
+  let state, replayed = reconstruct spec log in
+  let state', result = Object_spec.apply spec state op in
+  (result, state', replayed)

@@ -1,0 +1,19 @@
+(** Tagged log entries and deterministic replay (§4.1). *)
+
+open Wfs_spec
+
+type entry = Op of { pid : int; seq : int; op : Op.t } | State of Value.t
+
+val op_entry : pid:int -> seq:int -> Op.t -> Value.t
+val state_entry : Value.t -> Value.t
+val decode_entry : Value.t -> entry
+val entry_op : Value.t -> Op.t option
+
+(** [reconstruct spec log] replays the log (most recent first), starting
+    from the newest state entry (or the initial state).  Returns the
+    state and the number of operations replayed. *)
+val reconstruct : Object_spec.t -> Value.t list -> Value.t * int
+
+(** [response spec log op] is [(result, post_state, replayed)]: the
+    response [op] receives when the log of its predecessors is [log]. *)
+val response : Object_spec.t -> Value.t list -> Op.t -> Value.t * Value.t * int

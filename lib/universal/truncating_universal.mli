@@ -1,0 +1,44 @@
+(** The strongly-wait-free universal construction (§4.1): log entries are
+    operations or states; each front-end truncates its own entry's cdr
+    with the reconstructed state, bounding every replay by n. *)
+
+open Wfs_spec
+open Wfs_sim
+
+val log_name : string
+
+(** The representation object: fetch-and-cons plus destructive
+    [truncate], carrying a ghost (never-truncated) audit log used only
+    for verification. *)
+val log_object : ?name:string -> unit -> Object_spec.t
+
+val fac : Value.t -> Op.t
+val truncate : key:Value.t -> Value.t -> Op.t
+
+val front_end : target:Object_spec.t -> pid:int -> script:Op.t list -> Process.t
+val config : target:Object_spec.t -> scripts:Op.t list array -> Explorer.config
+
+type verification = {
+  ok : bool;
+  states : int;
+  terminals : int;
+  wait_free : bool;
+  max_replay : int;
+  max_visible_ops : int;
+  failure : string option;
+}
+
+(** Exhaustive check over all interleavings: responses match the ghost
+    log's dictation and every replay stays within the n-operation
+    bound. *)
+val verify :
+  ?max_states:int -> target:Object_spec.t -> scripts:Op.t list array -> unit ->
+  verification
+
+val run :
+  ?max_steps:int ->
+  target:Object_spec.t ->
+  scripts:Op.t list array ->
+  schedule:Scheduler.t ->
+  unit ->
+  Runner.outcome

@@ -1,0 +1,407 @@
+(* Exhaustive verification of every consensus protocol in the paper:
+   agreement, validity and wait-freedom over all schedules. *)
+
+open Wfs_spec
+open Wfs_consensus
+
+let check_passes ?max_states name protocol =
+  let report = Protocol.verify ?max_states protocol in
+  Alcotest.(check bool)
+    (Fmt.str "%s: agreement" name)
+    true report.Protocol.agreement;
+  Alcotest.(check bool)
+    (Fmt.str "%s: validity" name)
+    true report.Protocol.validity;
+  Alcotest.(check bool)
+    (Fmt.str "%s: wait-free" name)
+    true report.Protocol.wait_free;
+  Alcotest.(check bool)
+    (Fmt.str "%s: complete exploration" name)
+    true
+    (not report.Protocol.truncated);
+  report
+
+(* --- Theorem 4 --- *)
+
+let test_tas () = ignore (check_passes "tas" (Rmw_consensus.test_and_set ()))
+let test_rmw_swap () = ignore (check_passes "swap" (Rmw_consensus.swap ()))
+
+let test_faa () =
+  ignore (check_passes "fetch-and-add" (Rmw_consensus.fetch_and_add ()))
+
+let test_rmw_generic_nontrivial () =
+  (* any non-identity f admits a protocol: try f(x) = 2x + 1 *)
+  let rmw =
+    {
+      Registers.rmw_name = "weird";
+      args = [ Value.unit ];
+      f = (fun ~arg:_ v -> Value.int ((2 * Value.as_int v) + 1));
+      returns_old = true;
+    }
+  in
+  match Rmw_consensus.protocol ~rmw ~domain:[ Value.int 0 ] () with
+  | Some p -> ignore (check_passes "weird rmw" p)
+  | None -> Alcotest.fail "non-trivial RMW should give a protocol"
+
+let test_rmw_trivial_rejected () =
+  (* the identity (a plain read) gives no witness, hence no protocol *)
+  match
+    Rmw_consensus.protocol ~rmw:Registers.read_op ~domain:Zoo.small_values ()
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "read is trivial; no protocol expected"
+
+(* --- Theorem 7 --- *)
+
+let test_cas_n n () =
+  let report =
+    check_passes
+      (Fmt.str "cas n=%d" n)
+      (Cas_consensus.protocol ~n ())
+  in
+  Alcotest.(check int)
+    "all n decisions possible" n
+    (List.length report.Protocol.decisions_seen)
+
+(* --- Theorem 9 and variations --- *)
+
+let test_queue () = ignore (check_passes "queue" (Queue_consensus.protocol ()))
+let test_stack () = ignore (check_passes "stack" (Queue_consensus.stack ()))
+
+let test_pqueue () =
+  ignore (check_passes "priority queue" (Queue_consensus.priority_queue ()))
+
+let test_set () = ignore (check_passes "set" (Queue_consensus.set ()))
+
+let test_counter () =
+  ignore (check_passes "counter" (Queue_consensus.counter ()))
+
+(* --- Theorem 12 --- *)
+
+let test_aug_queue n () =
+  ignore (check_passes (Fmt.str "augmented queue n=%d" n)
+            (Aug_queue_consensus.protocol ~n ()))
+
+let test_fetch_and_cons n () =
+  ignore (check_passes (Fmt.str "fetch-and-cons n=%d" n)
+            (Aug_queue_consensus.fetch_and_cons ~n ()))
+
+(* --- Theorem 15 --- *)
+
+let test_move_2 () =
+  ignore (check_passes "move (2 proc)" (Move_consensus.two_proc_protocol ()))
+
+let test_move_n n () =
+  ignore (check_passes (Fmt.str "move n=%d" n)
+            (Move_consensus.n_proc_protocol ~n ()))
+
+(* --- Theorem 16 --- *)
+
+let test_mem_swap n () =
+  ignore (check_passes (Fmt.str "memory swap n=%d" n)
+            (Swap_consensus.protocol ~n ()))
+
+(* --- Theorems 19-20 --- *)
+
+let test_assign n () =
+  ignore (check_passes (Fmt.str "assignment n=%d" n)
+            (Assign_consensus.protocol ~n ()))
+
+let test_assign_two_phase n () =
+  ignore (check_passes
+            (Fmt.str "two-phase assignment n=%d (%d procs)" n (2 * (n - 1)))
+            (Assign_consensus.two_phase ~n ()))
+
+(* --- channels --- *)
+
+let test_broadcast n () =
+  ignore (check_passes (Fmt.str "ordered broadcast n=%d" n)
+            (Channel_consensus.protocol ~n ()))
+
+(* --- registry coherence --- *)
+
+let test_registry_builds () =
+  List.iter
+    (fun entry ->
+      match entry.Registry.build ~n:2 with
+      | Some p ->
+          Alcotest.(check int)
+            (Fmt.str "%s: two processes" entry.Registry.key)
+            2 p.Protocol.processes
+      | None -> ())
+    Registry.entries
+
+let test_registry_all_pass_n2 () =
+  List.iter
+    (fun entry ->
+      match entry.Registry.build ~n:2 with
+      | Some p ->
+          ignore (check_passes (Fmt.str "registry %s" entry.Registry.key) p)
+      | None -> ())
+    Registry.entries
+
+let test_registry_find () =
+  let e = Registry.find "cas" in
+  Alcotest.(check string) "found" "Theorem 7" e.Registry.theorem;
+  Alcotest.(check bool) "keys nonempty" true (List.length (Registry.keys ()) > 10)
+
+(* --- negative control: a broken protocol must FAIL verification ---
+   Both processes read the register and decide what they compute locally;
+   reads don't interfere, so agreement must be violated somewhere. *)
+
+let test_broken_protocol_caught () =
+  let open Wfs_sim in
+  let proc ~pid =
+    Process.make ~pid ~init:(Process.at 0) (fun local ->
+        match Process.pc local with
+        | 0 ->
+            Process.invoke ~obj:"r" Registers.read (fun res ->
+                Process.at 1 ~data:res)
+        | 1 ->
+            let v = Process.data local in
+            Process.decide (if Value.is_bottom v then Value.pid pid else v)
+        | _ -> assert false)
+  in
+  let env =
+    Env.make
+      [ ("r", Registers.atomic ~name:"r" ~init:Value.bottom (Zoo.pids 2)) ]
+  in
+  let p =
+    Protocol.make ~name:"broken-read-consensus" ~theorem:"none"
+      ~procs:[| proc ~pid:0; proc ~pid:1 |]
+      ~env
+  in
+  let report = Protocol.verify p in
+  Alcotest.(check bool) "agreement fails" false report.Protocol.agreement
+
+(* Trivial protocol that decides without stepping is invalid. *)
+let test_trivial_protocol_invalid () =
+  let open Wfs_sim in
+  let proc ~pid =
+    Process.make ~pid ~init:(Process.at 0) (fun _ -> Process.decide (Value.pid 0))
+  in
+  let env =
+    Env.make
+      [ ("r", Registers.atomic ~name:"r" ~init:Value.bottom (Zoo.pids 2)) ]
+  in
+  let p =
+    Protocol.make ~name:"predefined-choice" ~theorem:"none"
+      ~procs:[| proc ~pid:0; proc ~pid:1 |]
+      ~env
+  in
+  let report = Protocol.verify p in
+  (* P1 deciding "P0" when P0 never stepped violates the paper's second
+     partial-correctness condition... unless P0 always steps.  Under the
+     schedule where only P1 runs, P0 took no step. *)
+  Alcotest.(check bool) "validity fails" false report.Protocol.validity
+
+(* Every verified protocol also runs to completion on concrete
+   schedules. *)
+let test_protocols_run_once () =
+  List.iter
+    (fun entry ->
+      match entry.Registry.build ~n:2 with
+      | Some p ->
+          List.iter
+            (fun schedule ->
+              let outcome = Protocol.run_once ~schedule p in
+              Alcotest.(check bool)
+                (Fmt.str "%s completes" entry.Registry.key)
+                true outcome.Wfs_sim.Runner.completed;
+              match outcome.Wfs_sim.Runner.decisions with
+              | (_, d) :: rest ->
+                  List.iter
+                    (fun (_, d') ->
+                      Alcotest.(check bool)
+                        (Fmt.str "%s agrees" entry.Registry.key)
+                        true (Value.equal d d'))
+                    rest
+              | [] -> Alcotest.fail "no decisions")
+            [
+              Wfs_sim.Scheduler.round_robin;
+              Wfs_sim.Scheduler.sequential;
+              Wfs_sim.Scheduler.random ~seed:1;
+              Wfs_sim.Scheduler.random ~seed:99;
+            ]
+      | None -> ())
+    Registry.entries
+
+let suite =
+  [
+    ( "consensus.rmw",
+      [
+        Alcotest.test_case "test-and-set (Thm 4)" `Quick test_tas;
+        Alcotest.test_case "swap (Thm 4)" `Quick test_rmw_swap;
+        Alcotest.test_case "fetch-and-add (Thm 4)" `Quick test_faa;
+        Alcotest.test_case "generic non-trivial RMW" `Quick
+          test_rmw_generic_nontrivial;
+        Alcotest.test_case "trivial RMW rejected" `Quick
+          test_rmw_trivial_rejected;
+      ] );
+    ( "consensus.cas",
+      [
+        Alcotest.test_case "n=2 (Thm 7)" `Quick (test_cas_n 2);
+        Alcotest.test_case "n=3 (Thm 7)" `Quick (test_cas_n 3);
+        Alcotest.test_case "n=4 (Thm 7)" `Quick (test_cas_n 4);
+      ] );
+    ( "consensus.containers",
+      [
+        Alcotest.test_case "queue (Thm 9)" `Quick test_queue;
+        Alcotest.test_case "stack" `Quick test_stack;
+        Alcotest.test_case "priority queue" `Quick test_pqueue;
+        Alcotest.test_case "set" `Quick test_set;
+        Alcotest.test_case "counter" `Quick test_counter;
+      ] );
+    ( "consensus.universal-objects",
+      [
+        Alcotest.test_case "augmented queue n=2 (Thm 12)" `Quick
+          (test_aug_queue 2);
+        Alcotest.test_case "augmented queue n=3" `Quick (test_aug_queue 3);
+        Alcotest.test_case "augmented queue n=4" `Quick (test_aug_queue 4);
+        Alcotest.test_case "fetch-and-cons n=2" `Quick (test_fetch_and_cons 2);
+        Alcotest.test_case "fetch-and-cons n=3" `Quick (test_fetch_and_cons 3);
+      ] );
+    ( "consensus.memory",
+      [
+        Alcotest.test_case "move 2-proc (Thm 15)" `Quick test_move_2;
+        Alcotest.test_case "move n=2" `Quick (test_move_n 2);
+        Alcotest.test_case "move n=3" `Quick (test_move_n 3);
+        Alcotest.test_case "memory swap n=2 (Thm 16)" `Quick (test_mem_swap 2);
+        Alcotest.test_case "memory swap n=3" `Quick (test_mem_swap 3);
+      ] );
+    ( "consensus.assignment",
+      [
+        Alcotest.test_case "assignment n=2 (Thm 19)" `Quick (test_assign 2);
+        Alcotest.test_case "assignment n=3 (Thm 19)" `Slow (test_assign 3);
+        Alcotest.test_case "two-phase n=2 (Thm 20)" `Quick
+          (test_assign_two_phase 2);
+      ] );
+    ( "consensus.channels",
+      [
+        Alcotest.test_case "ordered broadcast n=2" `Quick (test_broadcast 2);
+        Alcotest.test_case "ordered broadcast n=3" `Quick (test_broadcast 3);
+      ] );
+    ( "consensus.registry",
+      [
+        Alcotest.test_case "builds" `Quick test_registry_builds;
+        Alcotest.test_case "all pass at n=2" `Slow test_registry_all_pass_n2;
+        Alcotest.test_case "find" `Quick test_registry_find;
+        Alcotest.test_case "run once on schedules" `Quick
+          test_protocols_run_once;
+      ] );
+    ( "consensus.negative",
+      [
+        Alcotest.test_case "broken protocol caught" `Quick
+          test_broken_protocol_caught;
+        Alcotest.test_case "trivial protocol invalid" `Quick
+          test_trivial_protocol_invalid;
+      ] );
+  ]
+
+(* Theorem 20 at n = 3: four processes from 3-register assignment.  The
+   joint state space is too large for exhaustive default-suite checking
+   on this hardware, so we sweep many schedules instead: agreement,
+   validity and completion on every one. *)
+let test_assign_two_phase_n3_schedules () =
+  let p = Assign_consensus.two_phase ~n:3 () in
+  let schedules =
+    Wfs_sim.Scheduler.round_robin :: Wfs_sim.Scheduler.sequential
+    :: List.init 60 (fun seed -> Wfs_sim.Scheduler.random ~seed)
+  in
+  List.iter
+    (fun schedule ->
+      let outcome = Protocol.run_once ~schedule p in
+      Alcotest.(check bool) "completed" true outcome.Wfs_sim.Runner.completed;
+      match outcome.Wfs_sim.Runner.decisions with
+      | (_, d) :: rest ->
+          List.iter
+            (fun (_, d') ->
+              Alcotest.(check bool) "agreement" true (Value.equal d d'))
+            rest;
+          Alcotest.(check bool) "validity: decision is a pid" true
+            (match d with Value.Int j -> j >= 0 && j < 4 | _ -> false)
+      | [] -> Alcotest.fail "no decisions")
+    schedules
+
+let thm20_suite =
+  ( "consensus.assignment.n3",
+    [ Alcotest.test_case "two-phase n=3 (4 procs, 62 schedules)" `Quick
+        test_assign_two_phase_n3_schedules ] )
+
+let suite = suite @ [ thm20_suite ]
+
+(* --- counterexample extraction --- *)
+
+let test_violation_found_and_replays () =
+  let open Wfs_sim in
+  (* the broken read-and-decide protocol again *)
+  let proc ~pid =
+    Process.make ~pid ~init:(Process.at 0) (fun local ->
+        match Process.pc local with
+        | 0 ->
+            Process.invoke ~obj:"r" Registers.read (fun res ->
+                Process.at 1 ~data:res)
+        | 1 ->
+            let v = Process.data local in
+            Process.decide (if Value.is_bottom v then Value.pid pid else v)
+        | _ -> assert false)
+  in
+  let env =
+    Env.make
+      [ ("r", Registers.atomic ~name:"r" ~init:Value.bottom (Zoo.pids 2)) ]
+  in
+  let p =
+    Protocol.make ~name:"broken" ~theorem:"none"
+      ~procs:[| proc ~pid:0; proc ~pid:1 |]
+      ~env
+  in
+  match Protocol.find_violation p with
+  | None -> Alcotest.fail "expected a violation"
+  | Some v ->
+      Alcotest.(check bool) "disagreement" true
+        (v.Protocol.kind = `Disagreement);
+      (* replaying the extracted schedule reproduces the failure *)
+      let outcome =
+        Protocol.run_once ~schedule:(Scheduler.of_list v.Protocol.schedule) p
+      in
+      let ds = List.map snd outcome.Runner.decisions in
+      (match ds with
+      | a :: rest ->
+          Alcotest.(check bool) "decisions disagree on replay" true
+            (List.exists (fun b -> not (Value.equal a b)) rest)
+      | [] -> Alcotest.fail "no decisions on replay")
+
+let test_no_violation_in_correct_protocol () =
+  Alcotest.(check bool) "cas clean" true
+    (Protocol.find_violation (Cas_consensus.protocol ~n:3 ()) = None)
+
+(* --- multi-object solver instances --- *)
+
+let test_solver_multi_object () =
+  let open Wfs_hierarchy in
+  let reg =
+    Registers.atomic ~name:"r" ~init:(Value.int 0) [ Value.int 0; Value.int 1 ]
+  in
+  let tas = Registers.test_and_set ~name:"t" () in
+  let env = Wfs_sim.Env.make [ ("r", reg); ("t", tas) ] in
+  let candidates _pid =
+    List.map (fun op -> ("r", op)) reg.Object_spec.menu
+    @ List.map (fun op -> ("t", op)) tas.Object_spec.menu
+  in
+  let inst = { Solver.env; n = 2; depth = 2; candidates } in
+  (* registers + test-and-set together: solvable (tas carries it) *)
+  match Solver.solve inst with
+  | Solver.Solvable _ -> ()
+  | v -> Alcotest.failf "expected solvable, got %a" Solver.pp_verdict v
+
+let extra_suite =
+  ( "consensus.counterexamples",
+    [
+      Alcotest.test_case "violation found and replays" `Quick
+        test_violation_found_and_replays;
+      Alcotest.test_case "correct protocol clean" `Quick
+        test_no_violation_in_correct_protocol;
+      Alcotest.test_case "multi-object solver" `Quick test_solver_multi_object;
+    ] )
+
+let suite = suite @ [ extra_suite ]

@@ -1,0 +1,535 @@
+(* Multicore runtime: primitives, consensus objects, fetch-and-cons
+   implementations, and the universal construction on real domains. *)
+
+open Wfs_runtime
+module P = Primitives
+
+let domains = 4
+
+(* --- primitives --- *)
+
+let test_tas_single_winner () =
+  let flag = P.Test_and_set.make () in
+  let winners =
+    P.run_domains domains (fun _ -> not (P.Test_and_set.test_and_set flag))
+  in
+  Alcotest.(check int) "exactly one winner" 1
+    (List.length (List.filter Fun.id winners))
+
+let test_faa_counts () =
+  let counter = P.Fetch_and_add.make 0 in
+  let per_domain = 1000 in
+  let olds =
+    P.run_domains domains (fun _ ->
+        List.init per_domain (fun _ -> P.Fetch_and_add.fetch_and_add counter 1))
+  in
+  Alcotest.(check int) "total" (domains * per_domain)
+    (P.Fetch_and_add.read counter);
+  (* every observed old value distinct: faa linearizes *)
+  let all = List.concat olds in
+  Alcotest.(check int) "all distinct" (List.length all)
+    (List.length (List.sort_uniq compare all))
+
+let test_swap_token () =
+  (* one token travels through the register; everyone else gets None *)
+  let reg = P.Swap.make (Some "token") in
+  let got = P.run_domains domains (fun _ -> P.Swap.swap reg None) in
+  Alcotest.(check int) "one token" 1
+    (List.length (List.filter Option.is_some got))
+
+let test_cas_paper_semantics () =
+  let r = P.Cas.make 0 in
+  let old = P.Cas.compare_and_swap r ~expected:0 ~replacement:5 in
+  Alcotest.(check int) "returns old on success" 0 old;
+  let old = P.Cas.compare_and_swap r ~expected:0 ~replacement:9 in
+  Alcotest.(check int) "returns old on failure" 5 old;
+  Alcotest.(check int) "unchanged" 5 (P.Cas.read r)
+
+(* --- consensus --- *)
+
+let test_one_shot_agreement () =
+  for _ = 1 to 50 do
+    let c = Consensus_rt.One_shot.make () in
+    let decisions = P.run_domains domains (fun pid -> Consensus_rt.One_shot.decide c pid) in
+    (match decisions with
+    | d :: rest ->
+        List.iter (fun d' -> Alcotest.(check int) "agreement" d d') rest;
+        (* validity: the decision is one of the participants *)
+        Alcotest.(check bool) "validity" true (d >= 0 && d < domains)
+    | [] -> Alcotest.fail "no decisions");
+    (* the winner's own decision is itself *)
+    let winner = List.hd decisions in
+    Alcotest.(check int) "winner decided itself" winner
+      (List.nth decisions winner)
+  done
+
+let test_tas_two_agreement () =
+  for _ = 1 to 200 do
+    let c = Consensus_rt.Tas_two.make () in
+    match P.run_domains 2 (fun pid -> Consensus_rt.Tas_two.decide c ~pid (100 + pid)) with
+    | [ a; b ] ->
+        Alcotest.(check int) "agreement" a b;
+        Alcotest.(check bool) "validity" true (a = 100 || a = 101)
+    | _ -> Alcotest.fail "expected two decisions"
+  done
+
+let test_unbounded_rounds_independent () =
+  let c = Consensus_rt.Unbounded.make () in
+  Alcotest.(check int) "round 0" 7 (Consensus_rt.Unbounded.decide c ~round:0 7);
+  Alcotest.(check int) "round 100 crosses chunks" 9
+    (Consensus_rt.Unbounded.decide c ~round:100 9);
+  Alcotest.(check int) "round 0 sticks" 7
+    (Consensus_rt.Unbounded.decide c ~round:0 8)
+
+(* --- fetch-and-cons --- *)
+
+let check_fac_chain name fac_run =
+  (* each caller's returned tail must be exactly the final chain's
+     suffix after its own item — i.e. the chain linearizes the calls *)
+  let per_domain = 50 in
+  let results, final =
+    fac_run ~domains ~per_domain
+  in
+  Alcotest.(check int)
+    (name ^ ": chain holds every item")
+    (domains * per_domain) (List.length final);
+  let rec suffix_after x = function
+    | [] -> None
+    | y :: rest -> if x = y then Some rest else suffix_after x rest
+  in
+  List.iter
+    (fun (item, tail) ->
+      match suffix_after item final with
+      | Some expected ->
+          Alcotest.(check bool)
+            (name ^ ": returned tail matches the chain")
+            true (expected = tail)
+      | None -> Alcotest.fail (name ^ ": item missing from chain"))
+    results
+
+let test_cas_fac () =
+  check_fac_chain "cas" (fun ~domains ~per_domain ->
+      let t = Fetch_and_cons_rt.Cas_based.make () in
+      let results =
+        P.run_domains domains (fun pid ->
+            List.init per_domain (fun i ->
+                let item = (pid, i) in
+                (item, Fetch_and_cons_rt.Cas_based.fetch_and_cons t item)))
+      in
+      (List.concat results, Fetch_and_cons_rt.Cas_based.contents t))
+
+let test_swap_fac () =
+  check_fac_chain "swap" (fun ~domains ~per_domain ->
+      let t = Fetch_and_cons_rt.Swap_based.make () in
+      let results =
+        P.run_domains domains (fun pid ->
+            List.init per_domain (fun i ->
+                let item = (pid, i) in
+                (item, Fetch_and_cons_rt.Swap_based.fetch_and_cons t item)))
+      in
+      (List.concat results, Fetch_and_cons_rt.Swap_based.contents t))
+
+let test_rounds_fac_views_coherent () =
+  let n = domains in
+  let t = Fetch_and_cons_rt.Rounds.make ~n ~equal:(fun (a, b) (c, d) -> a = c && b = d) in
+  let per_domain = 10 in
+  let results =
+    P.run_domains n (fun pid ->
+        let h = Fetch_and_cons_rt.Rounds.handle t ~pid in
+        List.init per_domain (fun i ->
+            let item = (pid, i) in
+            (item, item :: Fetch_and_cons_rt.Rounds.fetch_and_cons h item)))
+  in
+  let views = List.map snd (List.concat results) in
+  (* coherence (Lemma 24): any two full views are suffix-related *)
+  let is_suffix a b =
+    let la = List.length a and lb = List.length b in
+    la <= lb && List.filteri (fun i _ -> i >= lb - la) b = a
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "views coherent" true
+            (is_suffix a b || is_suffix b a))
+        views)
+    views;
+  (* all items present in the longest view *)
+  let longest =
+    List.fold_left (fun acc v -> if List.length v > List.length acc then v else acc)
+      [] views
+  in
+  Alcotest.(check int) "longest view has all items" (n * per_domain)
+    (List.length longest)
+
+(* --- universal construction --- *)
+
+module UQ = Universal_rt.Lock_free (Seq_objects.Queue_of_int)
+module WQ = Universal_rt.Wait_free (Seq_objects.Queue_of_int)
+module LQ = Universal_rt.Locked (Seq_objects.Queue_of_int)
+module UC = Universal_rt.Lock_free (Seq_objects.Counter)
+
+let queue_stress name enq deq =
+  (* half the domains enqueue tagged items, half dequeue; conservation:
+     dequeued ⊎ leftover = enqueued, no duplicates *)
+  let per_domain = 200 in
+  let producers = domains / 2 in
+  let consumed = Atomic.make [] in
+  let produced = Atomic.make [] in
+  let note atom x =
+    let rec go () =
+      let old = Atomic.get atom in
+      if not (Atomic.compare_and_set atom old (x :: old)) then go ()
+    in
+    go ()
+  in
+  let results =
+    P.run_domains domains (fun pid ->
+        if pid < producers then
+          for i = 0 to per_domain - 1 do
+            let item = (pid * 1_000_000) + i in
+            enq item;
+            note produced item
+          done
+        else
+          for _ = 0 to per_domain - 1 do
+            match deq () with
+            | Some x -> note consumed x
+            | None -> ()
+          done)
+  in
+  ignore results;
+  (* drain what's left *)
+  let rec drain acc = match deq () with Some x -> drain (x :: acc) | None -> acc in
+  let leftover = drain [] in
+  let consumed = Atomic.get consumed and produced = Atomic.get produced in
+  let sort = List.sort compare in
+  Alcotest.(check (list int))
+    (name ^ ": conservation")
+    (sort produced)
+    (sort (consumed @ leftover));
+  Alcotest.(check int)
+    (name ^ ": no duplicates")
+    (List.length (consumed @ leftover))
+    (List.length (List.sort_uniq compare (consumed @ leftover)))
+
+let test_lock_free_universal_queue () =
+  let q = UQ.create () in
+  queue_stress "lock-free universal queue"
+    (fun x -> ignore (UQ.apply q (Seq_objects.Queue_of_int.Enq x)))
+    (fun () ->
+      match UQ.apply q Seq_objects.Queue_of_int.Deq with
+      | Seq_objects.Queue_of_int.Deqd x -> Some x
+      | Seq_objects.Queue_of_int.Empty -> None
+      | Seq_objects.Queue_of_int.Enqueued -> None)
+
+let test_wait_free_universal_queue () =
+  let q = WQ.create ~n:domains in
+  let pid_key = Domain.DLS.new_key (fun () -> -1) in
+  let apply_with pid op =
+    ignore pid_key;
+    WQ.apply q ~pid op
+  in
+  (* run with explicit pids via run_domains *)
+  let per_domain = 100 in
+  let producers = domains / 2 in
+  let outputs =
+    P.run_domains domains (fun pid ->
+        if pid < producers then
+          List.init per_domain (fun i ->
+              let item = (pid * 1_000_000) + i in
+              ignore (apply_with pid (Seq_objects.Queue_of_int.Enq item));
+              `Produced item)
+        else
+          List.filter_map
+            (fun _ ->
+              match apply_with pid Seq_objects.Queue_of_int.Deq with
+              | Seq_objects.Queue_of_int.Deqd x -> Some (`Consumed x)
+              | _ -> None)
+            (List.init per_domain Fun.id))
+  in
+  let all = List.concat outputs in
+  let produced =
+    List.filter_map (function `Produced x -> Some x | _ -> None) all
+  in
+  let consumed =
+    List.filter_map (function `Consumed x -> Some x | _ -> None) all
+  in
+  (* drain remaining via pid 0 *)
+  let rec drain acc =
+    match WQ.apply q ~pid:0 Seq_objects.Queue_of_int.Deq with
+    | Seq_objects.Queue_of_int.Deqd x -> drain (x :: acc)
+    | _ -> acc
+  in
+  let leftover = drain [] in
+  let sort = List.sort compare in
+  Alcotest.(check (list int)) "wait-free universal queue: conservation"
+    (sort produced)
+    (sort (consumed @ leftover))
+
+let test_locked_universal_queue () =
+  let q = LQ.create () in
+  queue_stress "locked queue baseline"
+    (fun x -> ignore (LQ.apply q (Seq_objects.Queue_of_int.Enq x)))
+    (fun () ->
+      match LQ.apply q Seq_objects.Queue_of_int.Deq with
+      | Seq_objects.Queue_of_int.Deqd x -> Some x
+      | _ -> None)
+
+let test_universal_counter_exact () =
+  let c = UC.create () in
+  let per_domain = 500 in
+  let _ =
+    P.run_domains domains (fun _ ->
+        for _ = 1 to per_domain do
+          ignore (UC.apply c Seq_objects.Counter.Incr)
+        done)
+  in
+  Alcotest.(check int) "exact count" (domains * per_domain)
+    (UC.apply c Seq_objects.Counter.Read)
+
+let test_universal_counter_results_distinct () =
+  (* incr returns the new value; linearizability ⇒ all distinct *)
+  let c = UC.create () in
+  let per_domain = 300 in
+  let results =
+    P.run_domains domains (fun _ ->
+        List.init per_domain (fun _ -> UC.apply c Seq_objects.Counter.Incr))
+  in
+  let all = List.concat results in
+  Alcotest.(check int) "distinct increments" (List.length all)
+    (List.length (List.sort_uniq compare all))
+
+let test_ledger_conservation () =
+  let module UL = Universal_rt.Lock_free (Seq_objects.Ledger) in
+  let l = UL.create () in
+  ignore (UL.apply l (Seq_objects.Ledger.Open ("a", 1000)));
+  ignore (UL.apply l (Seq_objects.Ledger.Open ("b", 1000)));
+  let _ =
+    P.run_domains domains (fun pid ->
+        for i = 1 to 200 do
+          let src, dst = if (pid + i) mod 2 = 0 then ("a", "b") else ("b", "a") in
+          ignore (UL.apply l (Seq_objects.Ledger.Transfer { src; dst; amount = 7 }))
+        done)
+  in
+  Alcotest.(check int) "money conserved" 2000
+    (Seq_objects.Ledger.total (UL.read l))
+
+(* --- baselines --- *)
+
+let test_treiber_stack () =
+  let s = Baselines.Treiber_stack.make () in
+  let per_domain = 200 in
+  let _ =
+    P.run_domains domains (fun pid ->
+        for i = 0 to per_domain - 1 do
+          Baselines.Treiber_stack.push s ((pid * 1000) + i)
+        done)
+  in
+  let rec drain acc =
+    match Baselines.Treiber_stack.pop s with
+    | Some x -> drain (x :: acc)
+    | None -> acc
+  in
+  let all = drain [] in
+  Alcotest.(check int) "all items present" (domains * per_domain)
+    (List.length (List.sort_uniq compare all))
+
+let test_michael_scott_queue () =
+  let q = Baselines.Michael_scott_queue.make () in
+  let per_domain = 200 in
+  let _ =
+    P.run_domains domains (fun pid ->
+        for i = 0 to per_domain - 1 do
+          Baselines.Michael_scott_queue.enqueue q ((pid * 1000) + i)
+        done)
+  in
+  let rec drain acc =
+    match Baselines.Michael_scott_queue.dequeue q with
+    | Some x -> drain (x :: acc)
+    | None -> acc
+  in
+  let all = List.rev (drain []) in
+  Alcotest.(check int) "all items present" (domains * per_domain)
+    (List.length (List.sort_uniq compare all));
+  (* per-producer FIFO: each producer's items come out in order *)
+  for pid = 0 to domains - 1 do
+    let mine = List.filter (fun x -> x / 1000 = pid) all in
+    Alcotest.(check (list int))
+      (Fmt.str "producer %d in order" pid)
+      (List.sort compare mine) mine
+  done
+
+(* --- recorder + linearizability of runtime histories --- *)
+
+let test_runtime_history_linearizable () =
+  let open Wfs_spec in
+  let spec = Collections.counter ~name:"c" () in
+  let c = UC.create () in
+  let recorder = Recorder.create ~capacity:10_000 in
+  let per_domain = 5 in
+  let _ =
+    P.run_domains 3 (fun pid ->
+        for _ = 1 to per_domain do
+          Recorder.invoke recorder ~pid ~obj:"c" Collections.incr;
+          let res = UC.apply c Seq_objects.Counter.Incr in
+          Recorder.respond recorder ~pid ~obj:"c" (Value.int res)
+        done)
+  in
+  let history = Recorder.history recorder in
+  Alcotest.(check bool) "well-formed" true
+    (Wfs_history.History.well_formed history);
+  Alcotest.(check bool) "linearizable" true
+    (Wfs_history.Linearizability.is_linearizable [ ("c", spec) ] history)
+
+let test_locked_queue_history_linearizable () =
+  let open Wfs_spec in
+  let spec = Queues.fifo ~name:"q" ~items:[] () in
+  let q = LQ.create () in
+  let recorder = Recorder.create ~capacity:10_000 in
+  let _ =
+    P.run_domains 3 (fun pid ->
+        for i = 1 to 4 do
+          let item = (pid * 100) + i in
+          Recorder.invoke recorder ~pid ~obj:"q" (Queues.enq (Value.int item));
+          ignore (LQ.apply q (Seq_objects.Queue_of_int.Enq item));
+          Recorder.respond recorder ~pid ~obj:"q" Value.unit;
+          Recorder.invoke recorder ~pid ~obj:"q" Queues.deq;
+          let res =
+            match LQ.apply q Seq_objects.Queue_of_int.Deq with
+            | Seq_objects.Queue_of_int.Deqd x -> Value.int x
+            | _ -> Queues.empty_result
+          in
+          Recorder.respond recorder ~pid ~obj:"q" res
+        done)
+  in
+  let history = Recorder.history recorder in
+  Alcotest.(check bool) "linearizable" true
+    (Wfs_history.Linearizability.is_linearizable [ ("q", spec) ] history)
+
+let suite =
+  [
+    ( "runtime.primitives",
+      [
+        Alcotest.test_case "tas single winner" `Quick test_tas_single_winner;
+        Alcotest.test_case "faa linearizes" `Quick test_faa_counts;
+        Alcotest.test_case "swap token" `Quick test_swap_token;
+        Alcotest.test_case "cas paper semantics" `Quick test_cas_paper_semantics;
+      ] );
+    ( "runtime.consensus",
+      [
+        Alcotest.test_case "one-shot agreement x50" `Quick
+          test_one_shot_agreement;
+        Alcotest.test_case "tas 2-consensus x200" `Quick test_tas_two_agreement;
+        Alcotest.test_case "unbounded rounds" `Quick
+          test_unbounded_rounds_independent;
+      ] );
+    ( "runtime.fetch-and-cons",
+      [
+        Alcotest.test_case "cas-based chains" `Quick test_cas_fac;
+        Alcotest.test_case "swap-based chains (Figs 4-3/4-4)" `Quick
+          test_swap_fac;
+        Alcotest.test_case "rounds-based coherent (Fig 4-5)" `Quick
+          test_rounds_fac_views_coherent;
+      ] );
+    ( "runtime.universal",
+      [
+        Alcotest.test_case "lock-free queue stress" `Quick
+          test_lock_free_universal_queue;
+        Alcotest.test_case "wait-free queue stress" `Quick
+          test_wait_free_universal_queue;
+        Alcotest.test_case "locked queue baseline" `Quick
+          test_locked_universal_queue;
+        Alcotest.test_case "counter exact" `Quick test_universal_counter_exact;
+        Alcotest.test_case "counter increments distinct" `Quick
+          test_universal_counter_results_distinct;
+        Alcotest.test_case "ledger conservation" `Quick
+          test_ledger_conservation;
+      ] );
+    ( "runtime.baselines",
+      [
+        Alcotest.test_case "treiber stack" `Quick test_treiber_stack;
+        Alcotest.test_case "michael-scott queue" `Quick
+          test_michael_scott_queue;
+      ] );
+    ( "runtime.linearizability",
+      [
+        Alcotest.test_case "universal counter history" `Quick
+          test_runtime_history_linearizable;
+        Alcotest.test_case "locked queue history" `Quick
+          test_locked_queue_history_linearizable;
+      ] );
+  ]
+
+(* --- reference-equivalence properties (single domain) ---
+
+   Applied sequentially, each runtime construction must agree exactly
+   with its sequential specification on random operation sequences. *)
+
+let prop_universal_queue_matches_reference =
+  QCheck2.Test.make ~name:"universal queue ≡ sequential reference" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 40) (int_range 0 9))
+    (fun choices ->
+      let module Q = Universal_rt.Lock_free (Seq_objects.Queue_of_int) in
+      let q = Q.create () in
+      let reference = Queue.create () in
+      List.for_all
+        (fun c ->
+          if c < 6 then begin
+            (* enqueue c *)
+            Queue.add c reference;
+            Q.apply q (Seq_objects.Queue_of_int.Enq c)
+            = Seq_objects.Queue_of_int.Enqueued
+          end
+          else
+            let expected =
+              match Queue.take_opt reference with
+              | Some x -> Seq_objects.Queue_of_int.Deqd x
+              | None -> Seq_objects.Queue_of_int.Empty
+            in
+            Q.apply q Seq_objects.Queue_of_int.Deq = expected)
+        choices)
+
+let prop_lamport_queue_matches_reference =
+  QCheck2.Test.make ~name:"lamport queue ≡ bounded fifo reference" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 40) (int_range 0 9))
+    (fun choices ->
+      let q = Lamport_queue.create ~capacity:8 in
+      let reference = Queue.create () in
+      let capacity = Lamport_queue.capacity q in
+      List.for_all
+        (fun c ->
+          if c < 6 then begin
+            let fits = Queue.length reference < capacity in
+            if fits then Queue.add c reference;
+            Lamport_queue.enqueue q c = fits
+          end
+          else Lamport_queue.dequeue q = Queue.take_opt reference)
+        choices)
+
+let prop_ledger_matches_itself_via_locked =
+  QCheck2.Test.make ~name:"lock-free ledger ≡ locked ledger" ~count:150
+    QCheck2.Gen.(list_size (int_range 0 25) (pair (int_range 0 4) (int_range 1 30)))
+    (fun choices ->
+      let module A = Universal_rt.Lock_free (Seq_objects.Ledger) in
+      let module B = Universal_rt.Locked (Seq_objects.Ledger) in
+      let a = A.create () and b = B.create () in
+      let op_of (k, amt) =
+        match k with
+        | 0 -> Seq_objects.Ledger.Open ("x", amt)
+        | 1 -> Seq_objects.Ledger.Deposit ("x", amt)
+        | 2 -> Seq_objects.Ledger.Withdraw ("x", amt)
+        | 3 -> Seq_objects.Ledger.Balance "x"
+        | _ -> Seq_objects.Ledger.Transfer { src = "x"; dst = "x"; amount = amt }
+      in
+      List.for_all (fun c -> A.apply a (op_of c) = B.apply b (op_of c)) choices)
+
+let ref_qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_universal_queue_matches_reference;
+      prop_lamport_queue_matches_reference;
+      prop_ledger_matches_itself_via_locked;
+    ]
+
+let suite = suite @ [ ("runtime.reference-equivalence", ref_qsuite) ]

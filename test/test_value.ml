@@ -1,0 +1,126 @@
+(* Unit and property tests for the universal value domain. *)
+
+open Wfs_spec
+
+let value = Alcotest.testable Value.pp Value.equal
+
+(* A sized qcheck generator for values. *)
+let value_gen =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self size ->
+         let leaf =
+           oneof
+             [
+               return Value.unit;
+               map Value.bool bool;
+               map Value.int (int_range (-10) 10);
+               map Value.str (string_size ~gen:printable (int_range 0 4));
+             ]
+         in
+         if size <= 1 then leaf
+         else
+           oneof
+             [
+               leaf;
+               map2 Value.pair (self (size / 2)) (self (size / 2));
+               map Value.list (list_size (int_range 0 4) (self (size / 4)));
+             ])
+
+let test_constructors () =
+  Alcotest.check value "unit" Value.Unit Value.unit;
+  Alcotest.check value "bool" (Value.Bool true) (Value.bool true);
+  Alcotest.check value "int" (Value.Int 3) (Value.int 3);
+  Alcotest.check value "pair"
+    (Value.Pair (Value.Int 1, Value.Bool false))
+    (Value.pair (Value.int 1) (Value.bool false));
+  Alcotest.check value "list"
+    (Value.List [ Value.Int 1 ])
+    (Value.list [ Value.int 1 ])
+
+let test_option_roundtrip () =
+  Alcotest.check value "none" Value.none (Value.of_option None);
+  Alcotest.check value "some" (Value.some (Value.int 7))
+    (Value.of_option (Some (Value.int 7)));
+  Alcotest.(check (option value))
+    "to_option none" None
+    (Value.to_option Value.none);
+  Alcotest.(check (option value))
+    "to_option some" (Some (Value.int 7))
+    (Value.to_option (Value.some (Value.int 7)))
+
+let test_bottom () =
+  Alcotest.(check bool) "bottom is bottom" true (Value.is_bottom Value.bottom);
+  Alcotest.(check bool) "unit not bottom" false (Value.is_bottom Value.unit);
+  Alcotest.(check bool)
+    "pid 0 not bottom" false
+    (Value.is_bottom (Value.pid 0))
+
+let test_destructors () =
+  Alcotest.(check int) "as_int" 5 (Value.as_int (Value.int 5));
+  Alcotest.(check string) "as_str" "x" (Value.as_str (Value.str "x"));
+  Alcotest.(check bool) "truth" true (Value.truth (Value.bool true));
+  Alcotest.(check int) "as_pid" 3 (Value.as_pid (Value.pid 3));
+  let a, b = Value.as_pair (Value.pair (Value.int 1) (Value.int 2)) in
+  Alcotest.check value "pair fst" (Value.int 1) a;
+  Alcotest.check value "pair snd" (Value.int 2) b;
+  Alcotest.check_raises "as_int on bool"
+    (Invalid_argument "Value.as_int: not an int") (fun () ->
+      ignore (Value.as_int (Value.bool true)))
+
+let test_pid_collision () =
+  (* pids are plain ints by design *)
+  Alcotest.check value "pid = int" (Value.int 2) (Value.pid 2)
+
+let prop_equal_reflexive =
+  QCheck2.Test.make ~name:"Value.equal is reflexive" ~count:500 value_gen
+    (fun v -> Value.equal v v)
+
+let prop_compare_antisym =
+  QCheck2.Test.make ~name:"Value.compare antisymmetric" ~count:500
+    (QCheck2.Gen.pair value_gen value_gen) (fun (a, b) ->
+      let c = Value.compare a b and c' = Value.compare b a in
+      (c = 0 && c' = 0) || (c > 0 && c' < 0) || (c < 0 && c' > 0))
+
+let prop_compare_equal_consistent =
+  QCheck2.Test.make ~name:"compare = 0 iff equal" ~count:500
+    (QCheck2.Gen.pair value_gen value_gen) (fun (a, b) ->
+      Value.equal a b = (Value.compare a b = 0))
+
+let prop_hash_respects_equal =
+  QCheck2.Test.make ~name:"equal values hash equally" ~count:500 value_gen
+    (fun v ->
+      let copy =
+        (* structural copy through a round-trip *)
+        match v with
+        | Value.List vs -> Value.list (List.map Fun.id vs)
+        | other -> other
+      in
+      Value.hash v = Value.hash copy)
+
+let prop_option_roundtrip =
+  QCheck2.Test.make ~name:"of_option/to_option roundtrip" ~count:200 value_gen
+    (fun v -> Value.to_option (Value.of_option (Some v)) = Some v)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_equal_reflexive;
+      prop_compare_antisym;
+      prop_compare_equal_consistent;
+      prop_hash_respects_equal;
+      prop_option_roundtrip;
+    ]
+
+let suite =
+  [
+    ( "value",
+      [
+        Alcotest.test_case "constructors" `Quick test_constructors;
+        Alcotest.test_case "option roundtrip" `Quick test_option_roundtrip;
+        Alcotest.test_case "bottom" `Quick test_bottom;
+        Alcotest.test_case "destructors" `Quick test_destructors;
+        Alcotest.test_case "pid encoding" `Quick test_pid_collision;
+      ] );
+    ("value.properties", qsuite);
+  ]
