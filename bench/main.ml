@@ -17,6 +17,49 @@ open Wfs
 open Bechamel
 open Toolkit
 
+(* ---------- BENCH_results.json accumulation ----------
+
+   Every bechamel row and hand-timed series lands in these refs; the
+   harness writes them as [BENCH_results.json] on exit so the perf
+   trajectory is machine-trackable PR over PR (schema in
+   EXPERIMENTS.md). *)
+
+let ols_rows : (string * float * float) list ref = ref []
+let series_rows : (string * Obs.Json.t) list ref = ref []
+
+let record_ns name ns r2 = ols_rows := (name, ns, r2) :: !ols_rows
+let record_series name json = series_rows := (name, json) :: !series_rows
+
+let write_results path sections_run =
+  let sorted_obj rows =
+    Obs.Json.obj (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+  in
+  let json =
+    Obs.Json.obj
+      [
+        ("schema", Obs.Json.str "wfs-bench/1");
+        ("generated_unix_time", Obs.Json.float (Unix.time ()));
+        ( "sections",
+          Obs.Json.list (List.map Obs.Json.str sections_run) );
+        ( "ns_per_op",
+          sorted_obj
+            (List.map
+               (fun (name, ns, r2) ->
+                 ( name,
+                   Obs.Json.obj
+                     [ ("ns", Obs.Json.float ns); ("r2", Obs.Json.float r2) ]
+                 ))
+               !ols_rows) );
+        ("series", sorted_obj !series_rows);
+        ("metrics", Obs.Metrics.snapshot ());
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.results written to %s@." path
+
 (* ---------- bechamel plumbing ---------- *)
 
 let benchmark_and_print tests =
@@ -38,6 +81,7 @@ let benchmark_and_print tests =
         | Some [] | None -> Float.nan
       in
       let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
+      record_ns name estimate r2;
       Fmt.pr "  %-46s %12.0f ns/op   (r² %.3f)@." name estimate r2)
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
@@ -55,7 +99,13 @@ let fig_1_1 () =
   let table, dt = time_once (fun () -> Table.generate ()) in
   Fmt.pr "%a@." Table.pp table;
   Fmt.pr "@.consistent with the paper: %b   (generated in %.2fs)@."
-    (Table.consistent table) dt
+    (Table.consistent table) dt;
+  record_series "fig1.1"
+    (Obs.Json.obj
+       [
+         ("consistent", Obs.Json.bool (Table.consistent table));
+         ("seconds", Obs.Json.float dt);
+       ])
 
 (* ---------- T2/T6/T11: impossibility proofs by the solver ---------- *)
 
@@ -65,12 +115,20 @@ let impossibility_proofs () =
     let (verdict, nodes), dt =
       time_once (fun () -> Solver.solve_with_stats ?max_nodes inst)
     in
-    Fmt.pr "  %-52s %-12s %9d nodes  %6.2fs@." name
-      (match verdict with
+    let verdict_str =
+      match verdict with
       | Solver.Unsolvable -> "UNSOLVABLE"
       | Solver.Solvable _ -> "solvable"
-      | Solver.Out_of_budget _ -> "budget!")
-      nodes dt
+      | Solver.Out_of_budget _ -> "budget!"
+    in
+    record_series ("impossibility/" ^ name)
+      (Obs.Json.obj
+         [
+           ("verdict", Obs.Json.str verdict_str);
+           ("nodes", Obs.Json.int nodes);
+           ("seconds", Obs.Json.float dt);
+         ]);
+    Fmt.pr "  %-52s %-12s %9d nodes  %6.2fs@." name verdict_str nodes dt
   in
   let reg =
     Registers.atomic ~name:"r" ~init:(Value.int 0) [ Value.int 0; Value.int 1 ]
@@ -111,6 +169,12 @@ let solver_ablation () =
       | Solver.Solvable _ -> "solvable"
       | Solver.Out_of_budget _ -> "budget"
     in
+    record_series ("solver-ablation/" ^ name)
+      (Obs.Json.obj
+         [
+           ("pruned_nodes", Obs.Json.int with_prune);
+           ("unpruned_nodes", Obs.Json.int without);
+         ]);
     Fmt.pr "  %-44s pruned: %9d nodes (%s)   unpruned: %9d nodes (%s)@." name
       with_prune (verdict v1) without (verdict v2)
   in
@@ -216,7 +280,10 @@ let fac_benches () =
   Fmt.pr "  %-46s %12.0f ns/op   (hand-timed, %d ops)@."
     "fac/rounds-based-(Fig 4-5)"
     (dt /. float_of_int ops *. 1e9)
-    ops
+    ops;
+  record_ns "fac/rounds-based-(Fig 4-5)"
+    (dt /. float_of_int ops *. 1e9)
+    Float.nan
 
 (* ---------- U1: universal-object throughput ---------- *)
 
@@ -235,6 +302,13 @@ let universal_throughput () =
                  done)))
     in
     let ops = 2 * domains * per_domain in
+    record_series ("universal-throughput/" ^ name)
+      (Obs.Json.obj
+         [
+           ("ops_per_ms", Obs.Json.float (float_of_int ops /. dt /. 1000.0));
+           ("ops", Obs.Json.int ops);
+           ("seconds", Obs.Json.float dt);
+         ]);
     Fmt.pr "  %-42s %9.0f ops/ms   (%d ops in %.3fs)@." name
       (float_of_int ops /. dt /. 1000.0)
       ops dt
@@ -283,6 +357,14 @@ let consensus_scaling () =
                      ignore (Runtime.Consensus.One_shot.decide cells.(i) pid)
                    done)))
       in
+      record_series
+        (Fmt.str "consensus-scaling/%d-domains" domains)
+        (Obs.Json.obj
+           [
+             ( "consensus_per_ms",
+               Obs.Json.float (float_of_int rounds /. dt /. 1000.0) );
+             ("instances", Obs.Json.int rounds);
+           ]);
       Fmt.pr "  %d domains: %7.0f consensus/ms   (%d instances)@." domains
         (float_of_int rounds /. dt /. 1000.0)
         rounds)
@@ -328,6 +410,13 @@ let replay_cost_series () =
             | _ -> acc)
           0 outcome.Wfs_sim.Runner.decisions
       in
+      record_series
+        (Fmt.str "replay-cost/k-%d" k)
+        (Obs.Json.obj
+           [
+             ("plain_log_ops", Obs.Json.int plain_cost);
+             ("truncating_ops", Obs.Json.int trunc_max);
+           ]);
       Fmt.pr "  %6d %18d %22d@." k plain_cost trunc_max)
     [ 1; 2; 4; 8; 16; 32 ]
 
@@ -353,6 +442,13 @@ let fac_rounds_series () =
              (fun (s : Wfs_sim.Runner.step) -> String.equal s.Wfs_sim.Runner.obj "cons")
              outcome.Wfs_sim.Runner.trace)
       in
+      record_series
+        (Fmt.str "fac-rounds/n-%d" n)
+        (Obs.Json.obj
+           [
+             ("consensus_ops", Obs.Json.int cons_steps);
+             ("bound", Obs.Json.int (n * (n + 1)));
+           ]);
       Fmt.pr
         "  n = %d: %2d consensus-object operations for %d operations (≤ %d \
          per op allowed)@."
@@ -396,7 +492,14 @@ let universal_verification () =
           ())
   in
   Fmt.pr "  Thm 26 composed (consensus→fac→queue): ok=%b  %6d states  (%.2fs)@."
-    v.Composed.ok v.Composed.states dt
+    v.Composed.ok v.Composed.states dt;
+  record_series "universal-verify/thm26-composed"
+    (Obs.Json.obj
+       [
+         ("ok", Obs.Json.bool v.Composed.ok);
+         ("states", Obs.Json.int v.Composed.states);
+         ("seconds", Obs.Json.float dt);
+       ])
 
 (* ---------- F1.1-census: the solver-only hierarchy ---------- *)
 
@@ -406,7 +509,8 @@ let census () =
      (bounded: n=2 ≤2 ops, n=3 ≤1 op; quantified over reachable inits)";
   let results, dt = time_once (fun () -> Census.run ~max_nodes:30_000_000 ()) in
   Fmt.pr "%a@." Census.pp results;
-  Fmt.pr "  (census in %.1fs)@." dt
+  Fmt.pr "  (census in %.1fs)@." dt;
+  record_series "census" (Obs.Json.obj [ ("seconds", Obs.Json.float dt) ])
 
 (* ---------- EXT-1: randomized consensus (§5) ---------- *)
 
@@ -443,6 +547,14 @@ let randomized_series () =
         if d0 = d1 then incr agreements
     | _ -> ()
   done;
+  record_series "randomized/runtime"
+    (Obs.Json.obj
+       [
+         ("trials", Obs.Json.int trials);
+         ("agreements", Obs.Json.int !agreements);
+         ( "mean_flips",
+           Obs.Json.float (float_of_int !total_flips /. float_of_int trials) );
+       ]);
   Fmt.pr
     "  runtime (opposite inputs, %d trials): agreement %d/%d, mean flips \
      per run %.2f@."
@@ -474,6 +586,13 @@ let lamport_queue_bench () =
                    done
                  end)))
     in
+    record_series ("lamport/" ^ name)
+      (Obs.Json.obj
+         [
+           ( "transfers_per_ms",
+             Obs.Json.float (float_of_int items /. dt /. 1000.0) );
+           ("items", Obs.Json.int items);
+         ]);
     Fmt.pr "  %-44s %8.0f transfers/ms@." name
       (float_of_int items /. dt /. 1000.0)
   in
@@ -491,24 +610,54 @@ let lamport_queue_bench () =
     "  (the register-only queue is legal here because there is exactly@.\
   \   one enqueuer and one dequeuer — the boundary drawn by §3.3)@."
 
+(* ---------- entry point ----------
+
+   With no arguments every section runs; positional arguments select a
+   subset (useful in CI and when iterating on one construction).  Either
+   way the harness finishes by writing BENCH_results.json. *)
+
+let sections : (string * (unit -> unit)) list =
+  [
+    ("fig1.1", fig_1_1);
+    ("impossibility", impossibility_proofs);
+    ("solver-ablation", solver_ablation);
+    ("verify", verification_benches);
+    ("primitives", primitive_benches);
+    ("fac", fac_benches);
+    ("universal-throughput", universal_throughput);
+    ("consensus-scaling", consensus_scaling);
+    ("replay-cost", replay_cost_series);
+    ("fac-rounds", fac_rounds_series);
+    ("universal-verify", universal_verification);
+    ("census", census);
+    ("randomized", randomized_series);
+    ("lamport", lamport_queue_bench);
+  ]
+
 let () =
+  let requested =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [] | _ :: rest -> rest
+  in
+  let unknown =
+    List.filter (fun s -> not (List.mem_assoc s sections)) requested
+  in
+  if unknown <> [] then begin
+    Fmt.epr "unknown section(s): %a@.available: %a@."
+      Fmt.(list ~sep:comma string)
+      unknown
+      Fmt.(list ~sep:comma string)
+      (List.map fst sections);
+    exit 2
+  end;
+  let to_run =
+    if requested = [] then sections
+    else List.filter (fun (name, _) -> List.mem name requested) sections
+  in
   Fmt.pr
     "wfs benchmark harness — reproducing Herlihy (PODC 1988)@.\
      hardware note: %d CPU core(s) visible; multi-domain numbers are@.\
      interleaved concurrency, not parallel speedup.@."
     (Domain.recommended_domain_count ());
-  fig_1_1 ();
-  impossibility_proofs ();
-  solver_ablation ();
-  verification_benches ();
-  primitive_benches ();
-  fac_benches ();
-  universal_throughput ();
-  consensus_scaling ();
-  replay_cost_series ();
-  fac_rounds_series ();
-  universal_verification ();
-  census ();
-  randomized_series ();
-  lamport_queue_bench ();
+  List.iter (fun (_, run) -> run ()) to_run;
+  write_results "BENCH_results.json" (List.map fst to_run);
   Fmt.pr "@.done.@."

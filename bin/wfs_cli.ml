@@ -3,13 +3,21 @@
    Subcommands:
      hierarchy   regenerate Figure 1-1 with machine-checked evidence
      verify      exhaustively verify one named consensus protocol
-                 (prints a concrete counterexample schedule on failure)
+                 (prints a concrete counterexample schedule on failure;
+                 --out FILE exports it as a replayable JSON trace)
+     replay      re-execute an exported counterexample deterministically
      solve       run the bounded-protocol solvability solver
      census      measure every zoo object's bounded consensus number
      universal   run a universal-construction object exhaustively
      critical    find a critical (bivalent) state of a protocol
      randomized  check the randomized register-consensus extension
-     zoo         list the object zoo *)
+     stats       run a fixed workload and dump the metrics snapshot
+     zoo         list the object zoo
+
+   Exit codes, uniformly: 0 = checked and passed, 1 = a violation /
+   failed check / exhausted budget, 2 = bad input (unknown protocol,
+   malformed counterexample file); cmdliner keeps its own 124 for
+   command-line parse errors. *)
 
 open Cmdliner
 open Wfs
@@ -47,7 +55,16 @@ let verify_cmd =
   let n =
     Arg.(value & opt int 2 & info [ "n" ] ~doc:"Number of processes.")
   in
-  let run key n =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "On violation, export the counterexample schedule to $(docv) \
+             as replayable JSON (see the replay subcommand).")
+  in
+  let run key n out =
     match (Registry.find key).Registry.build ~n with
     | exception Invalid_argument msg ->
         Fmt.epr "%s@." msg;
@@ -62,15 +79,79 @@ let verify_cmd =
         if Protocol.passed report then 0
         else begin
           (match Protocol.find_violation protocol with
-          | Some v -> Fmt.pr "@.counterexample: %a@." Protocol.pp_violation v
-          | None -> ());
+          | Some v ->
+              Fmt.pr "@.counterexample: %a@." Protocol.pp_violation v;
+              (match out with
+              | Some path ->
+                  Obs.Counterexample.save path
+                    (Protocol.violation_to_counterexample ~protocol:key ~n v);
+                  Fmt.pr "counterexample written to %s@." path
+              | None -> ())
+          | None ->
+              Fmt.pr
+                "@.no schedule-shaped counterexample (failure is a cycle, \
+                 truncation or stuck process)@.");
           1
         end
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Exhaustively verify a consensus protocol over all schedules")
-    Term.(const run $ key $ n)
+    Term.(const run $ key $ n $ out)
+
+(* --- replay --- *)
+
+let replay_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Counterexample JSON written by verify --out.")
+  in
+  let run file =
+    match Obs.Counterexample.load file with
+    | exception Sys_error msg ->
+        Fmt.epr "%s@." msg;
+        2
+    | exception Obs.Json.Parse_error msg ->
+        Fmt.epr "%s: malformed JSON: %s@." file msg;
+        2
+    | exception Invalid_argument msg ->
+        Fmt.epr "%s: %s@." file msg;
+        2
+    | ce -> (
+        Fmt.pr "%a@." Obs.Counterexample.pp ce;
+        match
+          (Registry.find ce.Obs.Counterexample.protocol).Registry.build
+            ~n:ce.Obs.Counterexample.n
+        with
+        | exception Invalid_argument msg ->
+            Fmt.epr "%s@." msg;
+            2
+        | None ->
+            Fmt.epr "%s does not support n = %d@."
+              ce.Obs.Counterexample.protocol ce.Obs.Counterexample.n;
+            2
+        | Some protocol -> (
+            match Protocol.replay_counterexample protocol ce with
+            | Ok v ->
+                Fmt.pr "@.reproduced deterministically: %a@."
+                  Protocol.pp_violation v;
+                0
+            | Error reason ->
+                Fmt.pr "@.NOT reproduced: %s@." reason;
+                1
+            | exception Invalid_argument msg ->
+                Fmt.epr "%s@." msg;
+                2))
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute an exported counterexample schedule deterministically \
+          through the explorer and check the same violation recurs")
+    Term.(const run $ file)
 
 (* --- solve --- *)
 
@@ -243,6 +324,90 @@ let randomized_cmd =
        ~doc:"Exhaustively check the randomized register consensus extension")
     Term.(const run $ flips)
 
+(* --- stats --- *)
+
+let stats_cmd =
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Also write a JSONL trace of the workload to $(docv).")
+  in
+  let run trace_file =
+    (match trace_file with
+    | Some path -> Obs.Trace.set_sink (Obs.Trace.to_file path)
+    | None -> ());
+    Obs.Metrics.reset ();
+    Obs.Metrics.with_hot (fun () ->
+        (* a fixed workload touching every instrumented layer *)
+        (* 1. simulator: CAS consensus at n = 3, all schedules *)
+        (match (Registry.find "cas").Registry.build ~n:3 with
+        | Some p -> ignore (Protocol.verify p)
+        | None -> ());
+        (* 2. valency: critical-state search on the Theorem 4 election *)
+        (match (Registry.find "test-and-set").Registry.build ~n:2 with
+        | Some p -> ignore (Valency.find_critical p.Protocol.config)
+        | None -> ());
+        (* 3. deliberately truncated explorations, one per budget, for
+           the truncation accounting (cas at n = 4 has 217 states and
+           depth > 4) *)
+        (match (Registry.find "cas").Registry.build ~n:4 with
+        | Some p ->
+            ignore (Explorer.explore ~max_states:100 p.Protocol.config);
+            ignore (Explorer.explore ~max_depth:4 p.Protocol.config)
+        | None -> ());
+        (* 4. runtime: universal queue under two domains, fetch-and-cons,
+           and a recorder *)
+        let module QU = Runtime.Universal.Lock_free (Runtime.Seq_objects.Queue_of_int) in
+        let open Runtime.Seq_objects.Queue_of_int in
+        let qu = QU.create () in
+        ignore
+          (Runtime.Primitives.run_domains 2 (fun pid ->
+               for i = 0 to 4_999 do
+                 ignore (QU.apply qu (Enq ((pid * 5_000) + i)));
+                 ignore (QU.apply qu Deq)
+               done));
+        let module QW = Runtime.Universal.Wait_free (Runtime.Seq_objects.Queue_of_int) in
+        let qw = QW.create ~n:2 in
+        ignore
+          (Runtime.Primitives.run_domains 2 (fun pid ->
+               for i = 0 to 499 do
+                 ignore (QW.apply qw ~pid (Enq i));
+                 ignore (QW.apply qw ~pid Deq)
+               done));
+        let fac = Runtime.Fetch_and_cons.Cas_based.make () in
+        for i = 0 to 9_999 do
+          ignore (Runtime.Fetch_and_cons.Cas_based.fetch_and_cons fac i)
+        done;
+        let rounds =
+          Runtime.Fetch_and_cons.Rounds.make ~n:2 ~equal:Int.equal
+        in
+        let h = Runtime.Fetch_and_cons.Rounds.handle rounds ~pid:0 in
+        for i = 0 to 99 do
+          ignore (Runtime.Fetch_and_cons.Rounds.fetch_and_cons h i)
+        done;
+        let recorder = Runtime.Recorder.create ~capacity:1_024 in
+        for pid = 0 to 1 do
+          for i = 0 to 99 do
+            ignore
+              (Runtime.Recorder.around recorder ~pid ~obj:"q"
+                 ~op:(Queues.enq (Value.int i))
+                 ~encode_res:(fun () -> Value.unit)
+                 (fun () -> ()))
+          done
+        done);
+    Obs.Trace.close ();
+    Fmt.pr "%s@." (Obs.Metrics.snapshot_string ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a fixed workload through the instrumented simulator and \
+          runtime, then dump the metrics snapshot as JSON")
+    Term.(const run $ trace_file)
+
 (* --- zoo --- *)
 
 let zoo_cmd =
@@ -263,9 +428,9 @@ let main =
          "Wait-free synchronization: the consensus hierarchy and universal \
           constructions of Herlihy (PODC 1988), executable")
     [
-      hierarchy_cmd; verify_cmd; solve_cmd; universal_cmd; census_cmd;
-      critical_cmd;
-      randomized_cmd; zoo_cmd;
+      hierarchy_cmd; verify_cmd; replay_cmd; solve_cmd; universal_cmd;
+      census_cmd; critical_cmd;
+      randomized_cmd; stats_cmd; zoo_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -126,6 +126,107 @@ let find_violation ?(max_states = 2_000_000) t =
   | () -> None
   | exception Found v -> Some v
 
+(* --- replayable export ---
+
+   A violation plus the registry key and process count is everything
+   needed to re-execute it: the joint-state graph is deterministic given
+   "who steps next". *)
+
+let violation_to_counterexample ~protocol ~n (v : violation) =
+  {
+    Wfs_obs.Counterexample.protocol;
+    n;
+    kind =
+      (match v.kind with
+      | `Disagreement -> Wfs_obs.Counterexample.Disagreement
+      | `Invalid_decision -> Wfs_obs.Counterexample.Invalid_decision);
+    schedule = v.schedule;
+    decisions = v.decisions;
+  }
+
+(* Deterministic re-execution of a schedule through the explorer's
+   successor relation, checking the paper's conditions at each step —
+   the engine behind [wfs replay]. *)
+let replay t ~schedule =
+  let cfg = t.config in
+  let decisions_of (node : Explorer.node) =
+    Array.to_list node.Explorer.decided
+    |> List.mapi (fun pid d -> (pid, d))
+    |> List.filter_map (fun (pid, d) -> Option.map (fun v -> (pid, v)) d)
+  in
+  let rec go node path = function
+    | [] ->
+        if Explorer.is_terminal node then begin
+          let ds = Array.map Option.get node.Explorer.decided in
+          if not (Array.for_all (Value.equal ds.(0)) ds) then
+            Some
+              {
+                kind = `Disagreement;
+                schedule = List.rev path;
+                decisions = decisions_of node;
+              }
+          else None
+        end
+        else None
+    | pid :: rest -> (
+        match
+          List.find_opt
+            (fun (p, _, _) -> p = pid)
+            (Explorer.successors_with_edges cfg node)
+        with
+        | None ->
+            invalid_arg
+              (Fmt.str
+                 "Protocol.replay: process %d cannot step at schedule \
+                  position %d"
+                 pid (List.length path))
+        | Some (_, edge, succ) -> (
+            match edge with
+            | Explorer.Decide_edge v
+              when not (Explorer.decision_valid node ~pid v) ->
+                Some
+                  {
+                    kind = `Invalid_decision;
+                    schedule = List.rev (pid :: path);
+                    decisions = decisions_of succ;
+                  }
+            | Explorer.Decide_edge _ | Explorer.Op_edge ->
+                go succ (pid :: path) rest))
+  in
+  go (Explorer.initial cfg) [] schedule
+
+(* [replay] against a loaded counterexample: does re-executing its
+   schedule reproduce the recorded violation? *)
+let replay_counterexample t (ce : Wfs_obs.Counterexample.t) =
+  match replay t ~schedule:ce.Wfs_obs.Counterexample.schedule with
+  | None -> Error "schedule re-executed without any violation"
+  | Some v ->
+      let kind_matches =
+        match (v.kind, ce.Wfs_obs.Counterexample.kind) with
+        | `Disagreement, Wfs_obs.Counterexample.Disagreement
+        | `Invalid_decision, Wfs_obs.Counterexample.Invalid_decision ->
+            true
+        | _ -> false
+      in
+      let decisions_match =
+        List.length v.decisions
+          = List.length ce.Wfs_obs.Counterexample.decisions
+        && List.for_all2
+             (fun (p, d) (p', d') -> p = p' && Value.equal d d')
+             v.decisions ce.Wfs_obs.Counterexample.decisions
+      in
+      if not kind_matches then
+        Error
+          (Fmt.str "reproduced a %s, but the file records a %s"
+             (match v.kind with
+             | `Disagreement -> "disagreement"
+             | `Invalid_decision -> "invalid decision")
+             (Wfs_obs.Counterexample.kind_to_string
+                ce.Wfs_obs.Counterexample.kind))
+      else if not decisions_match then
+        Error "violation reproduced, but with different decisions"
+      else Ok v
+
 let pp_violation ppf v =
   Fmt.pf ppf "@[<v>%s on schedule [%a]@ decisions: %a@]"
     (match v.kind with

@@ -50,4 +50,23 @@ type violation = {
 val find_violation : ?max_states:int -> t -> violation option
 val pp_violation : violation Fmt.t
 
+(** Package a violation as a replayable on-disk counterexample;
+    [protocol] is the registry key and [n] the process count needed to
+    rebuild the protocol. *)
+val violation_to_counterexample :
+  protocol:string -> n:int -> violation -> Wfs_obs.Counterexample.t
+
+(** Re-execute a schedule deterministically through the explorer's
+    successor relation, checking validity at each decide and agreement
+    at the terminal state.  Returns the violation the schedule exhibits,
+    if any.  Raises [Invalid_argument] if some pid in the schedule
+    cannot step where the schedule says it does. *)
+val replay : t -> schedule:int list -> violation option
+
+(** [replay_counterexample t ce] re-executes [ce]'s schedule and checks
+    that the same violation — kind and decisions — recurs; [Error]
+    explains any divergence. *)
+val replay_counterexample :
+  t -> Wfs_obs.Counterexample.t -> (violation, string) result
+
 val pp_report : report Fmt.t

@@ -173,9 +173,50 @@ let entries : entry list =
     };
   ]
 
+(* --- deliberately broken protocols ---
+
+   Theorem 2 says registers cannot solve 2-process consensus, so any
+   register-only attempt fails on some schedule.  This naive attempt
+   (write your pid, read, decide what you read) is catalogued so
+   [wfs verify] has a protocol whose counterexample schedule can be
+   exported and replayed; it is kept out of {!entries} because the
+   hierarchy table and the tests treat those as sound. *)
+
+let naive_register_protocol ~n =
+  let obj = "r" in
+  let proc ~pid =
+    Process.make ~pid ~init:(Process.at 0) (fun local ->
+        match Process.pc local with
+        | 0 ->
+            Process.invoke ~obj (Registers.write (Value.pid pid)) (fun _ ->
+                Process.at 1)
+        | 1 -> Process.invoke ~obj Registers.read (fun res -> Process.at 2 ~data:res)
+        | 2 -> Process.decide (Process.data local)
+        | pc -> invalid_arg (Fmt.str "naive-register: pc %d" pc))
+  in
+  Protocol.make ~name:"naive-register-consensus"
+    ~theorem:"Theorem 2 (impossible — expected to fail)"
+    ~procs:(Array.init n (fun pid -> proc ~pid))
+    ~env:
+      (Env.make
+         [ (obj, Registers.atomic ~name:obj ~init:Value.bottom (Zoo.pids n)) ])
+
+let broken : entry list =
+  [
+    {
+      key = "register-naive";
+      object_family = "read/write register (naive attempt)";
+      theorem = "Theorem 2 (expected to fail)";
+      consensus_number = `Exactly 1;
+      build = (fun ~n -> if n >= 2 then Some (naive_register_protocol ~n) else None);
+    };
+  ]
+
 let find key =
-  match List.find_opt (fun e -> String.equal e.key key) entries with
+  match
+    List.find_opt (fun e -> String.equal e.key key) (entries @ broken)
+  with
   | Some e -> e
   | None -> invalid_arg (Fmt.str "Registry.find: unknown protocol %S" key)
 
-let keys () = List.map (fun e -> e.key) entries
+let keys () = List.map (fun e -> e.key) (entries @ broken)

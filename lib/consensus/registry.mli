@@ -9,6 +9,16 @@ type entry = {
   build : n:int -> Protocol.t option;
 }
 
+(** Sound protocols only — every entry verifies over all schedules. *)
 val entries : entry list
+
+(** Deliberately broken protocols (e.g. the naive Theorem 2 register
+    attempt), for exercising counterexample export and replay.  Not in
+    {!entries}: the hierarchy table treats those as sound. *)
+val broken : entry list
+
+(** Looks up both {!entries} and {!broken}. *)
 val find : string -> entry
+
+(** Keys of {!entries} and {!broken}. *)
 val keys : unit -> string list

@@ -64,6 +64,15 @@ module Truncating_universal = Wfs_universal.Truncating_universal
 module Consensus_fac = Wfs_universal.Consensus_fac
 module Composed = Wfs_universal.Composed
 
+(* observability: metrics, tracing, replayable counterexamples *)
+module Obs = struct
+  module Json = Wfs_obs.Json
+  module Metrics = Wfs_obs.Metrics
+  module Trace = Wfs_obs.Trace
+  module Clock = Wfs_obs.Clock
+  module Counterexample = Wfs_obs.Counterexample
+end
+
 (* multicore runtime *)
 module Runtime = struct
   module Primitives = Wfs_runtime.Primitives

@@ -1,0 +1,19 @@
+(* Wall time clamped to be non-decreasing: wall clocks can step
+   backwards (NTP), and the trace format promises monotonic timestamps. *)
+
+let last = Atomic.make 0
+
+let now_ns () =
+  let raw = int_of_float (Unix.gettimeofday () *. 1e9) in
+  let rec clamp () =
+    let prev = Atomic.get last in
+    if raw <= prev then prev
+    else if Atomic.compare_and_set last prev raw then raw
+    else clamp ()
+  in
+  clamp ()
+
+let elapsed_ns f =
+  let t0 = now_ns () in
+  let r = f () in
+  (r, now_ns () - t0)

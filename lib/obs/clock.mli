@@ -1,0 +1,14 @@
+(** A monotonically non-decreasing nanosecond clock.
+
+    The container's OCaml switch has no [mtime]; this wraps
+    [Unix.gettimeofday] and clamps it so successive reads never go
+    backwards (wall clocks may), which is all the trace sink and the
+    latency histograms need. *)
+
+(** Nanoseconds since an arbitrary epoch; non-decreasing across calls,
+    including calls from different domains. *)
+val now_ns : unit -> int
+
+(** [elapsed_ns f] runs [f] and returns its result with the elapsed
+    nanoseconds. *)
+val elapsed_ns : (unit -> 'a) -> 'a * int

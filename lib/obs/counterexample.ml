@@ -1,0 +1,141 @@
+(* On-disk form of a violating schedule; see the .mli for the schema. *)
+
+open Wfs_spec
+
+type kind = Disagreement | Invalid_decision
+
+type t = {
+  protocol : string;
+  n : int;
+  kind : kind;
+  schedule : int list;
+  decisions : (int * Value.t) list;
+}
+
+let schema = "wfs-counterexample/1"
+
+let kind_to_string = function
+  | Disagreement -> "disagreement"
+  | Invalid_decision -> "invalid-decision"
+
+let kind_of_string = function
+  | "disagreement" -> Disagreement
+  | "invalid-decision" -> Invalid_decision
+  | s -> invalid_arg (Printf.sprintf "Counterexample: unknown kind %S" s)
+
+(* --- value encoding --- *)
+
+let rec value_to_json (v : Value.t) =
+  match v with
+  | Value.Unit -> Json.list [ Json.str "u" ]
+  | Value.Bool b -> Json.list [ Json.str "b"; Json.bool b ]
+  | Value.Int n -> Json.list [ Json.str "i"; Json.int n ]
+  | Value.Str s -> Json.list [ Json.str "s"; Json.str s ]
+  | Value.Pair (a, b) ->
+      Json.list [ Json.str "p"; value_to_json a; value_to_json b ]
+  | Value.List items ->
+      Json.list [ Json.str "l"; Json.list (List.map value_to_json items) ]
+
+let rec value_of_json j =
+  match j with
+  | Json.List [ Json.Str "u" ] -> Value.unit
+  | Json.List [ Json.Str "b"; Json.Bool b ] -> Value.bool b
+  | Json.List [ Json.Str "i"; Json.Int n ] -> Value.int n
+  | Json.List [ Json.Str "s"; Json.Str s ] -> Value.str s
+  | Json.List [ Json.Str "p"; a; b ] ->
+      Value.pair (value_of_json a) (value_of_json b)
+  | Json.List [ Json.Str "l"; Json.List items ] ->
+      Value.list (List.map value_of_json items)
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Counterexample: malformed value %s" (Json.to_string j))
+
+(* --- record serialization --- *)
+
+let to_json t =
+  Json.obj
+    [
+      ("schema", Json.str schema);
+      ("protocol", Json.str t.protocol);
+      ("n", Json.int t.n);
+      ("kind", Json.str (kind_to_string t.kind));
+      ("schedule", Json.list (List.map Json.int t.schedule));
+      ( "decisions",
+        Json.list
+          (List.map
+             (fun (pid, v) ->
+               Json.obj
+                 [ ("pid", Json.int pid); ("value", value_to_json v) ])
+             t.decisions) );
+    ]
+
+let field name j =
+  match Json.member name j with
+  | Some v -> v
+  | None ->
+      invalid_arg (Printf.sprintf "Counterexample: missing field %S" name)
+
+let as_int name j =
+  match Json.to_int j with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Counterexample: field %S: not an int" name)
+
+let as_str name j =
+  match Json.to_str j with
+  | Some s -> s
+  | None ->
+      invalid_arg (Printf.sprintf "Counterexample: field %S: not a string" name)
+
+let of_json j =
+  (match Json.member "schema" j with
+  | Some (Json.Str s) when s = schema -> ()
+  | Some (Json.Str s) ->
+      invalid_arg (Printf.sprintf "Counterexample: unsupported schema %S" s)
+  | _ -> invalid_arg "Counterexample: missing schema field");
+  let schedule =
+    match Json.to_list (field "schedule" j) with
+    | Some pids -> List.map (as_int "schedule") pids
+    | None -> invalid_arg "Counterexample: field \"schedule\": not a list"
+  in
+  let decisions =
+    match Json.to_list (field "decisions" j) with
+    | Some ds ->
+        List.map
+          (fun d ->
+            (as_int "pid" (field "pid" d), value_of_json (field "value" d)))
+          ds
+    | None -> invalid_arg "Counterexample: field \"decisions\": not a list"
+  in
+  {
+    protocol = as_str "protocol" (field "protocol" j);
+    n = as_int "n" (field "n" j);
+    kind = kind_of_string (as_str "kind" (field "kind" j));
+    schedule;
+    decisions;
+  }
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string_pretty (to_json t));
+      output_char oc '\n')
+
+let load path =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_json (Json.of_string content)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%s (n=%d): %s@ schedule: [%a]@ decisions: %a@]" t.protocol
+    t.n (kind_to_string t.kind)
+    Fmt.(list ~sep:(any "; ") int)
+    t.schedule
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (p, v) -> Fmt.pf ppf "P%d=%a" p Value.pp v))
+    t.decisions

@@ -1,0 +1,63 @@
+(** Replayable counterexample schedules.
+
+    When verification finds a violating execution — two processes
+    deciding differently, or a decision naming a process that never
+    stepped — the schedule that produced it is the whole story: the
+    joint-state graph is deterministic given "who steps next".  This
+    module gives that schedule a stable on-disk JSON form so
+    [wfs verify --out] can export it and [wfs replay] can re-execute it
+    deterministically.
+
+    Schema ([wfs-counterexample/1]):
+
+    {v
+    { "schema": "wfs-counterexample/1",
+      "protocol": "<registry key>",
+      "n": 2,
+      "kind": "disagreement" | "invalid-decision",
+      "schedule": [0, 1, 1, 0],
+      "decisions": [{"pid": 0, "value": <value>}, ...] }
+    v}
+
+    Simulator values are encoded as tagged arrays: [["u"]] (unit),
+    [["b", bool]], [["i", int]], [["s", str]], [["p", a, b]] (pair),
+    [["l", [...]]] (list). *)
+
+open Wfs_spec
+
+type kind = Disagreement | Invalid_decision
+
+type t = {
+  protocol : string;  (** protocol registry key *)
+  n : int;  (** process count the protocol was built with *)
+  kind : kind;
+  schedule : int list;  (** pids, in step order from the initial state *)
+  decisions : (int * Value.t) list;
+      (** decisions observed at the violating state *)
+}
+
+val kind_to_string : kind -> string
+
+(** Raises [Invalid_argument] on an unknown kind. *)
+val kind_of_string : string -> kind
+
+(** {1 Value encoding} *)
+
+val value_to_json : Value.t -> Json.t
+
+(** Raises [Invalid_argument] on a malformed encoding. *)
+val value_of_json : Json.t -> Value.t
+
+(** {1 Serialization} *)
+
+val to_json : t -> Json.t
+
+(** Raises [Invalid_argument] on schema violations. *)
+val of_json : Json.t -> t
+
+val save : string -> t -> unit
+
+(** Raises [Sys_error], {!Json.Parse_error} or [Invalid_argument]. *)
+val load : string -> t
+
+val pp : t Fmt.t

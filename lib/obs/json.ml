@@ -1,0 +1,287 @@
+(* Minimal JSON: just enough to emit metric snapshots / traces and to
+   read counterexample files back — the container has no Yojson, and the
+   observability layer must stay dependency-free. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let null = Null
+let bool b = Bool b
+let int n = Int n
+let float f = Float f
+let str s = Str s
+let list l = List l
+let obj fields = Obj fields
+
+(* --- printing --- *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_float buf f =
+  if Float.is_finite f then begin
+    (* %.17g round-trips but is noisy; try shorter forms first *)
+    let s =
+      let short = Printf.sprintf "%.12g" f in
+      if float_of_string short = f then short else Printf.sprintf "%.17g" f
+    in
+    Buffer.add_string buf s;
+    (* "1e+06" and "1.5" are valid JSON; bare "1" from %g is too, but
+       keep the value re-readable as a float *)
+    if
+      String.for_all (function '0' .. '9' | '-' -> true | _ -> false) s
+    then Buffer.add_string buf ".0"
+  end
+  else Buffer.add_string buf "null"
+
+let rec emit ~indent ~level buf j =
+  let nl lvl =
+    if indent then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (2 * lvl) ' ')
+    end
+  in
+  match j with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> add_float buf f
+  | Str s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl (level + 1);
+          emit ~indent ~level:(level + 1) buf item)
+        items;
+      nl level;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl (level + 1);
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          if indent then Buffer.add_char buf ' ';
+          emit ~indent ~level:(level + 1) buf v)
+        fields;
+      nl level;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  emit ~indent:false ~level:0 buf j;
+  Buffer.contents buf
+
+let to_string_pretty j =
+  let buf = Buffer.create 256 in
+  emit ~indent:true ~level:0 buf j;
+  Buffer.contents buf
+
+let pp ppf j = Fmt.string ppf (to_string j)
+
+(* --- parsing --- *)
+
+exception Parse_error of string
+
+let fail pos msg = raise (Parse_error (Printf.sprintf "at %d: %s" pos msg))
+
+let of_string s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < len
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail !pos (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    if
+      !pos + String.length word <= len
+      && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail !pos (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail !pos "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= len then fail !pos "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'
+               | '\\' -> Buffer.add_char buf '\\'
+               | '/' -> Buffer.add_char buf '/'
+               | 'n' -> Buffer.add_char buf '\n'
+               | 'r' -> Buffer.add_char buf '\r'
+               | 't' -> Buffer.add_char buf '\t'
+               | 'b' -> Buffer.add_char buf '\b'
+               | 'f' -> Buffer.add_char buf '\012'
+               | 'u' ->
+                   if !pos + 4 >= len then fail !pos "truncated \\u escape";
+                   let hex = String.sub s (!pos + 1) 4 in
+                   let code =
+                     try int_of_string ("0x" ^ hex)
+                     with _ -> fail !pos "bad \\u escape"
+                   in
+                   (* escaped control characters are all we ever emit;
+                      decode the Latin-1 subset, pass the rest through *)
+                   if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                   else Buffer.add_string buf (Printf.sprintf "\\u%s" hex);
+                   pos := !pos + 4
+               | c -> fail !pos (Printf.sprintf "bad escape \\%c" c));
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    if peek () = Some '-' then advance ();
+    while
+      !pos < len
+      &&
+      match s.[!pos] with
+      | '0' .. '9' -> true
+      | '.' | 'e' | 'E' | '+' | '-' ->
+          is_float := true;
+          true
+      | _ -> false
+    do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail start "malformed number"
+    else
+      match int_of_string_opt text with
+      | Some n -> Int n
+      | None -> fail start "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail !pos "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail !pos (Printf.sprintf "unexpected %c" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail !pos "trailing garbage";
+  v
+
+(* --- accessors --- *)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_int = function Int n -> Some n | _ -> None
+
+let to_number = function
+  | Int n -> Some (float_of_int n)
+  | Float f -> Some f
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function List l -> Some l | _ -> None

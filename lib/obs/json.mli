@@ -1,0 +1,60 @@
+(** Minimal JSON — emitted and parsed without external dependencies.
+
+    The observability layer ([Wfs_obs]) speaks JSON everywhere: metric
+    snapshots, JSONL trace lines, replayable counterexample files and
+    [BENCH_results.json].  The container deliberately carries no Yojson,
+    so this module is the whole story: a value type, a compact printer,
+    and a strict recursive-descent parser (the subset of RFC 8259 the
+    layer itself emits: no unicode escapes beyond [\uXXXX], no
+    tolerance for trailing commas). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** {1 Constructors} *)
+
+val null : t
+val bool : bool -> t
+val int : int -> t
+val float : float -> t
+val str : string -> t
+val list : t list -> t
+val obj : (string * t) list -> t
+
+(** {1 Printing} *)
+
+(** Compact, single-line rendering.  Non-finite floats become [null]
+    (JSON has no NaN/infinity). *)
+val to_string : t -> string
+
+(** Multi-line rendering with two-space indentation. *)
+val to_string_pretty : t -> string
+
+val pp : t Fmt.t
+
+(** {1 Parsing} *)
+
+exception Parse_error of string
+
+(** [of_string s] parses one JSON value; raises {!Parse_error} on
+    malformed input or trailing garbage. *)
+val of_string : string -> t
+
+(** {1 Accessors} — total ([option]-returning) lookups. *)
+
+(** [member k j] is the value under key [k] when [j] is an object. *)
+val member : string -> t -> t option
+
+val to_int : t -> int option
+
+(** [to_number j] is the float value of an [Int] or [Float]. *)
+val to_number : t -> float option
+
+val to_str : t -> string option
+val to_list : t -> t list option

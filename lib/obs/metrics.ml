@@ -1,0 +1,240 @@
+(* Counters, gauges and log-scale histograms over [Atomic.t], registered
+   by name so one [snapshot] call can serialize everything the process
+   has measured.  No dependencies beyond the stdlib. *)
+
+type histo = {
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+  h_max : int Atomic.t;
+  h_buckets : int Atomic.t array;  (* bucket k: 2^k <= v < 2^(k+1) *)
+}
+
+type metric =
+  | M_counter of int Atomic.t
+  | M_gauge of int Atomic.t
+  | M_fgauge of float Atomic.t
+  | M_histogram of histo
+
+type registry = {
+  lock : Mutex.t;
+  table : (string, metric) Hashtbl.t;
+}
+
+let create () = { lock = Mutex.create (); table = Hashtbl.create 64 }
+let default = create ()
+
+(* --- hot-path sampling flag --- *)
+
+(* A plain ref: hot paths read it with a single load; writers are rare
+   (startup, tests) and a torn read is impossible for an immediate. *)
+let hot_flag = ref false
+let set_hot b = hot_flag := b
+let hot () = !hot_flag
+
+let with_hot f =
+  let prev = !hot_flag in
+  hot_flag := true;
+  Fun.protect ~finally:(fun () -> hot_flag := prev) f
+
+(* --- registration --- *)
+
+let register registry name build match_existing =
+  let registry = Option.value ~default registry in
+  Mutex.lock registry.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry.lock)
+    (fun () ->
+      match Hashtbl.find_opt registry.table name with
+      | Some m -> (
+          match match_existing m with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "Metrics: %S already registered as a different kind" name))
+      | None ->
+          let m, v = build () in
+          Hashtbl.replace registry.table name m;
+          v)
+
+module Counter = struct
+  type t = int Atomic.t
+
+  let make ?registry name =
+    register registry name
+      (fun () ->
+        let c = Atomic.make 0 in
+        (M_counter c, c))
+      (function M_counter c -> Some c | _ -> None)
+
+  let incr t = ignore (Atomic.fetch_and_add t 1)
+  let add t n = ignore (Atomic.fetch_and_add t n)
+  let value = Atomic.get
+end
+
+let atomic_set_max a v =
+  let rec go () =
+    let cur = Atomic.get a in
+    if v <= cur then ()
+    else if Atomic.compare_and_set a cur v then ()
+    else go ()
+  in
+  go ()
+
+module Gauge = struct
+  type t = int Atomic.t
+
+  let make ?registry name =
+    register registry name
+      (fun () ->
+        let g = Atomic.make 0 in
+        (M_gauge g, g))
+      (function M_gauge g -> Some g | _ -> None)
+
+  let set = Atomic.set
+  let set_max = atomic_set_max
+  let value = Atomic.get
+end
+
+module Fgauge = struct
+  type t = float Atomic.t
+
+  let make ?registry name =
+    register registry name
+      (fun () ->
+        let g = Atomic.make 0.0 in
+        (M_fgauge g, g))
+      (function M_fgauge g -> Some g | _ -> None)
+
+  let set = Atomic.set
+  let value = Atomic.get
+end
+
+module Histogram = struct
+  type t = histo
+
+  let n_buckets = 63
+
+  let make ?registry name =
+    register registry name
+      (fun () ->
+        let h =
+          {
+            h_count = Atomic.make 0;
+            h_sum = Atomic.make 0;
+            h_max = Atomic.make 0;
+            h_buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+          }
+        in
+        (M_histogram h, h))
+      (function M_histogram h -> Some h | _ -> None)
+
+  let bucket_of v =
+    if v <= 0 then 0
+    else begin
+      let b = ref 0 and v = ref v in
+      while !v > 1 do
+        incr b;
+        v := !v lsr 1
+      done;
+      min !b (n_buckets - 1)
+    end
+
+  let observe t v =
+    ignore (Atomic.fetch_and_add t.h_count 1);
+    ignore (Atomic.fetch_and_add t.h_sum (max v 0));
+    atomic_set_max t.h_max v;
+    ignore (Atomic.fetch_and_add t.h_buckets.(bucket_of v) 1)
+
+  let count t = Atomic.get t.h_count
+  let sum t = Atomic.get t.h_sum
+  let max_value t = Atomic.get t.h_max
+
+  let buckets t =
+    let acc = ref [] in
+    for k = n_buckets - 1 downto 0 do
+      let c = Atomic.get t.h_buckets.(k) in
+      if c > 0 then
+        (* inclusive upper bound of bucket k is 2^(k+1) - 1 *)
+        acc := (((1 lsl (k + 1)) - 1), c) :: !acc
+    done;
+    !acc
+end
+
+(* --- snapshots --- *)
+
+let metric_json = function
+  | M_counter c -> Json.int (Atomic.get c)
+  | M_gauge g -> Json.int (Atomic.get g)
+  | M_fgauge g -> Json.float (Atomic.get g)
+  | M_histogram h ->
+      let count = Atomic.get h.h_count in
+      let sum = Atomic.get h.h_sum in
+      Json.obj
+        [
+          ("count", Json.int count);
+          ("sum", Json.int sum);
+          ( "mean",
+            if count = 0 then Json.null
+            else Json.float (float_of_int sum /. float_of_int count) );
+          ("max", Json.int (Atomic.get h.h_max));
+          ( "buckets",
+            Json.list
+              (List.map
+                 (fun (le, c) -> Json.list [ Json.int le; Json.int c ])
+                 (Histogram.buckets h)) );
+        ]
+
+let snapshot ?registry () =
+  let registry = Option.value ~default registry in
+  Mutex.lock registry.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry.lock)
+    (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, metric_json m) :: acc)
+        registry.table []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> Json.obj)
+
+let snapshot_string ?registry () = Json.to_string_pretty (snapshot ?registry ())
+
+let reset ?registry () =
+  let registry = Option.value ~default registry in
+  Mutex.lock registry.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry.lock)
+    (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | M_counter a | M_gauge a ->
+              Atomic.set a 0
+          | M_fgauge g -> Atomic.set g 0.0
+          | M_histogram h ->
+              Atomic.set h.h_count 0;
+              Atomic.set h.h_sum 0;
+              Atomic.set h.h_max 0;
+              Array.iter (fun b -> Atomic.set b 0) h.h_buckets)
+        registry.table)
+
+let find ?registry name =
+  let registry = Option.value ~default registry in
+  Mutex.lock registry.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry.lock)
+    (fun () -> Hashtbl.find_opt registry.table name)
+
+let counter_value ?registry name =
+  match find ?registry name with
+  | Some (M_counter c) -> Some (Atomic.get c)
+  | _ -> None
+
+let gauge_value ?registry name =
+  match find ?registry name with
+  | Some (M_gauge g) -> Some (Atomic.get g)
+  | _ -> None
+
+let fgauge_value ?registry name =
+  match find ?registry name with
+  | Some (M_fgauge g) -> Some (Atomic.get g)
+  | _ -> None

@@ -1,0 +1,105 @@
+(** Metrics registry: counters, gauges and log-scale histograms.
+
+    Zero external dependencies; every primitive is safe to touch from
+    concurrent domains (all state lives in [Atomic.t]).  Metrics are
+    registered by name in a {!registry} — usually {!default} — and
+    {!snapshot} serializes the whole registry as JSON.
+
+    Two cost classes, by convention:
+
+    - cold-path metrics (the simulator, the solver) are recorded
+      unconditionally: one atomic add against work that is dominated by
+      hashtable traffic anyway;
+    - hot-path metrics (the multicore runtime's per-operation counters
+      and latency histograms) are guarded by {!hot}: when sampling is
+      off — the default — an instrumented operation pays exactly one
+      branch on a plain [bool ref]. *)
+
+type registry
+
+val create : unit -> registry
+
+(** The process-wide registry every instrumentation point uses. *)
+val default : registry
+
+(** {1 Hot-path sampling} *)
+
+(** Enable/disable hot-path sampling (default: off). *)
+val set_hot : bool -> unit
+
+val hot : unit -> bool
+
+(** [with_hot f] runs [f] with sampling enabled, restoring the previous
+    state afterwards. *)
+val with_hot : (unit -> 'a) -> 'a
+
+(** {1 Instruments}
+
+    [make] is idempotent per name: a second [make] with the same name
+    returns the already-registered instrument.  Registering the same
+    name as two different instrument kinds raises [Invalid_argument]. *)
+
+module Counter : sig
+  type t
+
+  val make : ?registry:registry -> string -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val make : ?registry:registry -> string -> t
+  val set : t -> int -> unit
+
+  (** [set_max g v] raises the gauge to [v] if larger (high-water
+      mark). *)
+  val set_max : t -> int -> unit
+
+  val value : t -> int
+end
+
+(** Float-valued gauge, for derived rates and ratios. *)
+module Fgauge : sig
+  type t
+
+  val make : ?registry:registry -> string -> t
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+(** Power-of-two-bucketed histogram for latencies (ns) and sizes:
+    bucket [k] counts observations [v] with [2^k <= v < 2^(k+1)]
+    ([v <= 0] lands in bucket 0). *)
+module Histogram : sig
+  type t
+
+  val make : ?registry:registry -> string -> t
+  val observe : t -> int -> unit
+  val count : t -> int
+  val sum : t -> int
+  val max_value : t -> int
+
+  (** Non-empty buckets as [(inclusive upper bound, count)]. *)
+  val buckets : t -> (int * int) list
+end
+
+(** {1 Snapshots} *)
+
+(** The registry as one JSON object, keys sorted: counters and gauges
+    are numbers; histograms are objects with [count]/[sum]/[mean]/
+    [max]/[buckets] fields. *)
+val snapshot : ?registry:registry -> unit -> Json.t
+
+val snapshot_string : ?registry:registry -> unit -> string
+
+(** Zero every instrument, keeping registrations. *)
+val reset : ?registry:registry -> unit -> unit
+
+(** {1 Test/assertion lookups} *)
+
+val counter_value : ?registry:registry -> string -> int option
+val gauge_value : ?registry:registry -> string -> int option
+val fgauge_value : ?registry:registry -> string -> float option

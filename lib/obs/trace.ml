@@ -1,0 +1,87 @@
+(* JSONL trace sink.  Everything funnels through [emit]; when the
+   installed sink is [null] (the default) instrumentation costs exactly
+   one branch. *)
+
+type sink =
+  | Null
+  | Lines of { write : string -> unit; close : unit -> unit }
+
+let null = Null
+
+let buffer () =
+  let lines = ref [] in
+  ( Lines
+      { write = (fun l -> lines := l :: !lines); close = (fun () -> ()) },
+    fun () -> List.rev !lines )
+
+let channel oc =
+  Lines
+    {
+      write =
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n';
+          flush oc);
+      close = (fun () -> flush oc);
+    }
+
+let to_file path =
+  let oc = open_out path in
+  Lines
+    {
+      write =
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n');
+      close = (fun () -> close_out oc);
+    }
+
+let current = ref Null
+let lock = Mutex.create ()
+
+let set_sink s = current := s
+let enabled () = !current != Null
+
+let close () =
+  (match !current with Null -> () | Lines { close; _ } -> close ());
+  current := Null
+
+let emit ~kind ?pid ?(tags = []) name extra =
+  match !current with
+  | Null -> ()
+  | Lines { write; _ } ->
+      let record =
+        Json.obj
+          (("ts", Json.int (Clock.now_ns ()))
+           :: ("kind", Json.str kind)
+           :: ("name", Json.str name)
+           :: ((match pid with
+               | Some p -> [ ("pid", Json.int p) ]
+               | None -> [])
+              @ extra @ tags))
+      in
+      let line = Json.to_string record in
+      Mutex.lock lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock lock)
+        (fun () -> write line)
+
+let event ?pid ?tags name = emit ~kind:"event" ?pid ?tags name []
+
+let with_span ?pid ?tags name f =
+  match !current with
+  | Null -> f ()
+  | Lines _ ->
+      let t0 = Clock.now_ns () in
+      let record ?(raised = false) () =
+        emit ~kind:"span" ?pid ?tags name
+          (("dur_ns", Json.int (Clock.now_ns () - t0))
+           :: (if raised then [ ("raised", Json.bool true) ] else []))
+      in
+      (match f () with
+      | r ->
+          record ();
+          r
+      | exception e ->
+          record ~raised:true ();
+          raise e)

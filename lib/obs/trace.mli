@@ -1,0 +1,48 @@
+(** Structured JSONL tracing: events and spans with monotonic
+    timestamps and per-pid tags.
+
+    One line per record, each a JSON object:
+
+    {v
+    {"ts":<ns>,"kind":"event","name":"...","pid":0,...tags}
+    {"ts":<ns>,"kind":"span","name":"...","dur_ns":123,...tags}
+    v}
+
+    The default sink is {!null}: an instrumented call sites costs a
+    single branch until a sink is installed.  Sinks serialize writes
+    internally, so events may be emitted from any domain. *)
+
+type sink
+
+(** Discards everything — the default. *)
+val null : sink
+
+(** In-memory sink for tests: returns the sink and a function yielding
+    the captured lines, oldest first. *)
+val buffer : unit -> sink * (unit -> string list)
+
+(** Writes JSONL to a channel; lines are flushed per record. *)
+val channel : out_channel -> sink
+
+(** Opens (truncates) [path] and writes JSONL there; {!close} closes
+    the file. *)
+val to_file : string -> sink
+
+(** Install a sink globally.  Installing {!null} turns tracing off. *)
+val set_sink : sink -> unit
+
+(** Whether a real (non-null) sink is installed. *)
+val enabled : unit -> bool
+
+(** [event name ~pid ~tags] appends one event record.  No-op when
+    tracing is off. *)
+val event : ?pid:int -> ?tags:(string * Json.t) list -> string -> unit
+
+(** [with_span name f] runs [f], then appends a span record carrying
+    the elapsed nanoseconds.  [f]'s exceptions pass through (the span
+    is still recorded, tagged ["raised": true]). *)
+val with_span : ?pid:int -> ?tags:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+
+(** Flush and close the current sink (closing files) and reinstall
+    {!null}. *)
+val close : unit -> unit

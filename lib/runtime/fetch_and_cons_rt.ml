@@ -15,6 +15,17 @@
      [Wfs_universal.Consensus_fac].  Wait-free with a bound that depends
      only on n. *)
 
+(* Hot-path metrics, gated by [Wfs_obs.Metrics.hot] (default off: one
+   branch per sample point). *)
+module M = struct
+  open Wfs_obs.Metrics
+
+  let cas_retries = Counter.make "fetch_and_cons_rt.cas.retries"
+  let cas_ops = Counter.make "fetch_and_cons_rt.cas.ops"
+  let cas_log_length = Gauge.make "fetch_and_cons_rt.cas.log_length"
+  let rounds_per_op = Histogram.make "fetch_and_cons_rt.rounds.rounds_per_op"
+end
+
 module Cas_based = struct
   type 'a t = 'a list Atomic.t
 
@@ -22,8 +33,18 @@ module Cas_based = struct
 
   let rec fetch_and_cons t x =
     let old = Atomic.get t in
-    if Atomic.compare_and_set t old (x :: old) then old
-    else fetch_and_cons t x
+    if Atomic.compare_and_set t old (x :: old) then begin
+      if Wfs_obs.Metrics.hot () then begin
+        Wfs_obs.Metrics.Counter.incr M.cas_ops;
+        Wfs_obs.Metrics.Gauge.set_max M.cas_log_length (List.length old + 1)
+      end;
+      old
+    end
+    else begin
+      if Wfs_obs.Metrics.hot () then
+        Wfs_obs.Metrics.Counter.incr M.cas_retries;
+      fetch_and_cons t x
+    end
 
   let contents = Atomic.get
 end
@@ -151,5 +172,9 @@ module Rounds = struct
                 assert false)
       else incr iter
     done;
+    if Wfs_obs.Metrics.hot () then
+      (* consensus rounds consumed by this operation (Fig 4-5 bound:
+         at most n+1) *)
+      Wfs_obs.Metrics.Histogram.observe M.rounds_per_op (!r - base);
     Option.get !result
 end

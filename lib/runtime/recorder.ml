@@ -21,9 +21,20 @@ let create ~capacity =
 
 exception Capacity_exceeded
 
+let capacity t = Array.length t.slots
+let used t = min (Atomic.get t.next) (Array.length t.slots)
+let headroom t = max 0 (capacity t - used t)
+
+(* remaining capacity after the most recent record, so a run can see
+   how close it came to [Capacity_exceeded] *)
+let headroom_gauge = Wfs_obs.Metrics.Gauge.make "recorder.headroom"
+
 let record t event =
   let ticket = Atomic.fetch_and_add t.next 1 in
   if ticket >= Array.length t.slots then raise Capacity_exceeded;
+  if Wfs_obs.Metrics.hot () then
+    Wfs_obs.Metrics.Gauge.set headroom_gauge
+      (Array.length t.slots - ticket - 1);
   Atomic.set t.slots.(ticket) (Some event)
 
 let invoke t ~pid ~obj op = record t (Wfs_history.Event.invoke ~pid ~obj op)

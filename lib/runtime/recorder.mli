@@ -9,6 +9,17 @@ type t
 exception Capacity_exceeded
 
 val create : capacity:int -> t
+
+(** Slot-array size fixed at {!create}. *)
+val capacity : t -> int
+
+(** Tickets taken so far (clamped to {!capacity}). *)
+val used : t -> int
+
+(** [capacity - used]; when hot-path metric sampling is on, [record]
+    also publishes this as the [recorder.headroom] gauge. *)
+val headroom : t -> int
+
 val record : t -> Wfs_history.Event.t -> unit
 val invoke : t -> pid:int -> obj:string -> Op.t -> unit
 val respond : t -> pid:int -> obj:string -> Value.t -> unit

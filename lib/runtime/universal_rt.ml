@@ -46,6 +46,22 @@ module type S = sig
   val apply : t -> op -> res
 end
 
+(* Hot-path metrics.  Every sample sits behind [Metrics.hot ()] — one
+   branch on a plain ref when sampling is off — so benchmark numbers
+   stay comparable with uninstrumented builds. *)
+module M = struct
+  open Wfs_obs.Metrics
+
+  let lf_ops = Counter.make "universal_rt.lock_free.ops"
+  let lf_cas_retries = Counter.make "universal_rt.lock_free.cas_retries"
+  let lf_apply_ns = Histogram.make "universal_rt.lock_free.apply_ns"
+  let lf_log_length = Gauge.make "universal_rt.lock_free.log_length"
+  let wf_ops = Counter.make "universal_rt.wait_free.ops"
+  let wf_help_rounds = Counter.make "universal_rt.wait_free.help_rounds"
+  let wf_apply_ns = Histogram.make "universal_rt.wait_free.apply_ns"
+  let wf_log_length = Gauge.make "universal_rt.wait_free.log_length"
+end
+
 module Lock_free (Seq : SEQ) = struct
   type op = Seq.op
   type res = Seq.res
@@ -57,11 +73,27 @@ module Lock_free (Seq : SEQ) = struct
   let create () =
     Atomic.make { state = Seq.init; result = None; length = 0 }
 
-  let rec apply t op =
+  let rec apply_node t op =
     let head = Atomic.get t in
     let state, result = Seq.apply head.state op in
     let node = { state; result = Some result; length = head.length + 1 } in
-    if Atomic.compare_and_set t head node then result else apply t op
+    if Atomic.compare_and_set t head node then node
+    else begin
+      if Wfs_obs.Metrics.hot () then
+        Wfs_obs.Metrics.Counter.incr M.lf_cas_retries;
+      apply_node t op
+    end
+
+  let apply t op =
+    if not (Wfs_obs.Metrics.hot ()) then
+      Option.get (apply_node t op).result
+    else begin
+      let node, dur = Wfs_obs.Clock.elapsed_ns (fun () -> apply_node t op) in
+      Wfs_obs.Metrics.Counter.incr M.lf_ops;
+      Wfs_obs.Metrics.Histogram.observe M.lf_apply_ns dur;
+      Wfs_obs.Metrics.Gauge.set_max M.lf_log_length node.length;
+      Option.get node.result
+    end
 
   let length t = (Atomic.get t).length
   let read t = (Atomic.get t).state
@@ -125,12 +157,14 @@ module Wait_free (Seq : SEQ) = struct
      thread the preferred node after the current head — helping the
      announced operation of process (seq mod n) first — until our own
      node is threaded. *)
-  let apply t ~pid op =
+  let apply_inner t ~pid op =
     let ticket = Atomic.fetch_and_add tickets 1 in
     let mine = fresh_node (Some (pid, ticket, op)) in
     Atomic.set t.announce.(pid) mine;
     Atomic.set t.head.(pid) (max_head t);
+    let rounds = ref 0 in
     while Atomic.get mine.seq = 0 do
+      incr rounds;
       let before = Atomic.get t.head.(pid) in
       let help = Atomic.get t.announce.(Atomic.get before.seq mod t.n) in
       let prefer = if Atomic.get help.seq = 0 then help else mine in
@@ -146,7 +180,24 @@ module Wait_free (Seq : SEQ) = struct
       Atomic.set after.seq (Atomic.get before.seq + 1);
       Atomic.set t.head.(pid) after
     done;
-    Option.get (Atomic.get mine.result)
+    (!rounds, Atomic.get mine.seq, Option.get (Atomic.get mine.result))
+
+  let apply t ~pid op =
+    if not (Wfs_obs.Metrics.hot ()) then begin
+      let _, _, res = apply_inner t ~pid op in
+      res
+    end
+    else begin
+      let (rounds, seq, res), dur =
+        Wfs_obs.Clock.elapsed_ns (fun () -> apply_inner t ~pid op)
+      in
+      Wfs_obs.Metrics.Counter.incr M.wf_ops;
+      Wfs_obs.Metrics.Counter.add M.wf_help_rounds rounds;
+      Wfs_obs.Metrics.Histogram.observe M.wf_apply_ns dur;
+      (* seq counts from the sentinel's 1, so seq - 1 ops are threaded *)
+      Wfs_obs.Metrics.Gauge.set_max M.wf_log_length (seq - 1);
+      res
+    end
 end
 
 module Locked (Seq : SEQ) = struct

@@ -32,6 +32,8 @@ type terminal = {
   who_stepped : int;  (* bitmask of processes that took ≥ 1 step *)
 }
 
+type truncation = Budget_states | Budget_depth
+
 type stats = {
   states : int;  (** distinct joint states visited *)
   terminals : terminal list;
@@ -40,6 +42,8 @@ type stats = {
   stuck : (int * string) option;
       (** a process raised / had no enabled action *)
   truncated : bool;  (** state or depth budget exhausted *)
+  truncation : truncation option;
+      (** which budget was exhausted first, when truncated *)
   invalid_decisions : (int * Value.t) list;
       (** decide events naming a process that had not yet stepped *)
   step_bounds : int array option;
@@ -117,21 +121,46 @@ let decision_valid node ~pid v =
 
 type color = Gray | Black
 
+(* Metric names: ROADMAP's measurement substrate.  Totals accumulate in
+   plain refs during the DFS (the explorer is single-threaded) and are
+   flushed to the shared registry once per run. *)
+module M = struct
+  open Wfs_obs.Metrics
+
+  let runs = Counter.make "explorer.runs"
+  let states = Counter.make "explorer.states_visited"
+  let dedup_hits = Counter.make "explorer.dedup_hits"
+  let dedup_lookups = Counter.make "explorer.dedup_lookups"
+  let dedup_hit_rate = Fgauge.make "explorer.dedup_hit_rate"
+  let max_depth_seen = Gauge.make "explorer.max_depth"
+  let truncated_states = Counter.make "explorer.truncated.states"
+  let truncated_depth = Counter.make "explorer.truncated.depth"
+end
+
 let explore ?(max_states = 2_000_000) ?(max_depth = 10_000) config =
   let colors : (Value.t, color) Hashtbl.t = Hashtbl.create 4096 in
   let terminals : (Value.t, terminal) Hashtbl.t = Hashtbl.create 64 in
   let cyclic = ref false in
   let stuck = ref None in
-  let truncated = ref false in
+  let truncation = ref None in
   let invalid_decisions = ref [] in
+  let lookups = ref 0 in
+  let hits = ref 0 in
+  let deepest = ref 0 in
   let rec dfs node depth =
+    if depth > !deepest then deepest := depth;
     let k = key node in
+    incr lookups;
     match Hashtbl.find_opt colors k with
-    | Some Gray -> cyclic := true
-    | Some Black -> ()
+    | Some Gray ->
+        incr hits;
+        cyclic := true
+    | Some Black -> incr hits
     | None ->
-        if Hashtbl.length colors >= max_states || depth >= max_depth then
-          truncated := true
+        if Hashtbl.length colors >= max_states then
+          (if !truncation = None then truncation := Some Budget_states)
+        else if depth >= max_depth then
+          (if !truncation = None then truncation := Some Budget_depth)
         else begin
           Hashtbl.replace colors k Gray;
           if is_terminal node then begin
@@ -166,7 +195,8 @@ let explore ?(max_states = 2_000_000) ?(max_depth = 10_000) config =
         end
   in
   dfs (initial config) 0;
-  let acyclic = (not !cyclic) && not !truncated && !stuck = None in
+  let truncated = !truncation <> None in
+  let acyclic = (not !cyclic) && (not truncated) && !stuck = None in
   (* Longest-path DP for per-process step bounds, only on a fully explored
      DAG. *)
   let step_bounds =
@@ -195,12 +225,35 @@ let explore ?(max_states = 2_000_000) ?(max_depth = 10_000) config =
       Some (bound (initial config))
     end
   in
+  let states = Hashtbl.length colors in
+  let open Wfs_obs.Metrics in
+  Counter.incr M.runs;
+  Counter.add M.states states;
+  Counter.add M.dedup_hits !hits;
+  Counter.add M.dedup_lookups !lookups;
+  Fgauge.set M.dedup_hit_rate
+    (if !lookups = 0 then 0.0
+     else float_of_int !hits /. float_of_int !lookups);
+  Gauge.set_max M.max_depth_seen !deepest;
+  (match !truncation with
+  | Some Budget_states -> Counter.incr M.truncated_states
+  | Some Budget_depth -> Counter.incr M.truncated_depth
+  | None -> ());
+  Wfs_obs.Trace.event "explorer.done"
+    ~tags:
+      [
+        ("states", Wfs_obs.Json.int states);
+        ("max_depth", Wfs_obs.Json.int !deepest);
+        ("cyclic", Wfs_obs.Json.bool !cyclic);
+        ("truncated", Wfs_obs.Json.bool truncated);
+      ];
   {
-    states = Hashtbl.length colors;
+    states;
     terminals = Hashtbl.fold (fun _ d acc -> d :: acc) terminals [];
     cyclic = !cyclic;
     stuck = !stuck;
-    truncated = !truncated;
+    truncated;
+    truncation = !truncation;
     invalid_decisions = !invalid_decisions;
     step_bounds;
   }

@@ -23,6 +23,9 @@ type terminal = {
   who_stepped : int;  (** bitmask of processes that took ≥ 1 step *)
 }
 
+(** Which budget cut the exploration short. *)
+type truncation = Budget_states | Budget_depth
+
 type stats = {
   states : int;
   terminals : terminal list;
@@ -31,6 +34,10 @@ type stats = {
   cyclic : bool;
   stuck : (int * string) option;
   truncated : bool;
+  truncation : truncation option;
+      (** the budget exhausted first, when [truncated]; mirrored into
+          the [explorer.truncated.states] / [explorer.truncated.depth]
+          metrics *)
   invalid_decisions : (int * Value.t) list;
       (** decide events naming a process that had not yet stepped — the
           paper's validity condition, checked on every history prefix *)
@@ -56,6 +63,11 @@ val successors_with_edges : config -> node -> (int * edge * node) list
     has already stepped. *)
 val decision_valid : node -> pid:int -> Value.t -> bool
 
+(** Exhaustive DFS.  Each run also feeds the default [Wfs_obs.Metrics]
+    registry: [explorer.runs], [explorer.states_visited],
+    [explorer.dedup_hits] / [explorer.dedup_lookups] /
+    [explorer.dedup_hit_rate], [explorer.max_depth], and a truncation
+    counter per {!truncation} cause. *)
 val explore : ?max_states:int -> ?max_depth:int -> config -> stats
 
 (** No cycle, nothing stuck, nothing truncated. *)

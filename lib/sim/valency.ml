@@ -34,13 +34,25 @@ let terminal_values node =
     (fun acc d -> match d with Some v -> Vset.add v acc | None -> acc)
     Vset.empty node.Explorer.decided
 
+module M = struct
+  open Wfs_obs.Metrics
+
+  let memo_hits = Counter.make "valency.memo_hits"
+  let memo_misses = Counter.make "valency.memo_misses"
+  let critical_searches = Counter.make "valency.critical_searches"
+  let critical_found = Counter.make "valency.critical_found"
+end
+
 let analyze (config : Explorer.config) =
   let memo : (Value.t, valency) Hashtbl.t = Hashtbl.create 4096 in
   let rec valency node =
     let k = Explorer.key node in
     match Hashtbl.find_opt memo k with
-    | Some v -> v
+    | Some v ->
+        Wfs_obs.Metrics.Counter.incr M.memo_hits;
+        v
     | None ->
+        Wfs_obs.Metrics.Counter.incr M.memo_misses;
         let v =
           if Explorer.is_terminal node then terminal_values node
           else
@@ -61,6 +73,7 @@ let analyze (config : Explorer.config) =
    first found, if any.  (For a correct wait-free consensus protocol one
    always exists: the root is bivalent and every terminal univalent.) *)
 let find_critical (config : Explorer.config) =
+  Wfs_obs.Metrics.Counter.incr M.critical_searches;
   let _, valency = analyze config in
   let seen : (Value.t, unit) Hashtbl.t = Hashtbl.create 4096 in
   let exception Found of critical in
@@ -84,7 +97,9 @@ let find_critical (config : Explorer.config) =
   in
   match dfs (Explorer.initial config) with
   | () -> None
-  | exception Found c -> Some c
+  | exception Found c ->
+      Wfs_obs.Metrics.Counter.incr M.critical_found;
+      Some c
 
 let pp_valency ppf v =
   Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") Value.pp) (Vset.elements v)

@@ -1,0 +1,362 @@
+(* Tests for the observability layer (Wfs_obs): JSON, metrics, tracing,
+   counterexample export/replay, and the explorer's metric feed. *)
+
+open Wfs_spec
+open Wfs_sim
+open Wfs_consensus
+module Json = Wfs_obs.Json
+module Metrics = Wfs_obs.Metrics
+module Trace = Wfs_obs.Trace
+module Counterexample = Wfs_obs.Counterexample
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let json =
+  Alcotest.testable
+    (fun ppf j -> Fmt.string ppf (Json.to_string j))
+    (fun a b -> String.equal (Json.to_string a) (Json.to_string b))
+
+(* --- JSON --- *)
+
+let test_json_round_trip () =
+  let j =
+    Json.obj
+      [
+        ("null", Json.null);
+        ("bools", Json.list [ Json.bool true; Json.bool false ]);
+        ("int", Json.int (-42));
+        ("float", Json.float 1.5);
+        ("str", Json.str "hello");
+        ("nested", Json.obj [ ("empty", Json.list []) ]);
+      ]
+  in
+  Alcotest.check json "round trip" j (Json.of_string (Json.to_string j));
+  Alcotest.check json "pretty round trip" j
+    (Json.of_string (Json.to_string_pretty j))
+
+let test_json_escaping () =
+  let s = "quote\" backslash\\ newline\n tab\t ctrl\x01 unicode\xc3\xa9" in
+  let j = Json.str s in
+  (match Json.of_string (Json.to_string j) with
+  | Json.Str s' -> Alcotest.(check string) "escaped string survives" s s'
+  | _ -> Alcotest.fail "expected string");
+  Alcotest.(check bool)
+    "control char escaped" true
+    (let rendered = Json.to_string j in
+     not (String.contains rendered '\x01'))
+
+let test_json_floats () =
+  Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.float Float.nan));
+  Alcotest.(check string)
+    "infinity is null" "null"
+    (Json.to_string (Json.float Float.infinity));
+  (* a float that happens to be integral still reads back as a number *)
+  (match Json.of_string (Json.to_string (Json.float 3.0)) with
+  | Json.Float f -> Alcotest.(check (float 0.0)) "3.0" 3.0 f
+  | Json.Int i -> Alcotest.(check int) "3" 3 i
+  | _ -> Alcotest.fail "expected number");
+  match Json.of_string "1e3" with
+  | Json.Float f -> Alcotest.(check (float 0.0)) "1e3" 1000.0 f
+  | _ -> Alcotest.fail "expected float"
+
+let test_json_parse_errors () =
+  let raises s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> ()
+    | _ -> Alcotest.fail (Fmt.str "expected Parse_error on %S" s)
+  in
+  raises "";
+  raises "{";
+  raises "[1,]";
+  raises "{\"a\":1} trailing";
+  raises "'single'"
+
+let test_json_accessors () =
+  let j = Json.of_string {|{"a": 1, "b": [2.5], "c": "s"}|} in
+  Alcotest.(check (option int)) "member a" (Some 1)
+    (Option.bind (Json.member "a" j) Json.to_int);
+  Alcotest.(check (option (float 0.0)))
+    "number of int" (Some 1.0)
+    (Option.bind (Json.member "a" j) Json.to_number);
+  Alcotest.(check (option string))
+    "member c" (Some "s")
+    (Option.bind (Json.member "c" j) Json.to_str);
+  Alcotest.(check bool)
+    "missing member" true
+    (Json.member "zzz" j = None)
+
+(* --- metrics --- *)
+
+let test_metrics_counter_gauge () =
+  let r = Metrics.create () in
+  let c = Metrics.Counter.make ~registry:r "c" in
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 4;
+  Alcotest.(check int) "counter" 5 (Metrics.Counter.value c);
+  let g = Metrics.Gauge.make ~registry:r "g" in
+  Metrics.Gauge.set g 7;
+  Metrics.Gauge.set_max g 3;
+  Alcotest.(check int) "set_max keeps high water" 7 (Metrics.Gauge.value g);
+  Metrics.Gauge.set_max g 11;
+  Alcotest.(check int) "set_max raises" 11 (Metrics.Gauge.value g);
+  (* make is idempotent per name *)
+  let c' = Metrics.Counter.make ~registry:r "c" in
+  Metrics.Counter.incr c';
+  Alcotest.(check int) "same underlying counter" 6 (Metrics.Counter.value c);
+  (* a name cannot change kind *)
+  (match Metrics.Gauge.make ~registry:r "c" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on kind mismatch");
+  Metrics.reset ~registry:r ();
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.Counter.value c);
+  Alcotest.(check (option int))
+    "lookup by name" (Some 0)
+    (Metrics.counter_value ~registry:r "c")
+
+let test_metrics_histogram_snapshot () =
+  let r = Metrics.create () in
+  let h = Metrics.Histogram.make ~registry:r "lat" in
+  List.iter (Metrics.Histogram.observe h) [ 1; 2; 3; 100 ];
+  Alcotest.(check int) "count" 4 (Metrics.Histogram.count h);
+  Alcotest.(check int) "sum" 106 (Metrics.Histogram.sum h);
+  Alcotest.(check int) "max" 100 (Metrics.Histogram.max_value h);
+  let snap = Metrics.snapshot ~registry:r () in
+  let field k =
+    Option.bind (Json.member "lat" snap) (fun l -> Json.member k l)
+  in
+  Alcotest.(check (option int)) "snapshot count" (Some 4)
+    (Option.bind (field "count") Json.to_int);
+  Alcotest.(check (option int)) "snapshot sum" (Some 106)
+    (Option.bind (field "sum") Json.to_int);
+  Alcotest.(check bool) "snapshot has buckets" true (field "buckets" <> None);
+  (* the whole snapshot is parseable JSON *)
+  let reparsed = Json.of_string (Metrics.snapshot_string ~registry:r ()) in
+  Alcotest.check json "snapshot string parses" snap reparsed
+
+let test_metrics_hot_flag () =
+  Alcotest.(check bool) "off by default" false (Metrics.hot ());
+  let inside = Metrics.with_hot (fun () -> Metrics.hot ()) in
+  Alcotest.(check bool) "on inside with_hot" true inside;
+  Alcotest.(check bool) "restored after" false (Metrics.hot ())
+
+(* --- tracing --- *)
+
+let test_trace_buffer_sink () =
+  let sink, lines = Trace.buffer () in
+  Trace.set_sink sink;
+  Alcotest.(check bool) "enabled" true (Trace.enabled ());
+  Trace.event ~pid:3 ~tags:[ ("k", Json.int 9) ] "tick";
+  let result = Trace.with_span "work" (fun () -> 40 + 2) in
+  Alcotest.(check int) "span passes result through" 42 result;
+  Trace.close ();
+  Alcotest.(check bool) "closed" false (Trace.enabled ());
+  match lines () with
+  | [ l1; l2 ] ->
+      let j1 = Json.of_string l1 and j2 = Json.of_string l2 in
+      let str_field k j = Option.bind (Json.member k j) Json.to_str in
+      Alcotest.(check (option string)) "event kind" (Some "event")
+        (str_field "kind" j1);
+      Alcotest.(check (option string)) "event name" (Some "tick")
+        (str_field "name" j1);
+      Alcotest.(check (option int)) "event pid" (Some 3)
+        (Option.bind (Json.member "pid" j1) Json.to_int);
+      Alcotest.(check (option int)) "event tag" (Some 9)
+        (Option.bind (Json.member "k" j1) Json.to_int);
+      Alcotest.(check (option string)) "span kind" (Some "span")
+        (str_field "kind" j2);
+      Alcotest.(check bool) "span has dur_ns" true
+        (Json.member "dur_ns" j2 <> None);
+      Alcotest.(check bool) "timestamps present" true
+        (Json.member "ts" j1 <> None && Json.member "ts" j2 <> None)
+  | ls -> Alcotest.fail (Fmt.str "expected 2 trace lines, got %d" (List.length ls))
+
+let test_trace_null_sink_is_noop () =
+  (* default sink: nothing recorded, nothing raised *)
+  Alcotest.(check bool) "disabled" false (Trace.enabled ());
+  Trace.event "ignored";
+  Alcotest.(check int) "span still runs" 7 (Trace.with_span "s" (fun () -> 7))
+
+(* --- counterexamples --- *)
+
+let sample_ce =
+  {
+    Counterexample.protocol = "register-naive";
+    n = 2;
+    kind = Counterexample.Disagreement;
+    schedule = [ 0; 0; 0; 1; 1; 1 ];
+    decisions = [ (0, Value.pid 0); (1, Value.pid 1) ];
+  }
+
+let test_counterexample_round_trip () =
+  let ce' = Counterexample.of_json (Counterexample.to_json sample_ce) in
+  Alcotest.(check string) "protocol" sample_ce.Counterexample.protocol
+    ce'.Counterexample.protocol;
+  Alcotest.(check int) "n" 2 ce'.Counterexample.n;
+  Alcotest.(check (list int)) "schedule" sample_ce.Counterexample.schedule
+    ce'.Counterexample.schedule;
+  Alcotest.(check (list (pair int value)))
+    "decisions" sample_ce.Counterexample.decisions
+    ce'.Counterexample.decisions;
+  Alcotest.(check bool) "kind" true
+    (ce'.Counterexample.kind = Counterexample.Disagreement)
+
+let test_counterexample_value_encoding () =
+  let values =
+    [
+      Value.unit;
+      Value.bool true;
+      Value.int (-3);
+      Value.str "x\"y";
+      Value.pair (Value.int 1) (Value.str "a");
+      Value.list [ Value.int 1; Value.list [ Value.unit ] ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      Alcotest.check value "value round trip" v
+        (Counterexample.value_of_json (Counterexample.value_to_json v)))
+    values;
+  match Counterexample.value_of_json (Json.list [ Json.str "zzz" ]) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on unknown tag"
+
+let test_counterexample_save_load () =
+  let path = Filename.temp_file "wfs-ce" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Counterexample.save path sample_ce;
+      let ce' = Counterexample.load path in
+      Alcotest.(check (list int))
+        "schedule survives disk" sample_ce.Counterexample.schedule
+        ce'.Counterexample.schedule;
+      (* the file is plain JSON with the schema marker *)
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let raw = really_input_string ic len in
+      close_in ic;
+      Alcotest.(check (option string))
+        "schema" (Some "wfs-counterexample/1")
+        (Option.bind (Json.member "schema" (Json.of_string raw)) Json.to_str))
+
+let test_counterexample_rejects_bad_schema () =
+  let bad = Json.obj [ ("schema", Json.str "nope/9") ] in
+  match Counterexample.of_json bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on wrong schema"
+
+(* --- export → replay end to end (Theorem 2's naive protocol) --- *)
+
+let test_violation_export_and_replay () =
+  let entry = Registry.find "register-naive" in
+  let t = Option.get (entry.Registry.build ~n:2) in
+  match Protocol.find_violation t with
+  | None -> Alcotest.fail "naive register protocol should violate agreement"
+  | Some v ->
+      let ce =
+        Protocol.violation_to_counterexample ~protocol:"register-naive" ~n:2 v
+      in
+      (* the exported schedule reproduces the same violation *)
+      (match Protocol.replay_counterexample t ce with
+      | Ok v' ->
+          Alcotest.(check bool) "same kind" true (v'.Protocol.kind = v.Protocol.kind)
+      | Error e -> Alcotest.fail ("replay diverged: " ^ e));
+      (* serialization does not perturb the replay *)
+      let ce' = Counterexample.of_json (Counterexample.to_json ce) in
+      (match Protocol.replay_counterexample t ce' with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("replay after round trip diverged: " ^ e))
+
+let test_replay_rejects_impossible_schedule () =
+  let entry = Registry.find "register-naive" in
+  let t = Option.get (entry.Registry.build ~n:2) in
+  match Protocol.replay t ~schedule:[ 9 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for a pid that cannot step"
+
+(* --- explorer metric feed --- *)
+
+let tas_config () =
+  (Rmw_consensus.test_and_set ()).Protocol.config
+
+let counter name = Option.value ~default:0 (Metrics.counter_value name)
+
+let test_explorer_metrics_feed () =
+  Metrics.reset ();
+  let stats = Explorer.explore (tas_config ()) in
+  Alcotest.(check int)
+    "states_visited matches stats" stats.Explorer.states
+    (counter "explorer.states_visited");
+  Alcotest.(check int) "one run recorded" 1 (counter "explorer.runs");
+  Alcotest.(check bool) "dedup hits seen" true (counter "explorer.dedup_hits" > 0);
+  Alcotest.(check bool)
+    "lookups >= hits" true
+    (counter "explorer.dedup_lookups" >= counter "explorer.dedup_hits");
+  let rate = Option.value ~default:(-1.0) (Metrics.fgauge_value "explorer.dedup_hit_rate") in
+  Alcotest.(check bool) "hit rate in (0,1)" true (rate > 0.0 && rate < 1.0);
+  Alcotest.(check bool)
+    "max depth recorded" true
+    (Option.value ~default:0 (Metrics.gauge_value "explorer.max_depth") > 0);
+  Alcotest.(check int) "no truncation" 0
+    (counter "explorer.truncated.states" + counter "explorer.truncated.depth")
+
+let test_explorer_truncation_metrics_distinguish_causes () =
+  Metrics.reset ();
+  let stats = Explorer.explore ~max_states:3 (tas_config ()) in
+  Alcotest.(check bool) "truncated" true stats.Explorer.truncated;
+  Alcotest.(check int) "states budget counted" 1 (counter "explorer.truncated.states");
+  Alcotest.(check int) "depth budget not counted" 0 (counter "explorer.truncated.depth");
+  Metrics.reset ();
+  let stats = Explorer.explore ~max_depth:2 (tas_config ()) in
+  Alcotest.(check bool) "truncated" true stats.Explorer.truncated;
+  Alcotest.(check int) "depth budget counted" 1 (counter "explorer.truncated.depth");
+  Alcotest.(check int) "states budget not counted" 0 (counter "explorer.truncated.states")
+
+let suite =
+  [
+    ( "obs.json",
+      [
+        Alcotest.test_case "round trip" `Quick test_json_round_trip;
+        Alcotest.test_case "escaping" `Quick test_json_escaping;
+        Alcotest.test_case "floats" `Quick test_json_floats;
+        Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        Alcotest.test_case "accessors" `Quick test_json_accessors;
+      ] );
+    ( "obs.metrics",
+      [
+        Alcotest.test_case "counter/gauge" `Quick test_metrics_counter_gauge;
+        Alcotest.test_case "histogram + snapshot" `Quick
+          test_metrics_histogram_snapshot;
+        Alcotest.test_case "hot flag" `Quick test_metrics_hot_flag;
+      ] );
+    ( "obs.trace",
+      [
+        Alcotest.test_case "buffer sink JSONL" `Quick test_trace_buffer_sink;
+        Alcotest.test_case "null sink no-op" `Quick
+          test_trace_null_sink_is_noop;
+      ] );
+    ( "obs.counterexample",
+      [
+        Alcotest.test_case "json round trip" `Quick
+          test_counterexample_round_trip;
+        Alcotest.test_case "value encoding" `Quick
+          test_counterexample_value_encoding;
+        Alcotest.test_case "save/load" `Quick test_counterexample_save_load;
+        Alcotest.test_case "rejects bad schema" `Quick
+          test_counterexample_rejects_bad_schema;
+      ] );
+    ( "obs.replay",
+      [
+        Alcotest.test_case "export then replay (Thm 2)" `Quick
+          test_violation_export_and_replay;
+        Alcotest.test_case "impossible schedule rejected" `Quick
+          test_replay_rejects_impossible_schedule;
+      ] );
+    ( "obs.explorer-metrics",
+      [
+        Alcotest.test_case "states/dedup feed" `Quick
+          test_explorer_metrics_feed;
+        Alcotest.test_case "truncation causes distinguished" `Quick
+          test_explorer_truncation_metrics_distinguish_causes;
+      ] );
+  ]

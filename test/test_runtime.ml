@@ -461,6 +461,108 @@ let suite =
       ] );
   ]
 
+(* --- recorder: ticket order, capacity boundary, around pairing --- *)
+
+let test_recorder_ticket_order_real_time () =
+  let open Wfs_spec in
+  (* concurrent: every event lands, and each process's own events keep
+     program order (INVOKE/RESPOND alternation = well-formedness) *)
+  let r = Recorder.create ~capacity:64 in
+  let _ =
+    P.run_domains 3 (fun pid ->
+        for i = 1 to 5 do
+          Recorder.invoke r ~pid ~obj:"c" Collections.incr;
+          Recorder.respond r ~pid ~obj:"c" (Value.int i)
+        done)
+  in
+  let h = Recorder.history r in
+  Alcotest.(check int) "all events present" 30 (List.length h);
+  Alcotest.(check bool) "well-formed" true (Wfs_history.History.well_formed h);
+  (* sequential: an operation that responded strictly before another was
+     invoked takes the earlier ticket — the real-time guarantee *)
+  let r = Recorder.create ~capacity:4 in
+  Recorder.invoke r ~pid:0 ~obj:"c" Collections.incr;
+  Recorder.respond r ~pid:0 ~obj:"c" (Value.int 1);
+  Recorder.invoke r ~pid:1 ~obj:"c" Collections.incr;
+  match Recorder.history r with
+  | [
+   Wfs_history.Event.Invoke { pid = p0; _ };
+   Wfs_history.Event.Respond _;
+   Wfs_history.Event.Invoke { pid = p1; _ };
+  ] ->
+      Alcotest.(check int) "earlier op first" 0 p0;
+      Alcotest.(check int) "later op last" 1 p1
+  | h ->
+      Alcotest.fail
+        (Fmt.str "unexpected ticket order (%d events)" (List.length h))
+
+let test_recorder_capacity_boundary () =
+  let open Wfs_spec in
+  let r = Recorder.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (Recorder.capacity r);
+  Alcotest.(check int) "headroom full" 2 (Recorder.headroom r);
+  Recorder.invoke r ~pid:0 ~obj:"c" Collections.incr;
+  Alcotest.(check int) "headroom after one" 1 (Recorder.headroom r);
+  Recorder.respond r ~pid:0 ~obj:"c" Value.unit;
+  Alcotest.(check int) "used at capacity" 2 (Recorder.used r);
+  Alcotest.(check int) "headroom exhausted" 0 (Recorder.headroom r);
+  (match Recorder.invoke r ~pid:1 ~obj:"c" Collections.incr with
+  | exception Recorder.Capacity_exceeded -> ()
+  | () -> Alcotest.fail "expected Capacity_exceeded past the boundary");
+  (* the overflow does not corrupt what was recorded *)
+  Alcotest.(check int) "history intact" 2 (List.length (Recorder.history r));
+  Alcotest.(check int) "used stays clamped" 2 (Recorder.used r)
+
+let test_recorder_around_pairing () =
+  let open Wfs_spec in
+  let r = Recorder.create ~capacity:8 in
+  let result =
+    Recorder.around r ~pid:2 ~obj:"q" ~op:Queues.deq ~encode_res:Value.int
+      (fun () -> 41 + 1)
+  in
+  Alcotest.(check int) "result passes through" 42 result;
+  match Recorder.history r with
+  | [
+   Wfs_history.Event.Invoke { pid = pi; obj = oi; op };
+   Wfs_history.Event.Respond { pid = pr; obj = orr; res };
+  ] ->
+      Alcotest.(check int) "invoke pid" 2 pi;
+      Alcotest.(check int) "respond pid" 2 pr;
+      Alcotest.(check string) "invoke obj" "q" oi;
+      Alcotest.(check string) "respond obj" "q" orr;
+      Alcotest.(check bool) "op recorded" true (Op.equal op Queues.deq);
+      Alcotest.(check bool) "result encoded" true
+        (Value.equal res (Value.int 42))
+  | h ->
+      Alcotest.fail
+        (Fmt.str "expected one INVOKE/RESPOND pair, got %d events"
+           (List.length h))
+
+let test_recorder_headroom_gauge () =
+  let open Wfs_spec in
+  let r = Recorder.create ~capacity:10 in
+  Wfs_obs.Metrics.with_hot (fun () ->
+      Recorder.invoke r ~pid:0 ~obj:"c" Collections.incr;
+      Recorder.respond r ~pid:0 ~obj:"c" Value.unit);
+  Alcotest.(check (option int))
+    "gauge tracks remaining slots" (Some 8)
+    (Wfs_obs.Metrics.gauge_value "recorder.headroom")
+
+let recorder_suite =
+  ( "runtime.recorder",
+    [
+      Alcotest.test_case "ticket order real-time-consistent" `Quick
+        test_recorder_ticket_order_real_time;
+      Alcotest.test_case "capacity boundary" `Quick
+        test_recorder_capacity_boundary;
+      Alcotest.test_case "around pairs INVOKE/RESPOND" `Quick
+        test_recorder_around_pairing;
+      Alcotest.test_case "headroom gauge when hot" `Quick
+        test_recorder_headroom_gauge;
+    ] )
+
+let suite = suite @ [ recorder_suite ]
+
 (* --- reference-equivalence properties (single domain) ---
 
    Applied sequentially, each runtime construction must agree exactly

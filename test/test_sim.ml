@@ -266,6 +266,20 @@ let test_explorer_truncation_flag () =
   Alcotest.(check bool) "not wait-free verdict" false
     (Explorer.wait_free stats)
 
+let test_explorer_truncation_causes () =
+  (* the stats record which budget cut the run short *)
+  let stats = Explorer.explore ~max_states:3 (tas_config ()) in
+  Alcotest.(check bool) "states budget named" true
+    (stats.Explorer.truncation = Some Explorer.Budget_states);
+  let stats = Explorer.explore ~max_depth:2 (tas_config ()) in
+  Alcotest.(check bool) "depth budget named" true
+    (stats.Explorer.truncation = Some Explorer.Budget_depth);
+  Alcotest.(check bool) "depth run still flagged" true
+    stats.Explorer.truncated;
+  let stats = Explorer.explore (tas_config ()) in
+  Alcotest.(check bool) "complete run has no cause" true
+    (stats.Explorer.truncation = None)
+
 let test_menu_for_ownership () =
   let ch =
     Channels.fifo_point_to_point ~name:"ch" ~processes:2
@@ -293,6 +307,8 @@ let extra_suite =
         test_scheduler_of_list_replays;
       Alcotest.test_case "explorer truncation" `Quick
         test_explorer_truncation_flag;
+      Alcotest.test_case "explorer truncation causes" `Quick
+        test_explorer_truncation_causes;
       Alcotest.test_case "ownership menus" `Quick test_menu_for_ownership;
     ] )
 
