@@ -561,6 +561,105 @@ let randomized_series () =
     trials !agreements trials
     (float_of_int !total_flips /. float_of_int trials)
 
+(* ---------- PERF: engine old-vs-new, same run ---------- *)
+
+let perf () =
+  section
+    "PERF  state-space engine: interned keys + fused DP vs legacy two-pass";
+  (* Reps are overridable so CI can smoke-test this section at a tiny
+     budget (WFS_PERF_REPS=1) while local runs keep enough samples for a
+     stable minimum. *)
+  let reps =
+    match Sys.getenv_opt "WFS_PERF_REPS" with
+    | Some s -> ( try max 1 (int_of_string s) with Failure _ -> 5)
+    | None -> 5
+  in
+  let time_pair name ~iters ~legacy ~fresh =
+    (* Warm both paths once, then keep the minimum over [reps] samples:
+       the minimum is the least noise-contaminated estimate on a shared
+       machine.  Each sample runs the workload [iters] times so the
+       sub-millisecond workloads are measurable with gettimeofday. *)
+    ignore (legacy ());
+    ignore (fresh ());
+    let best f =
+      let t = ref infinity in
+      for _ = 1 to reps do
+        Gc.minor ();
+        let (), dt =
+          time_once (fun () ->
+              for _ = 1 to iters do
+                ignore (f ())
+              done)
+        in
+        let per_call = dt /. float_of_int iters in
+        if per_call < !t then t := per_call
+      done;
+      !t
+    in
+    let t_old = best legacy in
+    let t_new = best fresh in
+    let speedup = t_old /. t_new in
+    record_series ("perf/" ^ name)
+      (Obs.Json.obj
+         [
+           ("legacy_seconds", Obs.Json.float t_old);
+           ("new_seconds", Obs.Json.float t_new);
+           ("speedup", Obs.Json.float speedup);
+           ("reps", Obs.Json.int reps);
+           ("iters_per_rep", Obs.Json.int iters);
+         ]);
+    Fmt.pr "  %-34s legacy %9.2f ms   new %9.2f ms   speedup %5.2fx@." name
+      (t_old *. 1e3) (t_new *. 1e3) speedup
+  in
+  (* Exhaustive verification: the explorer engines (interning + fused
+     DP vs the recursive two-pass reference). *)
+  let cas3 = Cas_consensus.protocol ~n:3 () in
+  let cas4 = Cas_consensus.protocol ~n:4 () in
+  let swap3 = Swap_consensus.protocol ~n:3 () in
+  time_pair "verify-cas-n3" ~iters:200
+    ~legacy:(fun () -> Protocol.verify ~legacy:true cas3)
+    ~fresh:(fun () -> Protocol.verify cas3);
+  time_pair "verify-cas-n4" ~iters:20
+    ~legacy:(fun () -> Protocol.verify ~legacy:true cas4)
+    ~fresh:(fun () -> Protocol.verify cas4);
+  time_pair "verify-mem-swap-n3" ~iters:2
+    ~legacy:(fun () -> Protocol.verify ~legacy:true swap3)
+    ~fresh:(fun () -> Protocol.verify swap3);
+  (* Strategy synthesis: interned view table vs raw (pid, view) keys on
+     the Theorem 11 instance. *)
+  let queue =
+    Queues.fifo ~name:"q"
+      ~initial:[ Value.str "a"; Value.str "b" ]
+      ~items:[ Value.str "a"; Value.str "b" ]
+      ()
+  in
+  let t11 = Solver.of_spec ~n:3 ~depth:1 queue in
+  time_pair "solver-queue-n3-d1" ~iters:1
+    ~legacy:(fun () -> Solver.solve_with_stats ~intern_views:false t11)
+    ~fresh:(fun () -> Solver.solve_with_stats t11);
+  let reg =
+    Registers.atomic ~name:"r" ~init:(Value.int 0) [ Value.int 0; Value.int 1 ]
+  in
+  let t2 = Solver.of_spec ~n:2 ~depth:3 reg in
+  time_pair "solver-register-n2-d3" ~iters:1
+    ~legacy:(fun () -> Solver.solve_with_stats ~intern_views:false t2)
+    ~fresh:(fun () -> Solver.solve_with_stats t2);
+  (* A census slice: two zoo objects through the full
+     initialization-quantified measurement, bounded so both paths do the
+     same work. *)
+  let census_slice ~intern_views () =
+    List.iter
+      (fun spec -> ignore (Census.measure ~max_nodes:200_000 ~intern_views spec))
+      [
+        Registers.test_and_set ();
+        Registers.atomic ~name:"r" ~init:(Value.int 0)
+          [ Value.int 0; Value.int 1 ];
+      ]
+  in
+  time_pair "census-slice" ~iters:1
+    ~legacy:(census_slice ~intern_views:false)
+    ~fresh:(census_slice ~intern_views:true)
+
 (* ---------- EXT-2: Lamport 1P/1C queue (§3.3) ---------- *)
 
 let lamport_queue_bench () =
@@ -632,6 +731,7 @@ let sections : (string * (unit -> unit)) list =
     ("census", census);
     ("randomized", randomized_series);
     ("lamport", lamport_queue_bench);
+    ("perf", perf);
   ]
 
 let () =

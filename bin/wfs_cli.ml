@@ -55,6 +55,17 @@ let verify_cmd =
   let n =
     Arg.(value & opt int 2 & info [ "n" ] ~doc:"Number of processes.")
   in
+  let max_states =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "max-states" ]
+          ~doc:"State budget for the exhaustive exploration.")
+  in
+  let max_depth =
+    Arg.(
+      value & opt int 10_000
+      & info [ "max-depth" ] ~doc:"Depth budget for the exploration DFS.")
+  in
   let out =
     Arg.(
       value
@@ -64,7 +75,7 @@ let verify_cmd =
             "On violation, export the counterexample schedule to $(docv) \
              as replayable JSON (see the replay subcommand).")
   in
-  let run key n out =
+  let run key n max_states max_depth out =
     match (Registry.find key).Registry.build ~n with
     | exception Invalid_argument msg ->
         Fmt.epr "%s@." msg;
@@ -73,12 +84,17 @@ let verify_cmd =
         Fmt.epr "%s does not support n = %d@." key n;
         2
     | Some protocol ->
-        let report = Protocol.verify protocol in
+        let report = Protocol.verify ~max_states ~max_depth protocol in
         Fmt.pr "%s (%s), n = %d:@.%a@." protocol.Protocol.name
           protocol.Protocol.theorem n Protocol.pp_report report;
+        if report.Protocol.truncated then
+          Fmt.pr
+            "exploration truncated by the %s — raise --max-states / \
+             --max-depth for a complete verdict@."
+            (Protocol.truncation_label report.Protocol.truncation);
         if Protocol.passed report then 0
         else begin
-          (match Protocol.find_violation protocol with
+          (match Protocol.find_violation ~max_states protocol with
           | Some v ->
               Fmt.pr "@.counterexample: %a@." Protocol.pp_violation v;
               (match out with
@@ -97,7 +113,7 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Exhaustively verify a consensus protocol over all schedules")
-    Term.(const run $ key $ n $ out)
+    Term.(const run $ key $ n $ max_states $ max_depth $ out)
 
 (* --- replay --- *)
 
@@ -245,20 +261,55 @@ let census_cmd =
     Arg.(value & opt int 30_000_000
          & info [ "budget" ] ~doc:"Search-node budget per solver run.")
   in
-  let run budget =
+  let max_states =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-states" ]
+          ~doc:
+            "Cap on solver search nodes per run (lower of this and \
+             --budget wins).")
+  in
+  let max_depth =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-depth" ]
+          ~doc:
+            "Cap on operations per process (bounds both the n=2 and n=3 \
+             instances; defaults are 2 and 1).")
+  in
+  let run budget max_states max_depth =
+    let max_nodes =
+      match max_states with Some s -> min s budget | None -> budget
+    in
+    let depth2 = match max_depth with Some d -> min d 2 | None -> 2 in
+    let depth3 = match max_depth with Some d -> min d 1 | None -> 1 in
     Fmt.pr
-      "solver-only census (bounded: n=2 within 2 ops, n=3 within 1 op,@.\
-       over initializations reachable in ≤ 2 operations):@.@.";
-    let results = Census.run ~max_nodes:budget () in
+      "solver-only census (bounded: n=2 within %d op(s), n=3 within %d \
+       op(s),@.over initializations reachable in ≤ 2 operations):@.@."
+      depth2 depth3;
+    let results = Census.run ~depth2 ~depth3 ~max_nodes () in
     Fmt.pr "%a@." Census.pp results;
-    0
+    let budget_hit =
+      List.exists
+        (fun (m : Census.measurement) ->
+          fst m.Census.two_proc = Census.Budget
+          || fst m.Census.three_proc = Census.Budget)
+        results
+    in
+    if budget_hit then begin
+      Fmt.pr
+        "@.some verdicts hit the node budget — raise --budget / \
+         --max-states for a conclusive census@.";
+      1
+    end
+    else 0
   in
   Cmd.v
     (Cmd.info "census"
        ~doc:
          "Measure every zoo object's bounded consensus number with the \
           solver alone")
-    Term.(const run $ budget)
+    Term.(const run $ budget $ max_states $ max_depth)
 
 (* --- critical --- *)
 

@@ -30,6 +30,8 @@ type report = {
   decisions_seen : Value.t list;  (** distinct decision values over all runs *)
   stuck : (int * string) option;
   truncated : bool;
+  truncation : Explorer.truncation option;
+      (** which budget cut exploration short, when [truncated] *)
 }
 
 let passed r = r.agreement && r.validity && r.wait_free && not r.truncated
@@ -46,8 +48,8 @@ let terminal_agreement (t : Explorer.terminal) =
   let d0 = t.Explorer.decisions.(0) in
   Array.for_all (Value.equal d0) t.Explorer.decisions
 
-let verify ?(max_states = 2_000_000) t =
-  let stats = Explorer.explore ~max_states t.config in
+let verify ?(max_states = 2_000_000) ?max_depth ?legacy t =
+  let stats = Explorer.explore ~max_states ?max_depth ?legacy t.config in
   let agreement = List.for_all terminal_agreement stats.Explorer.terminals in
   (* Validity is checked at every decide event during exploration — the
      paper's condition applied to every history prefix. *)
@@ -68,6 +70,7 @@ let verify ?(max_states = 2_000_000) t =
     decisions_seen;
     stuck = stats.Explorer.stuck;
     truncated = stats.Explorer.truncated;
+    truncation = stats.Explorer.truncation;
   }
 
 (* Spot-check a protocol on a single schedule (used by tests and demos):
@@ -91,7 +94,7 @@ type violation = {
 
 let find_violation ?(max_states = 2_000_000) t =
   let cfg = t.config in
-  let seen : (Value.t, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let seen : unit Value.Tbl.t = Value.Tbl.create 4096 in
   let exception Found of violation in
   let violation_at node path kind =
     let decisions =
@@ -103,8 +106,9 @@ let find_violation ?(max_states = 2_000_000) t =
   in
   let rec dfs node path =
     let k = Explorer.key node in
-    if (not (Hashtbl.mem seen k)) && Hashtbl.length seen < max_states then begin
-      Hashtbl.replace seen k ();
+    if (not (Value.Tbl.mem seen k)) && Value.Tbl.length seen < max_states
+    then begin
+      Value.Tbl.replace seen k ();
       if Explorer.is_terminal node then begin
         let ds = Array.map Option.get node.Explorer.decided in
         if not (Array.for_all (Value.equal ds.(0)) ds) then
@@ -238,11 +242,17 @@ let pp_violation ppf v =
       list ~sep:(any ", ") (fun ppf (p, d) -> Fmt.pf ppf "P%d=%a" p Value.pp d))
     v.decisions
 
+let truncation_label = function
+  | None -> "no"
+  | Some Explorer.Budget_states -> "states-budget"
+  | Some Explorer.Budget_depth -> "depth-budget"
+
 let pp_report ppf r =
   Fmt.pf ppf
-    "@[<v>agreement=%b validity=%b wait-free=%b states=%d truncated=%b@ \
+    "@[<v>agreement=%b validity=%b wait-free=%b states=%d truncated=%s@ \
      decisions seen: %a%a%a@]"
-    r.agreement r.validity r.wait_free r.states r.truncated
+    r.agreement r.validity r.wait_free r.states
+    (truncation_label r.truncation)
     Fmt.(list ~sep:(any ", ") Value.pp)
     r.decisions_seen
     Fmt.(

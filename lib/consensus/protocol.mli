@@ -26,6 +26,8 @@ type report = {
   decisions_seen : Value.t list;
   stuck : (int * string) option;
   truncated : bool;
+  truncation : Explorer.truncation option;
+      (** which budget cut exploration short, when [truncated] *)
 }
 
 (** All conditions hold and exploration was complete. *)
@@ -34,7 +36,12 @@ val passed : report -> bool
 val make :
   name:string -> theorem:string -> procs:Process.t array -> env:Env.t -> t
 
-val verify : ?max_states:int -> t -> report
+(** [legacy] selects the reference two-pass explorer engine (see
+    {!Explorer.explore}). *)
+val verify : ?max_states:int -> ?max_depth:int -> ?legacy:bool -> t -> report
+
+(** Human-readable truncation cause ("no" when complete). *)
+val truncation_label : Explorer.truncation option -> string
 
 (** Run on one concrete schedule (demos, tests). *)
 val run_once : ?max_steps:int -> schedule:Scheduler.t -> t -> Runner.outcome

@@ -78,7 +78,8 @@ let candidate_inits ?(max_candidates = 16) (spec : Object_spec.t) =
 
 (* Solve for one process count, trying each candidate initialization
    until one admits a protocol. *)
-let solve_any_init ~n ~depth ~max_nodes (spec : Object_spec.t) inits =
+let solve_any_init ~n ~depth ~max_nodes ~intern_views (spec : Object_spec.t)
+    inits =
   let rec go total_nodes budget_hit winning = function
     | [] ->
         if budget_hit then ((Budget, total_nodes), winning)
@@ -86,7 +87,8 @@ let solve_any_init ~n ~depth ~max_nodes (spec : Object_spec.t) inits =
     | init :: rest -> (
         let spec' = { spec with Object_spec.init } in
         let verdict, nodes =
-          Solver.solve_with_stats ~max_nodes (Solver.of_spec ~n ~depth spec')
+          Solver.solve_with_stats ~max_nodes ~intern_views
+            (Solver.of_spec ~n ~depth spec')
         in
         let total_nodes = total_nodes + nodes in
         match outcome_of verdict with
@@ -97,13 +99,13 @@ let solve_any_init ~n ~depth ~max_nodes (spec : Object_spec.t) inits =
   go 0 false None inits
 
 let measure ?(depth2 = 2) ?(depth3 = 1) ?(max_nodes = 20_000_000)
-    ?(max_candidates = 16) (spec : Object_spec.t) =
+    ?(max_candidates = 16) ?(intern_views = true) (spec : Object_spec.t) =
   let inits = candidate_inits ~max_candidates spec in
   let two_proc, winning_init2 =
-    solve_any_init ~n:2 ~depth:depth2 ~max_nodes spec inits
+    solve_any_init ~n:2 ~depth:depth2 ~max_nodes ~intern_views spec inits
   in
   let three_proc, winning_init3 =
-    solve_any_init ~n:3 ~depth:depth3 ~max_nodes spec inits
+    solve_any_init ~n:3 ~depth:depth3 ~max_nodes ~intern_views spec inits
   in
   {
     object_name = spec.Object_spec.name;
@@ -123,8 +125,11 @@ let measure ?(depth2 = 2) ?(depth3 = 1) ?(max_nodes = 20_000_000)
    (e.g. memory-to-memory swap's swap-then-scan) report a bounded
    negative; the protocol-verified table covers those — the census is
    the solver-only view. *)
-let run ?(depth2 = 2) ?(depth3 = 1) ?(max_nodes = 20_000_000) () =
-  List.map (fun spec -> measure ~depth2 ~depth3 ~max_nodes spec) (Zoo.all ())
+let run ?(depth2 = 2) ?(depth3 = 1) ?(max_nodes = 20_000_000)
+    ?(intern_views = true) () =
+  List.map
+    (fun spec -> measure ~depth2 ~depth3 ~max_nodes ~intern_views spec)
+    (Zoo.all ())
 
 let pp_outcome ppf = function
   | Solvable -> Fmt.string ppf "solvable"

@@ -30,12 +30,16 @@ type measurement = {
 (** Initial states reachable within two menu operations (capped). *)
 val candidate_inits : ?max_candidates:int -> Object_spec.t -> Value.t list
 
+(** [intern_views] (default true) is forwarded to
+    {!Solver.solve_with_stats} — identical verdicts either way; the
+    PERF bench section measures the difference. *)
 val measure :
   ?depth2:int -> ?depth3:int -> ?max_nodes:int -> ?max_candidates:int ->
-  Object_spec.t -> measurement
+  ?intern_views:bool -> Object_spec.t -> measurement
 
 val run :
-  ?depth2:int -> ?depth3:int -> ?max_nodes:int -> unit -> measurement list
+  ?depth2:int -> ?depth3:int -> ?max_nodes:int -> ?intern_views:bool ->
+  unit -> measurement list
 
 val pp_outcome : outcome Fmt.t
 val pp_measurement : measurement Fmt.t

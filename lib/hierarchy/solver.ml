@@ -78,8 +78,75 @@ let of_spec ?(extra_candidates = []) ~n ~depth (spec : Object_spec.t) =
 
 exception Budget
 
-let solve_with_stats ?(max_nodes = 20_000_000) ?(prune_agreement = true) inst =
+(* Strategy-table metrics, mirroring the explorer's interning
+   instrumentation. *)
+module M = struct
+  open Wfs_obs.Metrics
+
+  let runs = Counter.make "solver.runs"
+  let nodes_total = Counter.make "solver.nodes"
+  let view_intern_hits = Counter.make "solver.view_intern.hits"
+  let view_intern_lookups = Counter.make "solver.view_intern.lookups"
+  let view_arena_size = Gauge.make "solver.view_intern.arena_size"
+end
+
+(* The strategy table σ maps (pid, local view) to the chosen action.
+   Views are response lists that deepen with every operation, so the
+   generic-hash [Hashtbl] keying of the original engine degrades as
+   views grow; the default keying interns views to dense ids
+   ([Wfs_sim.Intern], full-depth hashing) and keys σ by the single int
+   [view_id * n + pid].  [intern_views:false] keeps the original
+   (pid, view)-keyed table as the reference path for differential
+   tests and the PERF benchmarks. *)
+type 'k sigma_ops = {
+  sigma_key : int -> Value.t -> 'k;
+  sigma_find : 'k -> action option;
+  sigma_set : 'k -> action -> unit;
+  sigma_remove : 'k -> unit;
+  sigma_extract : unit -> assignment list;
+  sigma_flush_metrics : unit -> unit;
+}
+
+let interned_sigma n =
+  let views = Intern.create ~size_hint:1024 () in
+  let sigma : (int, action) Hashtbl.t = Hashtbl.create 1024 in
+  {
+    sigma_key = (fun pid view -> (Intern.intern views view * n) + pid);
+    sigma_find = (fun k -> Hashtbl.find_opt sigma k);
+    sigma_set = (fun k a -> Hashtbl.replace sigma k a);
+    sigma_remove = (fun k -> Hashtbl.remove sigma k);
+    sigma_extract =
+      (fun () ->
+        Hashtbl.fold
+          (fun k chosen acc ->
+            { pid = k mod n; view = Intern.value views (k / n); chosen }
+            :: acc)
+          sigma []);
+    sigma_flush_metrics =
+      (fun () ->
+        let open Wfs_obs.Metrics in
+        Counter.add M.view_intern_hits (Intern.hits views);
+        Counter.add M.view_intern_lookups (Intern.lookups views);
+        Gauge.set_max M.view_arena_size (Intern.size views));
+  }
+
+let legacy_sigma () =
   let sigma : (int * Value.t, action) Hashtbl.t = Hashtbl.create 256 in
+  {
+    sigma_key = (fun pid view -> (pid, view));
+    sigma_find = (fun k -> Hashtbl.find_opt sigma k);
+    sigma_set = (fun k a -> Hashtbl.replace sigma k a);
+    sigma_remove = (fun k -> Hashtbl.remove sigma k);
+    sigma_extract =
+      (fun () ->
+        Hashtbl.fold
+          (fun (pid, view) chosen acc -> { pid; view; chosen } :: acc)
+          sigma []);
+    sigma_flush_metrics = ignore;
+  }
+
+let solve_with_ops (type k) ~max_nodes ~prune_agreement (ops : k sigma_ops)
+    inst =
   let nodes = ref 0 in
   let initial =
     {
@@ -122,7 +189,8 @@ let solve_with_stats ?(max_nodes = 20_000_000) ?(prune_agreement = true) inst =
     end
   and step st pid k =
     let view = st.views.(pid) in
-    match Hashtbl.find_opt sigma (pid, view) with
+    let skey = ops.sigma_key pid view in
+    match ops.sigma_find skey with
     | Some a -> apply st pid a k
     | None ->
         let ops_allowed = st.steps.(pid) < inst.depth in
@@ -134,9 +202,9 @@ let solve_with_stats ?(max_nodes = 20_000_000) ?(prune_agreement = true) inst =
         in
         List.exists
           (fun a ->
-            Hashtbl.replace sigma (pid, view) a;
+            ops.sigma_set skey a;
             let ok = apply st pid a k in
-            if not ok then Hashtbl.remove sigma (pid, view);
+            if not ok then ops.sigma_remove skey;
             ok)
           cands
   and apply st pid a k =
@@ -183,25 +251,30 @@ let solve_with_stats ?(max_nodes = 20_000_000) ?(prune_agreement = true) inst =
   let verdict =
     match schedules initial (fun () -> true) with
     | true ->
-        let strategy =
-          Hashtbl.fold
-            (fun (pid, view) chosen acc -> { pid; view; chosen } :: acc)
-            sigma []
-        in
         Solvable
           (List.sort
              (fun a b ->
                match Int.compare a.pid b.pid with
                | 0 -> Value.compare a.view b.view
                | c -> c)
-             strategy)
+             (ops.sigma_extract ()))
     | false -> Unsolvable
     | exception Budget -> Out_of_budget { nodes = !nodes }
   in
+  let open Wfs_obs.Metrics in
+  Counter.incr M.runs;
+  Counter.add M.nodes_total !nodes;
+  ops.sigma_flush_metrics ();
   (verdict, !nodes)
 
-let solve ?max_nodes ?prune_agreement inst =
-  fst (solve_with_stats ?max_nodes ?prune_agreement inst)
+let solve_with_stats ?(max_nodes = 20_000_000) ?(prune_agreement = true)
+    ?(intern_views = true) inst =
+  if intern_views then
+    solve_with_ops ~max_nodes ~prune_agreement (interned_sigma inst.n) inst
+  else solve_with_ops ~max_nodes ~prune_agreement (legacy_sigma ()) inst
+
+let solve ?max_nodes ?prune_agreement ?intern_views inst =
+  fst (solve_with_stats ?max_nodes ?prune_agreement ?intern_views inst)
 
 let pp_action ppf = function
   | Do (obj, op) -> Fmt.pf ppf "%s.%a" obj Op.pp op

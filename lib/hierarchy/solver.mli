@@ -38,12 +38,31 @@ val of_spec :
 
 (** [solve inst] runs the search.  [prune_agreement] (default true) fails
     conflicting decisions at decide time instead of at terminal states —
-    the ablation measured in the benchmarks. *)
-val solve : ?max_nodes:int -> ?prune_agreement:bool -> instance -> verdict
+    the ablation measured in the benchmarks.  [intern_views] (default
+    true) keys the strategy table by interned view ids
+    ([Wfs_sim.Intern], full-depth hashing) instead of raw
+    [(pid, view)] values — identical verdicts and synthesized
+    strategies, faster lookups on deep views; [false] is the reference
+    path used by differential tests and the PERF benchmarks.
+
+    Each run feeds [solver.runs], [solver.nodes] and (interned path)
+    [solver.view_intern.hits] / [solver.view_intern.lookups] /
+    [solver.view_intern.arena_size] in the default [Wfs_obs.Metrics]
+    registry. *)
+val solve :
+  ?max_nodes:int ->
+  ?prune_agreement:bool ->
+  ?intern_views:bool ->
+  instance ->
+  verdict
 
 (** As {!solve}, also returning the number of search nodes explored. *)
 val solve_with_stats :
-  ?max_nodes:int -> ?prune_agreement:bool -> instance -> verdict * int
+  ?max_nodes:int ->
+  ?prune_agreement:bool ->
+  ?intern_views:bool ->
+  instance ->
+  verdict * int
 
 val pp_action : action Fmt.t
 val pp_assignment : assignment Fmt.t

@@ -7,14 +7,28 @@
 
    Joint protocol states — local states, decisions, environment state,
    plus the set of processes that have taken at least one step (needed for
-   the paper's validity condition) — are encoded as values and memoized.
+   the paper's validity condition) — are encoded as values and interned
+   to dense int ids (see [Intern]); every structure downstream of the
+   interner is an array indexed by id.
 
    Wait-freedom on a finite state graph is exactly acyclicity: an infinite
    execution must revisit a joint state, and every edge is a step of an
    undecided process, so a reachable cycle is precisely a schedule on
    which some process runs forever without deciding.  Conversely in a DAG
    every execution reaches a terminal state, and the longest-path bound
-   gives the strong-wait-freedom step bound of §2.4. *)
+   gives the strong-wait-freedom step bound of §2.4.
+
+   Two engines live here:
+
+   - [explore] (the default): iterative DFS over interned ids with the
+     longest-path DP fused into the same pass — step bounds are combined
+     post-order as frames pop, so no edge is ever re-derived and deep
+     graphs cannot overflow the OCaml stack;
+   - [explore ~legacy:true]: the original recursive two-pass engine
+     (generic-hash [Hashtbl] visited set, separate DP walk re-running
+     [Env.apply] on every edge), kept verbatim as the reference
+     implementation for differential tests and the [PERF] bench
+     section's old-vs-new measurement. *)
 
 open Wfs_spec
 
@@ -69,6 +83,26 @@ let key node =
       Value.int node.stepped;
     ]
 
+(* Canonical key under full process symmetry: processes are
+   interchangeable, so sort the per-process (local, decision, stepped)
+   components before encoding.  Sound only when every process runs the
+   same pid-independent program over a pid-independent environment —
+   then permuting process indices is a graph automorphism and one orbit
+   representative stands for all.  Gated behind [explore ~symmetry]. *)
+let canonical_key node =
+  let n = Array.length node.locals in
+  let comps =
+    List.init n (fun i ->
+        Value.pair node.locals.(i)
+          (Value.pair
+             (Value.of_option node.decided.(i))
+             (Value.bool (node.stepped land (1 lsl i) <> 0))))
+  in
+  Value.list
+    [
+      Value.list (List.sort Value.compare comps); Env.encode node.env_state;
+    ]
+
 let is_terminal node = Array.for_all Option.is_some node.decided
 
 type edge = Decide_edge of Value.t | Op_edge
@@ -119,6 +153,28 @@ let decision_valid node ~pid v =
       j = pid || (j >= 0 && node.stepped land (1 lsl j) <> 0)
   | _ -> false
 
+(* --- invalid-decision accounting ---
+
+   Deduplicated (pid, value) pairs with an O(1) membership check per
+   edge (the old accounting ran [List.length] per edge and recorded
+   duplicates), capped at [max_invalid] distinct entries; the report is
+   sorted so it is stable across engines and traversal orders. *)
+
+let max_invalid = 10
+
+let invalid_make () : (int * Value.t) Value.Tbl.t = Value.Tbl.create 8
+
+let invalid_note acc pid v =
+  if Value.Tbl.length acc < max_invalid then begin
+    let k = Value.pair (Value.int pid) v in
+    if not (Value.Tbl.mem acc k) then Value.Tbl.replace acc k (pid, v)
+  end
+
+let invalid_report acc =
+  Value.Tbl.fold (fun _ pv l -> pv :: l) acc []
+  |> List.sort (fun (p, v) (q, w) ->
+         match Int.compare p q with 0 -> Value.compare v w | c -> c)
+
 type color = Gray | Black
 
 (* Metric names: ROADMAP's measurement substrate.  Totals accumulate in
@@ -135,15 +191,49 @@ module M = struct
   let max_depth_seen = Gauge.make "explorer.max_depth"
   let truncated_states = Counter.make "explorer.truncated.states"
   let truncated_depth = Counter.make "explorer.truncated.depth"
+  let intern_hits = Counter.make "explorer.intern.hits"
+  let intern_lookups = Counter.make "explorer.intern.lookups"
+  let arena_size = Gauge.make "explorer.intern.arena_size"
+  let fused_edges = Counter.make "explorer.fused_dp.edges"
 end
 
-let explore ?(max_states = 2_000_000) ?(max_depth = 10_000) config =
+let flush_metrics ~states ~hits ~lookups ~deepest ~truncation ~cyclic ~intern =
+  let open Wfs_obs.Metrics in
+  Counter.incr M.runs;
+  Counter.add M.states states;
+  Counter.add M.dedup_hits hits;
+  Counter.add M.dedup_lookups lookups;
+  Fgauge.set M.dedup_hit_rate
+    (if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups);
+  Gauge.set_max M.max_depth_seen deepest;
+  (match truncation with
+  | Some Budget_states -> Counter.incr M.truncated_states
+  | Some Budget_depth -> Counter.incr M.truncated_depth
+  | None -> ());
+  (match intern with
+  | Some tbl ->
+      Counter.add M.intern_hits (Intern.hits tbl);
+      Counter.add M.intern_lookups (Intern.lookups tbl);
+      Gauge.set_max M.arena_size (Intern.size tbl)
+  | None -> ());
+  Wfs_obs.Trace.event "explorer.done"
+    ~tags:
+      [
+        ("states", Wfs_obs.Json.int states);
+        ("max_depth", Wfs_obs.Json.int deepest);
+        ("cyclic", Wfs_obs.Json.bool cyclic);
+        ("truncated", Wfs_obs.Json.bool (truncation <> None));
+      ]
+
+(* --- the legacy two-pass engine (reference implementation) --- *)
+
+let explore_legacy ~max_states ~max_depth config =
   let colors : (Value.t, color) Hashtbl.t = Hashtbl.create 4096 in
   let terminals : (Value.t, terminal) Hashtbl.t = Hashtbl.create 64 in
   let cyclic = ref false in
   let stuck = ref None in
   let truncation = ref None in
-  let invalid_decisions = ref [] in
+  let invalid = invalid_make () in
   let lookups = ref 0 in
   let hits = ref 0 in
   let deepest = ref 0 in
@@ -185,8 +275,7 @@ let explore ?(max_states = 2_000_000) ?(max_depth = 10_000) config =
                   (fun (pid, edge, succ) ->
                     (match edge with
                     | Decide_edge v when not (decision_valid node ~pid v) ->
-                        if List.length !invalid_decisions < 10 then
-                          invalid_decisions := (pid, v) :: !invalid_decisions
+                        invalid_note invalid pid v
                     | Decide_edge _ | Op_edge -> ());
                     dfs succ (depth + 1))
                   succs
@@ -198,7 +287,7 @@ let explore ?(max_states = 2_000_000) ?(max_depth = 10_000) config =
   let truncated = !truncation <> None in
   let acyclic = (not !cyclic) && (not truncated) && !stuck = None in
   (* Longest-path DP for per-process step bounds, only on a fully explored
-     DAG. *)
+     DAG: the second pass the fused engine eliminates. *)
   let step_bounds =
     if not acyclic then None
     else begin
@@ -226,27 +315,8 @@ let explore ?(max_states = 2_000_000) ?(max_depth = 10_000) config =
     end
   in
   let states = Hashtbl.length colors in
-  let open Wfs_obs.Metrics in
-  Counter.incr M.runs;
-  Counter.add M.states states;
-  Counter.add M.dedup_hits !hits;
-  Counter.add M.dedup_lookups !lookups;
-  Fgauge.set M.dedup_hit_rate
-    (if !lookups = 0 then 0.0
-     else float_of_int !hits /. float_of_int !lookups);
-  Gauge.set_max M.max_depth_seen !deepest;
-  (match !truncation with
-  | Some Budget_states -> Counter.incr M.truncated_states
-  | Some Budget_depth -> Counter.incr M.truncated_depth
-  | None -> ());
-  Wfs_obs.Trace.event "explorer.done"
-    ~tags:
-      [
-        ("states", Wfs_obs.Json.int states);
-        ("max_depth", Wfs_obs.Json.int !deepest);
-        ("cyclic", Wfs_obs.Json.bool !cyclic);
-        ("truncated", Wfs_obs.Json.bool truncated);
-      ];
+  flush_metrics ~states ~hits:!hits ~lookups:!lookups ~deepest:!deepest
+    ~truncation:!truncation ~cyclic:!cyclic ~intern:None;
   {
     states;
     terminals = Hashtbl.fold (fun _ d acc -> d :: acc) terminals [];
@@ -254,9 +324,191 @@ let explore ?(max_states = 2_000_000) ?(max_depth = 10_000) config =
     stuck = !stuck;
     truncated;
     truncation = !truncation;
-    invalid_decisions = !invalid_decisions;
+    invalid_decisions = invalid_report invalid;
     step_bounds;
   }
+
+(* --- the fused single-pass engine --- *)
+
+(* One frame per node being expanded.  [f_best] accumulates the
+   longest-path DP post-order: when the child explored via [f_pending]
+   finishes, its bounds fold into [f_best] — the work the legacy engine
+   repeats in a whole second traversal. *)
+type frame = {
+  f_id : int;  (* interned id of the node *)
+  f_pids : int array;  (* successor pids, in legacy DFS order *)
+  f_nodes : node array;  (* successor nodes, computed exactly once *)
+  mutable f_next : int;  (* next successor index to explore *)
+  mutable f_pending : int;  (* pid of the in-flight successor *)
+  f_best : int array;  (* running per-process longest-path maxima *)
+}
+
+let white = '\000'
+let gray = '\001'
+let black = '\002'
+
+let explore_fast ~max_states ~max_depth ~symmetry config =
+  let n = Array.length config.procs in
+  let encode = if symmetry then canonical_key else key in
+  let size_hint = max 16 (min max_states 8192) in
+  let tbl = Intern.create ~size_hint () in
+  (* colors and DP bounds are arrays indexed by interned id, grown in
+     lockstep with the arena *)
+  let colors = ref (Bytes.make size_hint white) in
+  let bounds = ref (Array.make size_hint [||]) in
+  let ensure id =
+    let cap = Bytes.length !colors in
+    if id >= cap then begin
+      let cap' = max (id + 1) (2 * cap) in
+      let c = Bytes.make cap' white in
+      Bytes.blit !colors 0 c 0 cap;
+      colors := c;
+      let b = Array.make cap' [||] in
+      Array.blit !bounds 0 b 0 cap;
+      bounds := b
+    end
+  in
+  let zeros = Array.make n 0 in
+  let terminals : terminal Value.Tbl.t = Value.Tbl.create 64 in
+  let cyclic = ref false in
+  let stuck = ref None in
+  let truncation = ref None in
+  let invalid = invalid_make () in
+  let lookups = ref 0 in
+  let hits = ref 0 in
+  let visited = ref 0 in
+  let deepest = ref 0 in
+  let fused = ref 0 in
+  let stack : frame Stack.t = Stack.create () in
+  let combine f pid child =
+    incr fused;
+    let best = f.f_best in
+    for p = 0 to n - 1 do
+      let v = child.(p) + if p = pid then 1 else 0 in
+      if v > best.(p) then best.(p) <- v
+    done
+  in
+  (* Enter [node] (reached from [parent] by a step of [via_pid]).  Hits
+     on finished nodes fold their bounds straight into the parent;
+     fresh nodes either settle immediately (terminal / stuck) or push a
+     frame. *)
+  let visit parent via_pid node depth =
+    if depth > !deepest then deepest := depth;
+    incr lookups;
+    let id = Intern.intern tbl (encode node) in
+    ensure id;
+    let finish_leaf () =
+      Bytes.set !colors id black;
+      !bounds.(id) <- zeros;
+      match parent with Some f -> combine f via_pid zeros | None -> ()
+    in
+    match Bytes.get !colors id with
+    | c when c = gray ->
+        incr hits;
+        cyclic := true
+    | c when c = black ->
+        incr hits;
+        (match parent with
+        | Some f -> combine f via_pid !bounds.(id)
+        | None -> ())
+    | _ ->
+        if !visited >= max_states then
+          (if !truncation = None then truncation := Some Budget_states)
+        else if depth >= max_depth then
+          (if !truncation = None then truncation := Some Budget_depth)
+        else begin
+          incr visited;
+          if is_terminal node then begin
+            let decisions = Array.map Option.get node.decided in
+            Value.Tbl.replace terminals
+              (Value.pair
+                 (Value.list (Array.to_list decisions))
+                 (Value.int node.stepped))
+              { decisions; who_stepped = node.stepped };
+            finish_leaf ()
+          end
+          else begin
+            match successors_with_edges config node with
+            | exception Object_spec.Unknown_operation { obj; op } ->
+                stuck :=
+                  Some (-1, Fmt.str "unknown operation %a on %s" Op.pp op obj);
+                finish_leaf ()
+            | [] ->
+                stuck := Some (-1, "no successor");
+                finish_leaf ()
+            | succs ->
+                Bytes.set !colors id gray;
+                let m = List.length succs in
+                let pids = Array.make m (-1) in
+                let nodes = Array.make m node in
+                List.iteri
+                  (fun i (pid, edge, succ) ->
+                    (match edge with
+                    | Decide_edge v when not (decision_valid node ~pid v) ->
+                        invalid_note invalid pid v
+                    | Decide_edge _ | Op_edge -> ());
+                    pids.(i) <- pid;
+                    nodes.(i) <- succ)
+                  succs;
+                Stack.push
+                  {
+                    f_id = id;
+                    f_pids = pids;
+                    f_nodes = nodes;
+                    f_next = 0;
+                    f_pending = -1;
+                    f_best = Array.make n 0;
+                  }
+                  stack
+          end
+        end
+  in
+  visit None (-1) (initial config) 0;
+  while not (Stack.is_empty stack) do
+    let f = Stack.top stack in
+    if f.f_next < Array.length f.f_pids then begin
+      let i = f.f_next in
+      f.f_next <- i + 1;
+      f.f_pending <- f.f_pids.(i);
+      visit (Some f) f.f_pids.(i) f.f_nodes.(i) (Stack.length stack)
+    end
+    else begin
+      ignore (Stack.pop stack);
+      !bounds.(f.f_id) <- f.f_best;
+      Bytes.set !colors f.f_id black;
+      match Stack.top_opt stack with
+      | Some parent -> combine parent parent.f_pending f.f_best
+      | None -> ()
+    end
+  done;
+  let truncated = !truncation <> None in
+  let acyclic = (not !cyclic) && (not truncated) && !stuck = None in
+  let step_bounds =
+    if not acyclic then None
+    else begin
+      let root_id = Intern.intern tbl (encode (initial config)) in
+      Some (Array.copy !bounds.(root_id))
+    end
+  in
+  let states = !visited in
+  flush_metrics ~states ~hits:!hits ~lookups:!lookups ~deepest:!deepest
+    ~truncation:!truncation ~cyclic:!cyclic ~intern:(Some tbl);
+  Wfs_obs.Metrics.Counter.add M.fused_edges !fused;
+  {
+    states;
+    terminals = Value.Tbl.fold (fun _ d acc -> d :: acc) terminals [];
+    cyclic = !cyclic;
+    stuck = !stuck;
+    truncated;
+    truncation = !truncation;
+    invalid_decisions = invalid_report invalid;
+    step_bounds;
+  }
+
+let explore ?(max_states = 2_000_000) ?(max_depth = 10_000)
+    ?(symmetry = false) ?(legacy = false) config =
+  if legacy then explore_legacy ~max_states ~max_depth config
+  else explore_fast ~max_states ~max_depth ~symmetry config
 
 let wait_free stats =
   (not stats.cyclic) && (not stats.truncated) && stats.stuck = None

@@ -48,6 +48,14 @@ type stats = {
 
 val initial : config -> node
 val key : node -> Value.t
+
+(** Canonical key under full process symmetry: per-process components
+    are sorted before encoding, so nodes in the same orbit of the
+    process-permutation group intern to one id.  Sound only when every
+    process runs the same pid-independent program (see
+    [explore ~symmetry]). *)
+val canonical_key : node -> Value.t
+
 val is_terminal : node -> bool
 
 type edge = Decide_edge of Value.t | Op_edge
@@ -63,12 +71,44 @@ val successors_with_edges : config -> node -> (int * edge * node) list
     has already stepped. *)
 val decision_valid : node -> pid:int -> Value.t -> bool
 
-(** Exhaustive DFS.  Each run also feeds the default [Wfs_obs.Metrics]
-    registry: [explorer.runs], [explorer.states_visited],
-    [explorer.dedup_hits] / [explorer.dedup_lookups] /
-    [explorer.dedup_hit_rate], [explorer.max_depth], and a truncation
-    counter per {!truncation} cause. *)
-val explore : ?max_states:int -> ?max_depth:int -> config -> stats
+(** Exhaustive DFS.
+
+    The default engine interns joint-state keys to dense ids
+    ({!Intern}, full-depth hashing) and computes the longest-path step
+    bounds post-order during the single iterative DFS — no second
+    traversal, no re-derived successors, no stack-overflow risk at
+    large [max_depth].
+
+    [symmetry] (default false) keys the visited set by
+    {!canonical_key}, collapsing process-permutation orbits; enable it
+    only for systems whose processes all run the same pid-independent
+    program over a symmetric environment.  [states] and [terminals]
+    then describe the quotient graph (one orbit representative each);
+    [step_bounds] are the quotient's longest pid-labelled paths — a
+    sound over-approximation of the true per-process bounds, since
+    orbit collapsing permutes pid labels along a path.  Cyclicity (and
+    hence [wait_free]) is exact either way.
+
+    [legacy] (default false) runs the original recursive two-pass
+    engine instead — the reference implementation for differential
+    tests and the [PERF] old-vs-new benchmarks; [symmetry] is ignored
+    under [legacy].
+
+    Each run also feeds the default [Wfs_obs.Metrics] registry:
+    [explorer.runs], [explorer.states_visited], [explorer.dedup_hits] /
+    [explorer.dedup_lookups] / [explorer.dedup_hit_rate],
+    [explorer.max_depth], a truncation counter per {!truncation} cause,
+    and — fast engine only — [explorer.intern.hits] /
+    [explorer.intern.lookups] / [explorer.intern.arena_size] and
+    [explorer.fused_dp.edges] (edges whose DP contribution was folded
+    in the single pass, i.e. the second traversal saved). *)
+val explore :
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?symmetry:bool ->
+  ?legacy:bool ->
+  config ->
+  stats
 
 (** No cycle, nothing stuck, nothing truncated. *)
 val wait_free : stats -> bool

@@ -1,0 +1,64 @@
+(* Hash-consing of state keys.
+
+   The explorer and the solver key their visited sets, memo tables and
+   strategy tables by structural [Value.t] encodings of joint states.
+   Interning maps each distinct key to a dense [int] id exactly once —
+   one full-depth hash per lookup against an id table — after which
+   every downstream structure (colors, DP bounds, strategy entries) is
+   int-keyed or a plain array indexed by id.
+
+   The arena keeps the id -> value direction so interned keys can be
+   decoded again (strategy extraction, debugging). *)
+
+open Wfs_spec
+
+type t = {
+  ids : int Value.Tbl.t;
+  mutable arena : Value.t array;  (* id -> key, first [size] slots live *)
+  mutable size : int;
+  mutable lookups : int;
+  mutable hits : int;
+}
+
+let create ?(size_hint = 4096) () =
+  let size_hint = max 16 size_hint in
+  {
+    ids = Value.Tbl.create size_hint;
+    arena = Array.make size_hint Value.unit;
+    size = 0;
+    lookups = 0;
+    hits = 0;
+  }
+
+let intern t v =
+  t.lookups <- t.lookups + 1;
+  match Value.Tbl.find_opt t.ids v with
+  | Some id ->
+      t.hits <- t.hits + 1;
+      id
+  | None ->
+      let id = t.size in
+      if id = Array.length t.arena then begin
+        let arena = Array.make (2 * id) Value.unit in
+        Array.blit t.arena 0 arena 0 id;
+        t.arena <- arena
+      end;
+      t.arena.(id) <- v;
+      t.size <- id + 1;
+      Value.Tbl.replace t.ids v id;
+      id
+
+let find_opt t v =
+  t.lookups <- t.lookups + 1;
+  let r = Value.Tbl.find_opt t.ids v in
+  if r <> None then t.hits <- t.hits + 1;
+  r
+
+let value t id =
+  if id < 0 || id >= t.size then
+    invalid_arg (Fmt.str "Intern.value: id %d out of bounds (size %d)" id t.size);
+  t.arena.(id)
+
+let size t = t.size
+let lookups t = t.lookups
+let hits t = t.hits

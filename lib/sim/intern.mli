@@ -1,0 +1,34 @@
+(** Hash-consing of [Value.t] state keys into dense [int] ids.
+
+    One {!Value.hash_full} lookup per {!intern} call; every structure
+    downstream of the interner (visited colors, DP bounds, strategy
+    tables) becomes int-keyed or array-indexed.  Ids are assigned
+    densely from 0 in first-intern order, so they double as array
+    indices. *)
+
+open Wfs_spec
+
+type t
+
+(** [create ?size_hint ()] — [size_hint] pre-sizes the id table and
+    arena (e.g. from an expected state count). *)
+val create : ?size_hint:int -> unit -> t
+
+(** [intern t v] returns the id of [v], allocating the next dense id on
+    first sight.  [intern t v = intern t w] iff [Value.equal v w]. *)
+val intern : t -> Value.t -> int
+
+(** Id of [v] if already interned, without allocating one. *)
+val find_opt : t -> Value.t -> int option
+
+(** [value t id] decodes an id back to its key; raises
+    [Invalid_argument] on an id never returned by [intern t]. *)
+val value : t -> int -> Value.t
+
+(** Number of distinct keys interned (= the next fresh id). *)
+val size : t -> int
+
+(** {1 Instrumentation counters} *)
+
+val lookups : t -> int
+val hits : t -> int

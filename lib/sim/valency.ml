@@ -44,10 +44,12 @@ module M = struct
 end
 
 let analyze (config : Explorer.config) =
-  let memo : (Value.t, valency) Hashtbl.t = Hashtbl.create 4096 in
+  (* full-depth-hash table: joint-state keys collide pathologically
+     under the generic hash (see [Value.hash_full]) *)
+  let memo : valency Value.Tbl.t = Value.Tbl.create 4096 in
   let rec valency node =
     let k = Explorer.key node in
-    match Hashtbl.find_opt memo k with
+    match Value.Tbl.find_opt memo k with
     | Some v ->
         Wfs_obs.Metrics.Counter.incr M.memo_hits;
         v
@@ -61,7 +63,7 @@ let analyze (config : Explorer.config) =
               Vset.empty
               (Explorer.successors config node)
         in
-        Hashtbl.replace memo k v;
+        Value.Tbl.replace memo k v;
         v
   in
   let root = Explorer.initial config in
@@ -75,12 +77,12 @@ let analyze (config : Explorer.config) =
 let find_critical (config : Explorer.config) =
   Wfs_obs.Metrics.Counter.incr M.critical_searches;
   let _, valency = analyze config in
-  let seen : (Value.t, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let seen : unit Value.Tbl.t = Value.Tbl.create 4096 in
   let exception Found of critical in
   let rec dfs node =
     let k = Explorer.key node in
-    if not (Hashtbl.mem seen k) then begin
-      Hashtbl.replace seen k ();
+    if not (Value.Tbl.mem seen k) then begin
+      Value.Tbl.replace seen k ();
       if is_bivalent (valency node) && not (Explorer.is_terminal node) then begin
         let succs = Explorer.successors config node in
         let branches =

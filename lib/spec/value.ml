@@ -69,6 +69,43 @@ let show v = Fmt.str "%a" pp v
 
 let hash (v : t) = Hashtbl.hash v
 
+(* Full-depth structural hash.
+
+   [Hashtbl.hash] samples a bounded prefix of the structure (at most 10
+   meaningful nodes by default), so the large joint-state keys built by
+   the explorer — n process locals, n decisions, the whole environment
+   vector — collide pathologically: states differing only deep in the
+   encoding all land in one bucket and every probe degenerates into a
+   deep structural comparison.  [hash_full] folds over the entire value
+   (FNV-1a over constructor tags and payloads), making hash-table
+   lookups on joint states O(size of key) with near-perfect bucket
+   spread. *)
+
+let[@inline] fnv_mix h x = ((h lxor x) * 0x01000193) land max_int
+
+let rec hash_fold h = function
+  | Unit -> fnv_mix h 1
+  | Bool false -> fnv_mix h 2
+  | Bool true -> fnv_mix h 3
+  | Int i -> fnv_mix (fnv_mix h 4) i
+  | Str s ->
+      let h = ref (fnv_mix (fnv_mix h 5) (String.length s)) in
+      String.iter (fun c -> h := fnv_mix !h (Char.code c)) s;
+      !h
+  | Pair (a, b) -> hash_fold (hash_fold (fnv_mix h 6) a) b
+  | List vs -> List.fold_left hash_fold (fnv_mix h 7) vs
+
+let hash_full v = hash_fold 0x811c9dc5 v
+
+(* Hash table keyed by values with the full-depth hash: equal values
+   collide only with genuinely equal values, never by prefix-sampling. *)
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash_full
+end)
+
 (* Process identifiers are plain ints in the simulated world; a decision
    value in a consensus protocol is the identifier of the elected process,
    matching the paper's "consensus as election" convention. *)

@@ -17,7 +17,18 @@ type t =
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+(** OCaml's generic hash: cheap, but samples only a bounded prefix of
+    the structure — unsuitable for large joint-state keys. *)
 val hash : t -> int
+
+(** Full-depth structural hash (FNV-1a over the whole value): agrees
+    with {!equal} and distinguishes values that differ arbitrarily deep.
+    Use for hash tables keyed by large encoded states. *)
+val hash_full : t -> int
+
+(** Hash table keyed by {!t} using {!hash_full} and {!equal}. *)
+module Tbl : Hashtbl.S with type key = t
 
 (** {1 Constructors} *)
 

@@ -1,0 +1,293 @@
+(* Differential tests for the engine overhaul: the interned fused-DP
+   explorer and the interned solver strategy table must be
+   observationally identical to their legacy reference paths, on every
+   protocol in the registry and on the canonical solver instances.
+   Also: the symmetry quotient agrees with the full graph on every
+   verdict, and the interner's properties hold under qcheck. *)
+
+open Wfs_spec
+open Wfs_sim
+open Wfs_consensus
+open Wfs_hierarchy
+
+let value = Alcotest.testable Value.pp Value.equal
+
+(* --- explorer: fast engine vs legacy reference --- *)
+
+(* Terminals are reported as a set; compare them order-insensitively
+   through their canonical encodings. *)
+let terminal_encodings (stats : Explorer.stats) =
+  List.sort Value.compare
+    (List.map
+       (fun (t : Explorer.terminal) ->
+         Value.pair
+           (Value.list (Array.to_list t.Explorer.decisions))
+           (Value.int t.Explorer.who_stepped))
+       stats.Explorer.terminals)
+
+let truncation_str = function
+  | None -> "none"
+  | Some Explorer.Budget_states -> "states"
+  | Some Explorer.Budget_depth -> "depth"
+
+let check_stats_equal name (a : Explorer.stats) (b : Explorer.stats) =
+  Alcotest.(check int)
+    (name ^ ": states") a.Explorer.states b.Explorer.states;
+  Alcotest.(check bool)
+    (name ^ ": cyclic") a.Explorer.cyclic b.Explorer.cyclic;
+  Alcotest.(check (option (pair int string)))
+    (name ^ ": stuck") a.Explorer.stuck b.Explorer.stuck;
+  Alcotest.(check bool)
+    (name ^ ": truncated") a.Explorer.truncated b.Explorer.truncated;
+  Alcotest.(check string)
+    (name ^ ": truncation cause")
+    (truncation_str a.Explorer.truncation)
+    (truncation_str b.Explorer.truncation);
+  Alcotest.(check bool)
+    (name ^ ": wait_free")
+    (Explorer.wait_free a) (Explorer.wait_free b);
+  Alcotest.(check (option (array int)))
+    (name ^ ": step_bounds") a.Explorer.step_bounds b.Explorer.step_bounds;
+  Alcotest.(check (list value))
+    (name ^ ": terminals")
+    (terminal_encodings a) (terminal_encodings b);
+  Alcotest.(check (list (pair int value)))
+    (name ^ ": invalid_decisions")
+    a.Explorer.invalid_decisions b.Explorer.invalid_decisions
+
+(* Every sound registry protocol, at every size it supports in {2, 3},
+   fully explored and under each budget kind: the budgets exercise the
+   engines' truncation-order agreement, not just the happy path. *)
+let registry_protocols () =
+  List.concat_map
+    (fun (e : Registry.entry) ->
+      List.filter_map
+        (fun n ->
+          Option.map
+            (fun p -> (Fmt.str "%s n=%d" e.Registry.key n, p))
+            (e.Registry.build ~n))
+        [ 2; 3 ])
+    Registry.entries
+
+let test_explorer_differential () =
+  List.iter
+    (fun (name, (p : Protocol.t)) ->
+      let run ?max_states ?max_depth legacy =
+        Explorer.explore ?max_states ?max_depth ~legacy p.Protocol.config
+      in
+      check_stats_equal name (run true) (run false);
+      check_stats_equal
+        (name ^ " [max_states=40]")
+        (run ~max_states:40 true) (run ~max_states:40 false);
+      check_stats_equal
+        (name ^ " [max_depth=3]")
+        (run ~max_depth:3 true) (run ~max_depth:3 false))
+    (registry_protocols ())
+
+let test_verify_differential () =
+  List.iter
+    (fun (name, p) ->
+      let a = Protocol.verify ~legacy:true p in
+      let b = Protocol.verify p in
+      Alcotest.(check bool)
+        (name ^ ": agreement") a.Protocol.agreement b.Protocol.agreement;
+      Alcotest.(check bool)
+        (name ^ ": validity") a.Protocol.validity b.Protocol.validity;
+      Alcotest.(check bool)
+        (name ^ ": wait_free") a.Protocol.wait_free b.Protocol.wait_free;
+      Alcotest.(check int) (name ^ ": states") a.Protocol.states b.Protocol.states;
+      Alcotest.(check (list value))
+        (name ^ ": decisions_seen")
+        a.Protocol.decisions_seen b.Protocol.decisions_seen)
+    (registry_protocols ())
+
+(* --- symmetry quotient vs full graph ---
+
+   Only legal for identical pid-independent programs; verdicts must
+   agree while the quotient explores no more states than the full
+   graph. *)
+
+(* Everybody races a test-and-set and decides from the response alone. *)
+let symmetric_tas_config n =
+  let proc pid =
+    Process.make ~pid ~init:(Process.at 0) (fun local ->
+        match Process.pc local with
+        | 0 ->
+            Process.invoke ~obj:"t" Registers.tas (fun res ->
+                Process.at 1 ~data:res)
+        | 1 ->
+            Process.decide
+              (if Value.equal (Process.data local) (Value.int 0) then
+                 Value.int 0
+               else Value.int 1)
+        | _ -> assert false)
+  in
+  {
+    Explorer.procs = Array.init n proc;
+    env = Env.make [ ("t", Zoo.test_and_set ()) ];
+  }
+
+(* Everybody spins on a register nobody writes: a symmetric cycle. *)
+let symmetric_spin_config n =
+  let proc pid =
+    Process.make ~pid ~init:(Process.at 0) (fun local ->
+        match Process.pc local with
+        | 0 ->
+            Process.invoke ~obj:"r" Registers.read (fun res ->
+                if Value.is_bottom res then Process.at 0
+                else Process.at 1 ~data:res)
+        | 1 -> Process.decide (Process.data local)
+        | _ -> assert false)
+  in
+  {
+    Explorer.procs = Array.init n proc;
+    env =
+      Env.make
+        [ ("r", Registers.atomic ~name:"r" ~init:Value.bottom [ Value.int 1 ]) ];
+  }
+
+let check_symmetry_agrees name config =
+  let full = Explorer.explore config in
+  let quot = Explorer.explore ~symmetry:true config in
+  Alcotest.(check bool)
+    (name ^ ": cyclic agrees") full.Explorer.cyclic quot.Explorer.cyclic;
+  Alcotest.(check bool)
+    (name ^ ": wait_free agrees")
+    (Explorer.wait_free full) (Explorer.wait_free quot);
+  (* Orbit collapsing permutes pid labels along quotient paths, so the
+     per-process bounds are a sound over-approximation, not an exact
+     match: both must exist (or not) together, and the quotient's worst
+     case must dominate the true worst case. *)
+  (match (full.Explorer.step_bounds, quot.Explorer.step_bounds) with
+  | None, None -> ()
+  | Some fb, Some qb ->
+      let max_of = Array.fold_left max 0 in
+      Alcotest.(check bool)
+        (name ^ ": quotient bounds dominate")
+        true
+        (max_of qb >= max_of fb)
+  | Some _, None | None, Some _ ->
+      Alcotest.fail (name ^ ": step_bounds presence disagrees"));
+  Alcotest.(check bool)
+    (name ^ ": quotient no larger") true
+    (quot.Explorer.states <= full.Explorer.states);
+  (full.Explorer.states, quot.Explorer.states)
+
+let test_symmetry () =
+  List.iter
+    (fun n ->
+      let full, quot =
+        check_symmetry_agrees
+          (Fmt.str "sym-tas n=%d" n)
+          (symmetric_tas_config n)
+      in
+      if n >= 3 then
+        Alcotest.(check bool)
+          (Fmt.str "sym-tas n=%d: quotient strictly smaller" n)
+          true (quot < full);
+      ignore
+        (check_symmetry_agrees
+           (Fmt.str "sym-spin n=%d" n)
+           (symmetric_spin_config n)))
+    [ 2; 3 ]
+
+(* --- solver: interned view table vs raw (pid, view) keys --- *)
+
+let action_str a = Fmt.str "%a" Solver.pp_action a
+
+let assignment_sig (a : Solver.assignment) =
+  Fmt.str "P%d @ %a -> %s" a.Solver.pid Value.pp a.Solver.view
+    (action_str a.Solver.chosen)
+
+let verdict_sig = function
+  | Solver.Unsolvable -> [ "UNSOLVABLE" ]
+  | Solver.Out_of_budget { nodes } -> [ Fmt.str "BUDGET %d" nodes ]
+  | Solver.Solvable assignments ->
+      "SOLVABLE" :: List.sort String.compare (List.map assignment_sig assignments)
+
+let check_solver_differential name inst =
+  let v_legacy, n_legacy =
+    Solver.solve_with_stats ~intern_views:false inst
+  in
+  let v_interned, n_interned = Solver.solve_with_stats inst in
+  Alcotest.(check (list string))
+    (name ^ ": verdict + strategy")
+    (verdict_sig v_legacy) (verdict_sig v_interned);
+  Alcotest.(check int) (name ^ ": nodes") n_legacy n_interned
+
+let test_solver_differential () =
+  let reg =
+    Registers.atomic ~name:"r" ~init:(Value.int 0) [ Value.int 0; Value.int 1 ]
+  in
+  let queue ?(initial = []) () =
+    Queues.fifo ~name:"q" ~initial ~items:[ Value.str "a"; Value.str "b" ] ()
+  in
+  (* Theorem 2: registers cannot solve 2-consensus. *)
+  check_solver_differential "T2 register n=2 d=2"
+    (Solver.of_spec ~n:2 ~depth:2 reg);
+  (* Theorem 9: a pre-loaded queue solves 2-consensus. *)
+  check_solver_differential "T9 queue n=2 d=2"
+    (Solver.of_spec ~n:2 ~depth:2
+       (queue ~initial:[ Value.str "a"; Value.str "b" ] ()));
+  (* Theorem 11: queues cannot solve 3-consensus. *)
+  check_solver_differential "T11 queue n=3 d=1"
+    (Solver.of_spec ~n:3 ~depth:1
+       (queue ~initial:[ Value.str "a"; Value.str "b" ] ()))
+
+(* --- interner and full-depth hash properties --- *)
+
+let rec deep_copy = function
+  | Value.Unit -> Value.unit
+  | Value.Bool b -> Value.bool b
+  | Value.Int i -> Value.int i
+  | Value.Str s -> Value.str (String.init (String.length s) (String.get s))
+  | Value.Pair (a, b) -> Value.pair (deep_copy a) (deep_copy b)
+  | Value.List vs -> Value.list (List.map deep_copy vs)
+
+let prop_intern_iff_equal =
+  QCheck2.Test.make ~name:"intern ids coincide iff Value.equal" ~count:300
+    (QCheck2.Gen.pair Test_value.value_gen Test_value.value_gen)
+    (fun (a, b) ->
+      let t = Intern.create () in
+      (Intern.intern t a = Intern.intern t b) = Value.equal a b)
+
+let prop_intern_copy_stable =
+  QCheck2.Test.make ~name:"structural copies intern to the same id"
+    ~count:300 Test_value.value_gen (fun v ->
+      let t = Intern.create () in
+      Intern.intern t v = Intern.intern t (deep_copy v))
+
+let prop_intern_roundtrip =
+  QCheck2.Test.make ~name:"Intern.value inverts intern" ~count:300
+    Test_value.value_gen (fun v ->
+      let t = Intern.create () in
+      Value.equal (Intern.value t (Intern.intern t v)) v)
+
+let prop_hash_full_respects_equal =
+  QCheck2.Test.make ~name:"hash_full agrees on structural copies"
+    ~count:500 Test_value.value_gen (fun v ->
+      Value.hash_full v = Value.hash_full (deep_copy v))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_intern_iff_equal;
+      prop_intern_copy_stable;
+      prop_intern_roundtrip;
+      prop_hash_full_respects_equal;
+    ]
+
+let suite =
+  [
+    ( "engine.differential",
+      [
+        Alcotest.test_case "explorer: legacy = fast on registry" `Quick
+          test_explorer_differential;
+        Alcotest.test_case "verify: legacy = fast reports" `Quick
+          test_verify_differential;
+        Alcotest.test_case "symmetry quotient agrees" `Quick test_symmetry;
+        Alcotest.test_case "solver: raw = interned views" `Quick
+          test_solver_differential;
+      ] );
+    ("engine.intern", qsuite);
+  ]
