@@ -709,6 +709,85 @@ let lamport_queue_bench () =
     "  (the register-only queue is legal here because there is exactly@.\
   \   one enqueuer and one dequeuer — the boundary drawn by §3.3)@."
 
+(* ---------- FAULT: the crash-stop adversary, sim and runtime ----------
+
+   Sim side: verification cost and verdict under a crash budget — the
+   state space grows (every placement of up to k halts is explored), and
+   every sound registry protocol must keep passing, while the naive
+   register protocol must fail with a crash-bearing schedule.  Runtime
+   side: halt k of n domains mid-operation against the wait-free
+   universal queue; survivors must complete and the recorded history
+   (crashed operations left pending) must linearize. *)
+
+let fault_bench () =
+  section "FAULT  crash-stop adversary: sim crash budgets + runtime halts";
+  List.iter
+    (fun (key, n, crashes) ->
+      match (Registry.find key).Registry.build ~n with
+      | None -> ()
+      | Some p ->
+          let report, dt =
+            time_once (fun () -> Protocol.verify ~crashes p)
+          in
+          let name = Fmt.str "fault/verify/%s-n%d-c%d" key n crashes in
+          record_series name
+            (Obs.Json.obj
+               [
+                 ("ms", Obs.Json.float (dt *. 1e3));
+                 ("states", Obs.Json.int report.Protocol.states);
+                 ("crashes", Obs.Json.int crashes);
+                 ("passed", Obs.Json.bool (Protocol.passed report));
+               ]);
+          Fmt.pr "  %-44s %8.1f ms %8d states  passed=%b@." name (dt *. 1e3)
+            report.Protocol.states
+            (Protocol.passed report))
+    [
+      ("cas", 2, 1); ("cas", 3, 2); ("test-and-set", 2, 1);
+      ("queue", 2, 1); ("fetch-and-add", 2, 1);
+    ];
+  (* the impossibility side: the naive register protocol must fail, and
+     the extracted schedule should exercise a crash *)
+  (match (Registry.find "register-naive").Registry.build ~n:3 with
+  | None -> ()
+  | Some p ->
+      let v, dt = time_once (fun () -> Protocol.find_violation ~crashes:1 p) in
+      let crashing =
+        match v with
+        | Some v ->
+            List.exists
+              (function Protocol.Crash _ -> true | Protocol.Step _ -> false)
+              v.Protocol.schedule
+        | None -> false
+      in
+      record_series "fault/counterexample/register-naive-n3-c1"
+        (Obs.Json.obj
+           [
+             ("ms", Obs.Json.float (dt *. 1e3));
+             ("found", Obs.Json.bool (v <> None));
+             ("schedule_has_crash", Obs.Json.bool crashing);
+           ]);
+      Fmt.pr "  %-44s %8.1f ms  found=%b crash-in-schedule=%b@."
+        "fault/counterexample/register-naive-n3-c1" (dt *. 1e3) (v <> None)
+        crashing);
+  List.iter
+    (fun (n, halts) ->
+      let s, dt =
+        time_once (fun () -> Runtime.Fault.stress_queue ~n ~halts ())
+      in
+      let name = Fmt.str "fault/stress/n%d-h%d" n halts in
+      record_series name
+        (Obs.Json.obj
+           [
+             ("ms", Obs.Json.float (dt *. 1e3));
+             ("survivor_ops", Obs.Json.int s.Runtime.Fault.survivor_ops);
+             ("crashed_ops", Obs.Json.int s.Runtime.Fault.crashed_ops);
+             ("passed", Obs.Json.bool (Runtime.Fault.stress_passed s));
+           ]);
+      Fmt.pr "  %-44s %8.1f ms  crashed-ops=%d passed=%b@." name (dt *. 1e3)
+        s.Runtime.Fault.crashed_ops
+        (Runtime.Fault.stress_passed s))
+    [ (2, 1); (4, 1); (4, 2); (4, 3) ]
+
 (* ---------- entry point ----------
 
    With no arguments every section runs; positional arguments select a
@@ -731,6 +810,7 @@ let sections : (string * (unit -> unit)) list =
     ("census", census);
     ("randomized", randomized_series);
     ("lamport", lamport_queue_bench);
+    ("fault", fault_bench);
     ("perf", perf);
   ]
 

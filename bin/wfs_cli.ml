@@ -10,6 +10,8 @@
      census      measure every zoo object's bounded consensus number
      universal   run a universal-construction object exhaustively
      critical    find a critical (bivalent) state of a protocol
+     fault       crash-stop stress on real domains (halt k, survivors
+                 must complete, recorded history must linearize)
      randomized  check the randomized register-consensus extension
      stats       run a fixed workload and dump the metrics snapshot
      zoo         list the object zoo
@@ -75,45 +77,64 @@ let verify_cmd =
             "On violation, export the counterexample schedule to $(docv) \
              as replayable JSON (see the replay subcommand).")
   in
-  let run key n max_states max_depth out =
-    match (Registry.find key).Registry.build ~n with
-    | exception Invalid_argument msg ->
-        Fmt.epr "%s@." msg;
-        2
-    | None ->
-        Fmt.epr "%s does not support n = %d@." key n;
-        2
-    | Some protocol ->
-        let report = Protocol.verify ~max_states ~max_depth protocol in
-        Fmt.pr "%s (%s), n = %d:@.%a@." protocol.Protocol.name
-          protocol.Protocol.theorem n Protocol.pp_report report;
-        if report.Protocol.truncated then
-          Fmt.pr
-            "exploration truncated by the %s — raise --max-states / \
-             --max-depth for a complete verdict@."
-            (Protocol.truncation_label report.Protocol.truncation);
-        if Protocol.passed report then 0
-        else begin
-          (match Protocol.find_violation ~max_states protocol with
-          | Some v ->
-              Fmt.pr "@.counterexample: %a@." Protocol.pp_violation v;
-              (match out with
-              | Some path ->
-                  Obs.Counterexample.save path
-                    (Protocol.violation_to_counterexample ~protocol:key ~n v);
-                  Fmt.pr "counterexample written to %s@." path
-              | None -> ())
-          | None ->
-              Fmt.pr
-                "@.no schedule-shaped counterexample (failure is a cycle, \
-                 truncation or stuck process)@.");
-          1
-        end
+  let crashes =
+    Arg.(
+      value & opt int 0
+      & info [ "crashes" ]
+          ~doc:
+            "Crash-stop adversary budget: additionally quantify over every \
+             placement of up to this many permanent process halts \
+             (wait-freedom's own failure model). 0 checks the crash-free \
+             semantics.")
+  in
+  let run key n max_states max_depth out crashes =
+    if crashes < 0 || crashes >= n then begin
+      Fmt.epr "--crashes must be in [0, n-1] (got %d with n = %d)@." crashes n;
+      2
+    end
+    else
+      match (Registry.find key).Registry.build ~n with
+      | exception Invalid_argument msg ->
+          Fmt.epr "%s@." msg;
+          2
+      | None ->
+          Fmt.epr "%s does not support n = %d@." key n;
+          2
+      | Some protocol ->
+          let report =
+            Protocol.verify ~max_states ~max_depth ~crashes protocol
+          in
+          Fmt.pr "%s (%s), n = %d:@.%a@." protocol.Protocol.name
+            protocol.Protocol.theorem n Protocol.pp_report report;
+          if report.Protocol.truncated then
+            Fmt.pr
+              "exploration truncated by the %s — raise --max-states / \
+               --max-depth for a complete verdict@."
+              (Protocol.truncation_label report.Protocol.truncation);
+          if Protocol.passed report then 0
+          else begin
+            (match Protocol.find_violation ~max_states ~crashes protocol with
+            | Some v ->
+                Fmt.pr "@.counterexample: %a@." Protocol.pp_violation v;
+                (match out with
+                | Some path ->
+                    Obs.Counterexample.save path
+                      (Protocol.violation_to_counterexample ~protocol:key ~n v);
+                    Fmt.pr "counterexample written to %s@." path
+                | None -> ())
+            | None ->
+                Fmt.pr
+                  "@.no schedule-shaped counterexample (failure is a cycle, \
+                   truncation or stuck process)@.");
+            1
+          end
   in
   Cmd.v
     (Cmd.info "verify"
-       ~doc:"Exhaustively verify a consensus protocol over all schedules")
-    Term.(const run $ key $ n $ max_states $ max_depth $ out)
+       ~doc:
+         "Exhaustively verify a consensus protocol over all schedules, \
+          optionally under a crash-stop adversary (--crashes)")
+    Term.(const run $ key $ n $ max_states $ max_depth $ out $ crashes)
 
 (* --- replay --- *)
 
@@ -320,7 +341,16 @@ let critical_cmd =
       & info [] ~docv:"PROTOCOL" ~doc:"Registry protocol key.")
   in
   let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Number of processes.") in
-  let run key n =
+  let crashes =
+    Arg.(
+      value & opt int 0
+      & info [ "crashes" ]
+          ~doc:
+            "Crash-stop adversary budget for the valency analysis: crash \
+             successors count as branches, so a state is critical only if \
+             even the adversary's halts commit the outcome.")
+  in
+  let run key n crashes =
     match (Registry.find key).Registry.build ~n with
     | exception Invalid_argument msg ->
         Fmt.epr "%s@." msg;
@@ -329,7 +359,7 @@ let critical_cmd =
         Fmt.epr "%s does not support n = %d@." key n;
         2
     | Some protocol -> (
-        match Valency.find_critical protocol.Protocol.config with
+        match Valency.find_critical ~crashes protocol.Protocol.config with
         | Some crit ->
             Fmt.pr
               "critical state of %s: bivalent, every successor univalent@."
@@ -349,7 +379,41 @@ let critical_cmd =
        ~doc:
          "Find a critical (bivalent, decision-pending) state of a protocol — \
           the engine of the paper's impossibility proofs")
-    Term.(const run $ key $ n)
+    Term.(const run $ key $ n $ crashes)
+
+(* --- fault --- *)
+
+let fault_cmd =
+  let n =
+    Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of domains.")
+  in
+  let halts =
+    Arg.(
+      value & opt int 1
+      & info [ "halts" ]
+          ~doc:"Domains to halt mid-operation (must be < n).")
+  in
+  let ops =
+    Arg.(
+      value & opt int 7 & info [ "ops" ] ~doc:"Operations per domain.")
+  in
+  let run n halts ops =
+    match Runtime.Fault.stress_queue ~ops_per_proc:ops ~n ~halts () with
+    | exception Invalid_argument msg ->
+        Fmt.epr "%s@." msg;
+        2
+    | s ->
+        Fmt.pr "%a@." Runtime.Fault.pp_stress s;
+        if Runtime.Fault.stress_passed s then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:
+         "Crash-stop stress on real domains: halt some domains \
+          mid-operation against the wait-free universal queue and check \
+          the survivors complete and the recorded history (crashed \
+          operations left pending) still linearizes")
+    Term.(const run $ n $ halts $ ops)
 
 (* --- randomized --- *)
 
@@ -480,7 +544,7 @@ let main =
           constructions of Herlihy (PODC 1988), executable")
     [
       hierarchy_cmd; verify_cmd; replay_cmd; solve_cmd; universal_cmd;
-      census_cmd; critical_cmd;
+      census_cmd; critical_cmd; fault_cmd;
       randomized_cmd; stats_cmd; zoo_cmd;
     ]
 

@@ -32,6 +32,7 @@ type report = {
   truncated : bool;
   truncation : Explorer.truncation option;
       (** which budget cut exploration short, when [truncated] *)
+  crashes : int;  (** crash-stop adversary budget the run was checked under *)
 }
 
 let passed r = r.agreement && r.validity && r.wait_free && not r.truncated
@@ -44,12 +45,19 @@ let make ~name ~theorem ~procs ~env =
     config = { Explorer.procs; env };
   }
 
+(* Agreement over the processes that decide: crashed processes have no
+   decision slot to compare.  (Without crashes every slot is [Some].) *)
 let terminal_agreement (t : Explorer.terminal) =
-  let d0 = t.Explorer.decisions.(0) in
-  Array.for_all (Value.equal d0) t.Explorer.decisions
+  match
+    Array.to_list t.Explorer.decisions |> List.filter_map (fun d -> d)
+  with
+  | [] -> true
+  | d0 :: rest -> List.for_all (Value.equal d0) rest
 
-let verify ?(max_states = 2_000_000) ?max_depth ?legacy t =
-  let stats = Explorer.explore ~max_states ?max_depth ?legacy t.config in
+let verify ?(max_states = 2_000_000) ?max_depth ?legacy ?(crashes = 0) t =
+  let stats =
+    Explorer.explore ~max_states ?max_depth ?legacy ~crashes t.config
+  in
   let agreement = List.for_all terminal_agreement stats.Explorer.terminals in
   (* Validity is checked at every decide event during exploration — the
      paper's condition applied to every history prefix. *)
@@ -58,12 +66,16 @@ let verify ?(max_states = 2_000_000) ?max_depth ?legacy t =
     List.sort_uniq Value.compare
       (List.concat_map
          (fun (term : Explorer.terminal) ->
-           Array.to_list term.Explorer.decisions)
+           Array.to_list term.Explorer.decisions |> List.filter_map (fun d -> d))
          stats.Explorer.terminals)
   in
   {
     agreement;
     validity;
+    (* Wait-freedom of the survivors: crash edges strictly grow the
+       crashed mask, so any cycle lies among live processes — acyclicity
+       plus terminality says every non-crashed process decides on every
+       schedule, whatever the adversary crashes. *)
     wait_free = Explorer.wait_free stats;
     states = stats.Explorer.states;
     step_bounds = stats.Explorer.step_bounds;
@@ -71,6 +83,7 @@ let verify ?(max_states = 2_000_000) ?max_depth ?legacy t =
     stuck = stats.Explorer.stuck;
     truncated = stats.Explorer.truncated;
     truncation = stats.Explorer.truncation;
+    crashes;
   }
 
 (* Spot-check a protocol on a single schedule (used by tests and demos):
@@ -86,13 +99,15 @@ let run_once ?(max_steps = 100_000) ~schedule t =
    disagreeing terminal or an invalid decision.  Replaying it through
    {!run_once} with [Scheduler.of_list] reproduces the failure. *)
 
+type step = Wfs_obs.Counterexample.step = Step of int | Crash of int
+
 type violation = {
   kind : [ `Disagreement | `Invalid_decision ];
-  schedule : int list;  (** pids, in step order *)
+  schedule : step list;  (** steps and crash points, in order *)
   decisions : (int * Value.t) list;
 }
 
-let find_violation ?(max_states = 2_000_000) t =
+let find_violation ?(max_states = 2_000_000) ?(crashes = 0) t =
   let cfg = t.config in
   let seen : unit Value.Tbl.t = Value.Tbl.create 4096 in
   let exception Found of violation in
@@ -110,20 +125,31 @@ let find_violation ?(max_states = 2_000_000) t =
     then begin
       Value.Tbl.replace seen k ();
       if Explorer.is_terminal node then begin
-        let ds = Array.map Option.get node.Explorer.decided in
-        if not (Array.for_all (Value.equal ds.(0)) ds) then
-          violation_at node path `Disagreement
+        if not (terminal_agreement
+                  {
+                    Explorer.decisions = node.Explorer.decided;
+                    who_stepped = node.Explorer.stepped;
+                    who_crashed = node.Explorer.crashed;
+                  })
+        then violation_at node path `Disagreement
       end
       else
         List.iter
           (fun (pid, edge, succ) ->
+            let entry =
+              match edge with
+              | Explorer.Crash_edge -> Crash pid
+              | Explorer.Decide_edge _ | Explorer.Op_edge -> Step pid
+            in
             (match edge with
             | Explorer.Decide_edge v
               when not (Explorer.decision_valid node ~pid v) ->
-                violation_at succ (pid :: path) `Invalid_decision
-            | Explorer.Decide_edge _ | Explorer.Op_edge -> ());
-            dfs succ (pid :: path))
-          (Explorer.successors_with_edges cfg node)
+                violation_at succ (entry :: path) `Invalid_decision
+            | Explorer.Decide_edge _ | Explorer.Op_edge
+            | Explorer.Crash_edge ->
+                ());
+            dfs succ (entry :: path))
+          (Explorer.successors_with_edges ~crashes cfg node)
     end
   in
   match dfs (Explorer.initial cfg) [] with
@@ -136,6 +162,8 @@ let find_violation ?(max_states = 2_000_000) t =
    needed to re-execute it: the joint-state graph is deterministic given
    "who steps next". *)
 
+(* [violation.schedule] already uses [Counterexample.step], so this is a
+   pure repackaging. *)
 let violation_to_counterexample ~protocol ~n (v : violation) =
   {
     Wfs_obs.Counterexample.protocol;
@@ -150,9 +178,16 @@ let violation_to_counterexample ~protocol ~n (v : violation) =
 
 (* Deterministic re-execution of a schedule through the explorer's
    successor relation, checking the paper's conditions at each step —
-   the engine behind [wfs replay]. *)
+   the engine behind [wfs replay].  [Crash] entries re-apply the
+   adversary's halts; the budget granted to the successor relation is
+   exactly the number of crash entries in the schedule, so replays never
+   invent crash freedom the original search did not have. *)
 let replay t ~schedule =
   let cfg = t.config in
+  let crashes =
+    List.length (List.filter (function Crash _ -> true | Step _ -> false)
+                   schedule)
+  in
   let decisions_of (node : Explorer.node) =
     Array.to_list node.Explorer.decided
     |> List.mapi (fun pid d -> (pid, d))
@@ -160,30 +195,41 @@ let replay t ~schedule =
   in
   let rec go node path = function
     | [] ->
-        if Explorer.is_terminal node then begin
-          let ds = Array.map Option.get node.Explorer.decided in
-          if not (Array.for_all (Value.equal ds.(0)) ds) then
-            Some
-              {
-                kind = `Disagreement;
-                schedule = List.rev path;
-                decisions = decisions_of node;
-              }
-          else None
-        end
+        if
+          Explorer.is_terminal node
+          && not (terminal_agreement
+                    {
+                      Explorer.decisions = node.Explorer.decided;
+                      who_stepped = node.Explorer.stepped;
+                      who_crashed = node.Explorer.crashed;
+                    })
+        then
+          Some
+            {
+              kind = `Disagreement;
+              schedule = List.rev path;
+              decisions = decisions_of node;
+            }
         else None
-    | pid :: rest -> (
+    | entry :: rest -> (
+        let pid = Wfs_obs.Counterexample.step_pid entry in
+        let want_crash =
+          match entry with Crash _ -> true | Step _ -> false
+        in
         match
           List.find_opt
-            (fun (p, _, _) -> p = pid)
-            (Explorer.successors_with_edges cfg node)
+            (fun (p, e, _) ->
+              p = pid && want_crash = (e = Explorer.Crash_edge))
+            (Explorer.successors_with_edges ~crashes cfg node)
         with
         | None ->
             invalid_arg
               (Fmt.str
-                 "Protocol.replay: process %d cannot step at schedule \
+                 "Protocol.replay: process %d cannot %s at schedule \
                   position %d"
-                 pid (List.length path))
+                 pid
+                 (if want_crash then "crash" else "step")
+                 (List.length path))
         | Some (_, edge, succ) -> (
             match edge with
             | Explorer.Decide_edge v
@@ -191,11 +237,12 @@ let replay t ~schedule =
                 Some
                   {
                     kind = `Invalid_decision;
-                    schedule = List.rev (pid :: path);
+                    schedule = List.rev (entry :: path);
                     decisions = decisions_of succ;
                   }
-            | Explorer.Decide_edge _ | Explorer.Op_edge ->
-                go succ (pid :: path) rest))
+            | Explorer.Decide_edge _ | Explorer.Op_edge
+            | Explorer.Crash_edge ->
+                go succ (entry :: path) rest))
   in
   go (Explorer.initial cfg) [] schedule
 
@@ -236,7 +283,7 @@ let pp_violation ppf v =
     (match v.kind with
     | `Disagreement -> "DISAGREEMENT"
     | `Invalid_decision -> "INVALID DECISION")
-    Fmt.(list ~sep:(any "; ") int)
+    Fmt.(list ~sep:(any "; ") Wfs_obs.Counterexample.pp_step)
     v.schedule
     Fmt.(
       list ~sep:(any ", ") (fun ppf (p, d) -> Fmt.pf ppf "P%d=%a" p Value.pp d))
@@ -247,12 +294,15 @@ let truncation_label = function
   | Some Explorer.Budget_states -> "states-budget"
   | Some Explorer.Budget_depth -> "depth-budget"
 
+(* [crashes=] appears only for crash-budget runs, so crash-free reports
+   are byte-identical to what the repo printed before the fault layer. *)
 let pp_report ppf r =
   Fmt.pf ppf
-    "@[<v>agreement=%b validity=%b wait-free=%b states=%d truncated=%s@ \
+    "@[<v>agreement=%b validity=%b wait-free=%b states=%d truncated=%s%s@ \
      decisions seen: %a%a%a@]"
     r.agreement r.validity r.wait_free r.states
     (truncation_label r.truncation)
+    (if r.crashes > 0 then Printf.sprintf " crashes=%d" r.crashes else "")
     Fmt.(list ~sep:(any ", ") Value.pp)
     r.decisions_seen
     Fmt.(

@@ -28,6 +28,9 @@ type report = {
   truncated : bool;
   truncation : Explorer.truncation option;
       (** which budget cut exploration short, when [truncated] *)
+  crashes : int;
+      (** the crash-stop budget the run was checked under (0 = the
+          original crash-free semantics) *)
 }
 
 (** All conditions hold and exploration was complete. *)
@@ -37,8 +40,17 @@ val make :
   name:string -> theorem:string -> procs:Process.t array -> env:Env.t -> t
 
 (** [legacy] selects the reference two-pass explorer engine (see
-    {!Explorer.explore}). *)
-val verify : ?max_states:int -> ?max_depth:int -> ?legacy:bool -> t -> report
+    {!Explorer.explore}).
+
+    [crashes] (default 0) grants the crash-stop adversary a budget of
+    up to that many permanent halts, placed adversarially at any point
+    of any schedule (see {!Explorer.explore}).  Agreement and validity
+    are then checked over the processes that do decide, and
+    wait-freedom demands every surviving process decide on every
+    schedule — the paper's own failure model, checked literally. *)
+val verify :
+  ?max_states:int -> ?max_depth:int -> ?legacy:bool -> ?crashes:int -> t ->
+  report
 
 (** Human-readable truncation cause ("no" when complete). *)
 val truncation_label : Explorer.truncation option -> string
@@ -46,15 +58,23 @@ val truncation_label : Explorer.truncation option -> string
 (** Run on one concrete schedule (demos, tests). *)
 val run_once : ?max_steps:int -> schedule:Scheduler.t -> t -> Runner.outcome
 
+(** Schedule entries of a violating execution: re-exported from
+    {!Wfs_obs.Counterexample} so violations convert to on-disk
+    counterexamples without translation. *)
+type step = Wfs_obs.Counterexample.step = Step of int | Crash of int
+
 (** A concrete failing schedule, extracted when verification would fail:
-    replay it with [Scheduler.of_list] to reproduce. *)
+    feed it back through {!replay} to reproduce. *)
 type violation = {
   kind : [ `Disagreement | `Invalid_decision ];
-  schedule : int list;
+  schedule : step list;
   decisions : (int * Value.t) list;
 }
 
-val find_violation : ?max_states:int -> t -> violation option
+(** [crashes] as in {!verify}; with a positive budget the returned
+    schedule may contain [Crash] entries. *)
+val find_violation : ?max_states:int -> ?crashes:int -> t -> violation option
+
 val pp_violation : violation Fmt.t
 
 (** Package a violation as a replayable on-disk counterexample;
@@ -65,10 +85,12 @@ val violation_to_counterexample :
 
 (** Re-execute a schedule deterministically through the explorer's
     successor relation, checking validity at each decide and agreement
-    at the terminal state.  Returns the violation the schedule exhibits,
-    if any.  Raises [Invalid_argument] if some pid in the schedule
-    cannot step where the schedule says it does. *)
-val replay : t -> schedule:int list -> violation option
+    at the terminal state.  [Crash] entries re-apply the adversary's
+    halts (the crash budget is the number of such entries).  Returns
+    the violation the schedule exhibits, if any.  Raises
+    [Invalid_argument] if some pid in the schedule cannot step (or
+    crash) where the schedule says it does. *)
+val replay : t -> schedule:step list -> violation option
 
 (** [replay_counterexample t ce] re-executes [ce]'s schedule and checks
     that the same violation — kind and decisions — recurs; [Error]

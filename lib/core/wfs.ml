@@ -84,4 +84,5 @@ module Runtime = struct
   module Lamport_queue = Wfs_runtime.Lamport_queue
   module Randomized = Wfs_runtime.Randomized_rt
   module Recorder = Wfs_runtime.Recorder
+  module Fault = Wfs_runtime.Fault
 end

@@ -9,6 +9,14 @@
     including calls from different domains. *)
 val now_ns : unit -> int
 
+(** Epoch seconds (as returned by [Unix.gettimeofday]) to integer
+    nanoseconds.  Computed from the whole-second and fractional parts
+    separately: epoch nanoseconds exceed the 53-bit double mantissa, so
+    a single [*. 1e9] multiplication would quantize timestamps to
+    ~512 ns and corrupt sub-microsecond spans.  Exposed for the
+    precision regression tests. *)
+val of_gettimeofday : float -> int
+
 (** [elapsed_ns f] runs [f] and returns its result with the elapsed
     nanoseconds. *)
 val elapsed_ns : (unit -> 'a) -> 'a * int

@@ -4,15 +4,31 @@ open Wfs_spec
 
 type kind = Disagreement | Invalid_decision
 
+(* A schedule entry: either process [pid] takes its next atomic step, or
+   the crash-stop adversary halts [pid] permanently at this point. *)
+type step = Step of int | Crash of int
+
 type t = {
   protocol : string;
   n : int;
   kind : kind;
-  schedule : int list;
+  schedule : step list;
   decisions : (int * Value.t) list;
 }
 
-let schema = "wfs-counterexample/1"
+(* Version 1 schedules are plain pid arrays; version 2 adds crash
+   entries.  Files without crashes are still written as /1, so every
+   pre-crash consumer keeps working and crash-free exports are
+   byte-identical to what the repo produced before the fault layer. *)
+let schema_v1 = "wfs-counterexample/1"
+let schema_v2 = "wfs-counterexample/2"
+
+let has_crash schedule =
+  List.exists (function Crash _ -> true | Step _ -> false) schedule
+
+let schema_of t = if has_crash t.schedule then schema_v2 else schema_v1
+
+let step_pid = function Step p | Crash p -> p
 
 let kind_to_string = function
   | Disagreement -> "disagreement"
@@ -52,14 +68,18 @@ let rec value_of_json j =
 
 (* --- record serialization --- *)
 
+let step_to_json = function
+  | Step pid -> Json.int pid
+  | Crash pid -> Json.obj [ ("crash", Json.int pid) ]
+
 let to_json t =
   Json.obj
     [
-      ("schema", Json.str schema);
+      ("schema", Json.str (schema_of t));
       ("protocol", Json.str t.protocol);
       ("n", Json.int t.n);
       ("kind", Json.str (kind_to_string t.kind));
-      ("schedule", Json.list (List.map Json.int t.schedule));
+      ("schedule", Json.list (List.map step_to_json t.schedule));
       ( "decisions",
         Json.list
           (List.map
@@ -86,15 +106,28 @@ let as_str name j =
   | None ->
       invalid_arg (Printf.sprintf "Counterexample: field %S: not a string" name)
 
+let step_of_json j =
+  match j with
+  | Json.Int pid -> Step pid
+  | Json.Obj _ -> (
+      match Json.member "crash" j with
+      | Some v -> Crash (as_int "crash" v)
+      | None ->
+          invalid_arg "Counterexample: schedule entry object without \"crash\"")
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Counterexample: malformed schedule entry %s"
+           (Json.to_string j))
+
 let of_json j =
   (match Json.member "schema" j with
-  | Some (Json.Str s) when s = schema -> ()
+  | Some (Json.Str s) when s = schema_v1 || s = schema_v2 -> ()
   | Some (Json.Str s) ->
       invalid_arg (Printf.sprintf "Counterexample: unsupported schema %S" s)
   | _ -> invalid_arg "Counterexample: missing schema field");
   let schedule =
     match Json.to_list (field "schedule" j) with
-    | Some pids -> List.map (as_int "schedule") pids
+    | Some steps -> List.map step_of_json steps
     | None -> invalid_arg "Counterexample: field \"schedule\": not a list"
   in
   let decisions =
@@ -131,10 +164,14 @@ let load path =
   in
   of_json (Json.of_string content)
 
+let pp_step ppf = function
+  | Step pid -> Fmt.int ppf pid
+  | Crash pid -> Fmt.pf ppf "crash(%d)" pid
+
 let pp ppf t =
   Fmt.pf ppf "@[<v>%s (n=%d): %s@ schedule: [%a]@ decisions: %a@]" t.protocol
     t.n (kind_to_string t.kind)
-    Fmt.(list ~sep:(any "; ") int)
+    Fmt.(list ~sep:(any "; ") pp_step)
     t.schedule
     Fmt.(
       list ~sep:(any ", ") (fun ppf (p, v) -> Fmt.pf ppf "P%d=%a" p Value.pp v))

@@ -8,16 +8,23 @@
     [wfs verify --out] can export it and [wfs replay] can re-execute it
     deterministically.
 
-    Schema ([wfs-counterexample/1]):
+    Schema ([wfs-counterexample/1], crash-free; [/2] once the schedule
+    contains crash events):
 
     {v
-    { "schema": "wfs-counterexample/1",
+    { "schema": "wfs-counterexample/1" | "wfs-counterexample/2",
       "protocol": "<registry key>",
       "n": 2,
       "kind": "disagreement" | "invalid-decision",
-      "schedule": [0, 1, 1, 0],
+      "schedule": [0, {"crash": 1}, 1, 0],
       "decisions": [{"pid": 0, "value": <value>}, ...] }
     v}
+
+    A plain integer schedule entry is an atomic step of that process; an
+    [{"crash": p}] object is the crash-stop adversary halting process
+    [p] permanently at that point (version 2 only).  Files whose
+    schedule has no crash entries are always written under schema /1, so
+    crash-free exports are byte-compatible with pre-fault-layer readers.
 
     Simulator values are encoded as tagged arrays: [["u"]] (unit),
     [["b", bool]], [["i", int]], [["s", str]], [["p", a, b]] (pair),
@@ -27,11 +34,15 @@ open Wfs_spec
 
 type kind = Disagreement | Invalid_decision
 
+(** One schedule entry: a step of process [pid], or the adversary
+    crashing [pid]. *)
+type step = Step of int | Crash of int
+
 type t = {
   protocol : string;  (** protocol registry key *)
   n : int;  (** process count the protocol was built with *)
   kind : kind;
-  schedule : int list;  (** pids, in step order from the initial state *)
+  schedule : step list;  (** in order from the initial state *)
   decisions : (int * Value.t) list;
       (** decisions observed at the violating state *)
 }
@@ -40,6 +51,23 @@ val kind_to_string : kind -> string
 
 (** Raises [Invalid_argument] on an unknown kind. *)
 val kind_of_string : string -> kind
+
+(** The process a step concerns. *)
+val step_pid : step -> int
+
+(** Does the schedule contain any [Crash] entry? *)
+val has_crash : step list -> bool
+
+(** The two accepted schema strings: [wfs-counterexample/1]
+    (crash-free) and [wfs-counterexample/2] (crash-bearing). *)
+val schema_v1 : string
+
+val schema_v2 : string
+
+(** The schema string {!to_json} will stamp: /2 iff {!has_crash}. *)
+val schema_of : t -> string
+
+val pp_step : step Fmt.t
 
 (** {1 Value encoding} *)
 

@@ -19,8 +19,17 @@ type 'a t = {
   mask : int;
 }
 
+(* Largest supported capacity.  Above the largest representable power
+   of two, the doubling loop below would wrap negative and never
+   terminate; 2^30 slots is already far beyond anything the harnesses
+   allocate, so we refuse rather than round. *)
+let max_capacity = 1 lsl 30
+
 let create ~capacity =
-  if capacity <= 0 then invalid_arg "Lamport_queue.create: capacity";
+  if capacity <= 0 || capacity > max_capacity then
+    invalid_arg
+      (Printf.sprintf "Lamport_queue.create: capacity %d not in [1, %d]"
+         capacity max_capacity);
   (* round up to a power of two for cheap wrap-around *)
   let rec pow2 c = if c >= capacity then c else pow2 (c * 2) in
   let size = pow2 1 in
@@ -32,6 +41,15 @@ let create ~capacity =
   }
 
 let capacity t = t.mask + 1
+
+(* Read [head] before [tail] (OCaml evaluates the subtraction's
+   operands right to left).  For the enqueuer this is exact: it owns
+   [tail], and [head] only grows, so the difference is a lower bound on
+   free space.  Symmetrically it is exact for the dequeuer.  A
+   third-party observer may see a stale [head] against a fresh [tail]
+   and over-estimate the length, but never sees a negative value:
+   reading [head] first means any concurrent dequeues completed after
+   the read only make the true length smaller than reported. *)
 let length t = Atomic.get t.tail - Atomic.get t.head
 let is_empty t = length t = 0
 let is_full t = length t > t.mask

@@ -5,9 +5,22 @@
 
 type 'a t
 
+(** Largest accepted [capacity] (2{^30}); {!create} rounds requests up
+    to a power of two, and anything above this would overflow the
+    rounding. *)
+val max_capacity : int
+
+(** @raise Invalid_argument if [capacity] is outside
+    [\[1, max_capacity\]]. *)
 val create : capacity:int -> 'a t
+
 val capacity : 'a t -> int
+
+(** Snapshot of [tail - head], reading [head] first.  Exact when called
+    from the enqueuer or the dequeuer; a third-party observer may see a
+    stale over-estimate, but never a negative value. *)
 val length : 'a t -> int
+
 val is_empty : 'a t -> bool
 val is_full : 'a t -> bool
 

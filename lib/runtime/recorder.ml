@@ -54,11 +54,22 @@ let history t : Wfs_history.History.t =
   in
   collect (n - 1) []
 
-(* Convenience: record around an operation execution. *)
+(* Convenience: record around an operation execution.  If [f] raises —
+   a fault-injected halt, or any bug in the implementation under test —
+   we must not leave the INVOKE dangling: a later operation by the same
+   process would make its subhistory ill-formed, and the
+   linearizability checker would silently see a phantom pending
+   operation.  Record the distinguished crashed response (which
+   [History.operations] maps back to "pending") and re-raise. *)
 let around t ~pid ~obj ~op ~encode_res f =
   invoke t ~pid ~obj op;
-  let res = f () in
-  respond t ~pid ~obj (encode_res res);
-  res
+  match f () with
+  | res ->
+      respond t ~pid ~obj (encode_res res);
+      res
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      respond t ~pid ~obj Wfs_history.Event.crashed_res;
+      Printexc.raise_with_backtrace e bt
 
 let pp ppf t = Wfs_history.History.pp ppf (history t)

@@ -28,7 +28,11 @@ val respond : t -> pid:int -> obj:string -> Value.t -> unit
 val history : t -> Wfs_history.History.t
 
 (** [around t ~pid ~obj ~op ~encode_res f] records INVOKE, runs [f],
-    records RESPOND with the encoded result. *)
+    records RESPOND with the encoded result.  If [f] raises, a
+    [Wfs_history.Event.crashed_res] RESPOND is recorded before the
+    exception is re-raised, so the subhistory stays well-formed and the
+    linearizability checker sees the operation as pending rather than
+    as a phantom dangling INVOKE. *)
 val around :
   t -> pid:int -> obj:string -> op:Op.t -> encode_res:('a -> Value.t) ->
   (unit -> 'a) -> 'a

@@ -39,11 +39,14 @@ type node = {
   decided : Value.t option array;
   env_state : Env.state;
   stepped : int;  (* bitmask: processes that have taken ≥ 1 step *)
+  crashed : int;  (* bitmask: processes halted by the crash adversary *)
 }
 
 type terminal = {
-  decisions : Value.t array;
+  decisions : Value.t option array;
+      (* [None] = crashed before deciding *)
   who_stepped : int;  (* bitmask of processes that took ≥ 1 step *)
+  who_crashed : int;  (* bitmask of processes crashed in this execution *)
 }
 
 type truncation = Budget_states | Budget_depth
@@ -71,6 +74,7 @@ let initial config =
     decided = Array.make (Array.length config.procs) None;
     env_state = Env.init config.env;
     stepped = 0;
+    crashed = 0;
   }
 
 let key node =
@@ -81,6 +85,7 @@ let key node =
         (Array.to_list (Array.map Value.of_option node.decided));
       Env.encode node.env_state;
       Value.int node.stepped;
+      Value.int node.crashed;
     ]
 
 (* Canonical key under full process symmetry: processes are
@@ -96,52 +101,94 @@ let canonical_key node =
         Value.pair node.locals.(i)
           (Value.pair
              (Value.of_option node.decided.(i))
-             (Value.bool (node.stepped land (1 lsl i) <> 0))))
+             (Value.pair
+                (Value.bool (node.stepped land (1 lsl i) <> 0))
+                (Value.bool (node.crashed land (1 lsl i) <> 0)))))
   in
   Value.list
     [
       Value.list (List.sort Value.compare comps); Env.encode node.env_state;
     ]
 
-let is_terminal node = Array.for_all Option.is_some node.decided
+let popcount =
+  let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
+  fun m -> go 0 m
 
-type edge = Decide_edge of Value.t | Op_edge
-
-(* The successors of a node: one per undecided process.  A [Decide]
-   transition is itself a step for scheduling purposes (the DECIDE output
-   event), but does not touch the environment. *)
-let successors_with_edges config node =
-  let n = Array.length config.procs in
-  let rec go pid acc =
-    if pid < 0 then acc
-    else if node.decided.(pid) <> None then go (pid - 1) acc
-    else
-      let proc = config.procs.(pid) in
-      let edge, succ =
-        match Process.action proc node.locals.(pid) with
-        | Process.Decide v ->
-            let decided = Array.copy node.decided in
-            decided.(pid) <- Some v;
-            ( Decide_edge v,
-              { node with decided; stepped = node.stepped lor (1 lsl pid) } )
-        | Process.Invoke { obj; op; next } ->
-            let env_state, res = Env.apply config.env node.env_state obj op in
-            let locals = Array.copy node.locals in
-            locals.(pid) <- next res;
-            ( Op_edge,
-              {
-                node with
-                locals;
-                env_state;
-                stepped = node.stepped lor (1 lsl pid);
-              } )
-      in
-      go (pid - 1) ((pid, edge, succ) :: acc)
+(* Terminal under the crash-stop adversary: every process has decided or
+   been crashed.  With no crashes injected this is the original "all
+   decided" condition. *)
+let is_terminal node =
+  let n = Array.length node.decided in
+  let rec go i =
+    i >= n
+    || ((node.decided.(i) <> None || node.crashed land (1 lsl i) <> 0)
+       && go (i + 1))
   in
-  go (n - 1) []
+  go 0
 
-let successors config node =
-  List.map (fun (pid, _, succ) -> (pid, succ)) (successors_with_edges config node)
+type edge = Decide_edge of Value.t | Op_edge | Crash_edge
+
+(* The successors of a node: one per live undecided process, plus — when
+   the crash budget is not exhausted — one [Crash_edge] per live
+   undecided process, modelling the adversary halting it at exactly this
+   point.  A [Decide] transition is itself a step for scheduling
+   purposes (the DECIDE output event), but does not touch the
+   environment; a [Crash_edge] is not a step of anyone (the crashed
+   process is simply never scheduled again), so it neither sets the
+   [stepped] bit nor counts toward step bounds.  Crash edges come first
+   so counterexample search surfaces crash-involving schedules early. *)
+let successors_with_edges ?(crashes = 0) config node =
+  let n = Array.length config.procs in
+  let live pid =
+    node.decided.(pid) = None && node.crashed land (1 lsl pid) = 0
+  in
+  let step_edges =
+    let rec go pid acc =
+      if pid < 0 then acc
+      else if not (live pid) then go (pid - 1) acc
+      else
+        let proc = config.procs.(pid) in
+        let edge, succ =
+          match Process.action proc node.locals.(pid) with
+          | Process.Decide v ->
+              let decided = Array.copy node.decided in
+              decided.(pid) <- Some v;
+              ( Decide_edge v,
+                { node with decided; stepped = node.stepped lor (1 lsl pid) } )
+          | Process.Invoke { obj; op; next } ->
+              let env_state, res = Env.apply config.env node.env_state obj op in
+              let locals = Array.copy node.locals in
+              locals.(pid) <- next res;
+              ( Op_edge,
+                {
+                  node with
+                  locals;
+                  env_state;
+                  stepped = node.stepped lor (1 lsl pid);
+                } )
+        in
+        go (pid - 1) ((pid, edge, succ) :: acc)
+    in
+    go (n - 1) []
+  in
+  if crashes <= popcount node.crashed then step_edges
+  else
+    let rec crash pid acc =
+      if pid < 0 then acc
+      else if not (live pid) then crash (pid - 1) acc
+      else
+        crash (pid - 1)
+          (( pid,
+             Crash_edge,
+             { node with crashed = node.crashed lor (1 lsl pid) } )
+          :: acc)
+    in
+    crash (n - 1) step_edges
+
+let successors ?crashes config node =
+  List.map
+    (fun (pid, _, succ) -> (pid, succ))
+    (successors_with_edges ?crashes config node)
 
 (* Validity of a decision at the moment it is output (§3, partial
    correctness condition 2, applied to every history prefix): a decision
@@ -195,6 +242,7 @@ module M = struct
   let intern_lookups = Counter.make "explorer.intern.lookups"
   let arena_size = Gauge.make "explorer.intern.arena_size"
   let fused_edges = Counter.make "explorer.fused_dp.edges"
+  let crash_edges = Counter.make "explorer.crash_edges"
 end
 
 let flush_metrics ~states ~hits ~lookups ~deepest ~truncation ~cyclic ~intern =
@@ -227,7 +275,7 @@ let flush_metrics ~states ~hits ~lookups ~deepest ~truncation ~cyclic ~intern =
 
 (* --- the legacy two-pass engine (reference implementation) --- *)
 
-let explore_legacy ~max_states ~max_depth config =
+let explore_legacy ~max_states ~max_depth ~crashes config =
   let colors : (Value.t, color) Hashtbl.t = Hashtbl.create 4096 in
   let terminals : (Value.t, terminal) Hashtbl.t = Hashtbl.create 64 in
   let cyclic = ref false in
@@ -237,6 +285,7 @@ let explore_legacy ~max_states ~max_depth config =
   let lookups = ref 0 in
   let hits = ref 0 in
   let deepest = ref 0 in
+  let crash_seen = ref 0 in
   let rec dfs node depth =
     if depth > !deepest then deepest := depth;
     let k = key node in
@@ -254,15 +303,22 @@ let explore_legacy ~max_states ~max_depth config =
         else begin
           Hashtbl.replace colors k Gray;
           if is_terminal node then begin
-            let decisions = Array.map Option.get node.decided in
+            let decisions = Array.copy node.decided in
             Hashtbl.replace terminals
               (Value.pair
-                 (Value.list (Array.to_list decisions))
-                 (Value.int node.stepped))
-              { decisions; who_stepped = node.stepped }
+                 (Value.list
+                    (Array.to_list (Array.map Value.of_option decisions)))
+                 (Value.pair
+                    (Value.int node.stepped)
+                    (Value.int node.crashed)))
+              {
+                decisions;
+                who_stepped = node.stepped;
+                who_crashed = node.crashed;
+              }
           end
           else begin
-            match successors_with_edges config node with
+            match successors_with_edges ~crashes config node with
             | exception Object_spec.Unknown_operation { obj; op } ->
                 stuck :=
                   Some (-1, Fmt.str "unknown operation %a on %s" Op.pp op obj)
@@ -276,6 +332,7 @@ let explore_legacy ~max_states ~max_depth config =
                     (match edge with
                     | Decide_edge v when not (decision_valid node ~pid v) ->
                         invalid_note invalid pid v
+                    | Crash_edge -> incr crash_seen
                     | Decide_edge _ | Op_edge -> ());
                     dfs succ (depth + 1))
                   succs
@@ -300,14 +357,17 @@ let explore_legacy ~max_states ~max_depth config =
         | None ->
             let best = Array.make n 0 in
             List.iter
-              (fun (pid, succ) ->
+              (fun (pid, edge, succ) ->
                 let sub = bound succ in
+                (* a crash edge is not a step of anyone: contribute the
+                   child's bounds without the +1 *)
+                let is_step = edge <> Crash_edge in
                 Array.iteri
                   (fun p v ->
-                    let v = if p = pid then v + 1 else v in
+                    let v = if is_step && p = pid then v + 1 else v in
                     if v > best.(p) then best.(p) <- v)
                   sub)
-              (successors config node);
+              (successors_with_edges ~crashes config node);
             Hashtbl.replace memo k best;
             best
       in
@@ -317,6 +377,7 @@ let explore_legacy ~max_states ~max_depth config =
   let states = Hashtbl.length colors in
   flush_metrics ~states ~hits:!hits ~lookups:!lookups ~deepest:!deepest
     ~truncation:!truncation ~cyclic:!cyclic ~intern:None;
+  Wfs_obs.Metrics.Counter.add M.crash_edges !crash_seen;
   {
     states;
     terminals = Hashtbl.fold (fun _ d acc -> d :: acc) terminals [];
@@ -333,7 +394,12 @@ let explore_legacy ~max_states ~max_depth config =
 (* One frame per node being expanded.  [f_best] accumulates the
    longest-path DP post-order: when the child explored via [f_pending]
    finishes, its bounds fold into [f_best] — the work the legacy engine
-   repeats in a whole second traversal. *)
+   repeats in a whole second traversal.
+
+   Crash edges are encoded in the pid arrays as [-2 - pid]: [combine]
+   adds the +1 step only when its pid argument matches a real process
+   index, so a crash edge folds the child's bounds in verbatim —
+   crashing is not a step of anyone. *)
 type frame = {
   f_id : int;  (* interned id of the node *)
   f_pids : int array;  (* successor pids, in legacy DFS order *)
@@ -347,7 +413,7 @@ let white = '\000'
 let gray = '\001'
 let black = '\002'
 
-let explore_fast ~max_states ~max_depth ~symmetry config =
+let explore_fast ~max_states ~max_depth ~symmetry ~crashes config =
   let n = Array.length config.procs in
   let encode = if symmetry then canonical_key else key in
   let size_hint = max 16 (min max_states 8192) in
@@ -379,6 +445,7 @@ let explore_fast ~max_states ~max_depth ~symmetry config =
   let visited = ref 0 in
   let deepest = ref 0 in
   let fused = ref 0 in
+  let crash_seen = ref 0 in
   let stack : frame Stack.t = Stack.create () in
   let combine f pid child =
     incr fused;
@@ -419,16 +486,23 @@ let explore_fast ~max_states ~max_depth ~symmetry config =
         else begin
           incr visited;
           if is_terminal node then begin
-            let decisions = Array.map Option.get node.decided in
+            let decisions = Array.copy node.decided in
             Value.Tbl.replace terminals
               (Value.pair
-                 (Value.list (Array.to_list decisions))
-                 (Value.int node.stepped))
-              { decisions; who_stepped = node.stepped };
+                 (Value.list
+                    (Array.to_list (Array.map Value.of_option decisions)))
+                 (Value.pair
+                    (Value.int node.stepped)
+                    (Value.int node.crashed)))
+              {
+                decisions;
+                who_stepped = node.stepped;
+                who_crashed = node.crashed;
+              };
             finish_leaf ()
           end
           else begin
-            match successors_with_edges config node with
+            match successors_with_edges ~crashes config node with
             | exception Object_spec.Unknown_operation { obj; op } ->
                 stuck :=
                   Some (-1, Fmt.str "unknown operation %a on %s" Op.pp op obj);
@@ -446,8 +520,10 @@ let explore_fast ~max_states ~max_depth ~symmetry config =
                     (match edge with
                     | Decide_edge v when not (decision_valid node ~pid v) ->
                         invalid_note invalid pid v
+                    | Crash_edge -> incr crash_seen
                     | Decide_edge _ | Op_edge -> ());
-                    pids.(i) <- pid;
+                    pids.(i) <-
+                      (match edge with Crash_edge -> -2 - pid | _ -> pid);
                     nodes.(i) <- succ)
                   succs;
                 Stack.push
@@ -494,6 +570,7 @@ let explore_fast ~max_states ~max_depth ~symmetry config =
   flush_metrics ~states ~hits:!hits ~lookups:!lookups ~deepest:!deepest
     ~truncation:!truncation ~cyclic:!cyclic ~intern:(Some tbl);
   Wfs_obs.Metrics.Counter.add M.fused_edges !fused;
+  Wfs_obs.Metrics.Counter.add M.crash_edges !crash_seen;
   {
     states;
     terminals = Value.Tbl.fold (fun _ d acc -> d :: acc) terminals [];
@@ -506,9 +583,10 @@ let explore_fast ~max_states ~max_depth ~symmetry config =
   }
 
 let explore ?(max_states = 2_000_000) ?(max_depth = 10_000)
-    ?(symmetry = false) ?(legacy = false) config =
-  if legacy then explore_legacy ~max_states ~max_depth config
-  else explore_fast ~max_states ~max_depth ~symmetry config
+    ?(symmetry = false) ?(legacy = false) ?(crashes = 0) config =
+  if crashes < 0 then invalid_arg "Explorer.explore: crashes < 0";
+  if legacy then explore_legacy ~max_states ~max_depth ~crashes config
+  else explore_fast ~max_states ~max_depth ~symmetry ~crashes config
 
 let wait_free stats =
   (not stats.cyclic) && (not stats.truncated) && stats.stuck = None

@@ -16,11 +16,17 @@ type node = {
   decided : Value.t option array;
   env_state : Env.state;
   stepped : int;  (** bitmask of processes that have taken ≥ 1 step *)
+  crashed : int;
+      (** bitmask of processes halted by the crash-stop adversary; a
+          crashed process is never scheduled again *)
 }
 
 type terminal = {
-  decisions : Value.t array;
+  decisions : Value.t option array;
+      (** per-process decision; [None] iff the process crashed before
+          deciding *)
   who_stepped : int;  (** bitmask of processes that took ≥ 1 step *)
+  who_crashed : int;  (** bitmask of processes crashed in the execution *)
 }
 
 (** Which budget cut the exploration short. *)
@@ -56,15 +62,23 @@ val key : node -> Value.t
     [explore ~symmetry]). *)
 val canonical_key : node -> Value.t
 
+(** Terminal under the crash-stop adversary: every process has decided
+    or crashed.  With [crashed = 0] this is the original "everyone
+    decided". *)
 val is_terminal : node -> bool
 
-type edge = Decide_edge of Value.t | Op_edge
+type edge = Decide_edge of Value.t | Op_edge | Crash_edge
 
-(** Successor relation: one edge per undecided process; a [Decide]
-    transition counts as that process's step. *)
-val successors : config -> node -> (int * node) list
+(** Successor relation: one edge per live (neither decided nor crashed)
+    process; a [Decide] transition counts as that process's step.  With
+    [crashes] above the number of crashes already in [node.crashed],
+    also one [Crash_edge] per live process — the adversary halting it at
+    exactly this point.  Crash edges are listed first, do not set the
+    [stepped] bit, and do not count as steps in the longest-path DP. *)
+val successors : ?crashes:int -> config -> node -> (int * node) list
 
-val successors_with_edges : config -> node -> (int * edge * node) list
+val successors_with_edges :
+  ?crashes:int -> config -> node -> (int * edge * node) list
 
 (** [decision_valid node ~pid v]: deciding [v] in [node] satisfies the
     paper's validity condition — [v] names the decider or a process that
@@ -94,6 +108,16 @@ val decision_valid : node -> pid:int -> Value.t -> bool
     tests and the [PERF] old-vs-new benchmarks; [symmetry] is ignored
     under [legacy].
 
+    [crashes] (default 0) is the crash-stop adversary's budget: the
+    exploration additionally quantifies over every point at which up to
+    [crashes] processes halt permanently (Herlihy's failure model —
+    wait-freedom {e is} tolerance of [n-1] undetected halting
+    failures).  Terminals then require every process to have decided or
+    crashed; a crashed process's decision slot is [None].  With
+    [crashes = 0] the state graph, verdicts, and step bounds are
+    exactly those of the crash-free explorer.  Crash edges feed the
+    [explorer.crash_edges] counter.
+
     Each run also feeds the default [Wfs_obs.Metrics] registry:
     [explorer.runs], [explorer.states_visited], [explorer.dedup_hits] /
     [explorer.dedup_lookups] / [explorer.dedup_hit_rate],
@@ -107,6 +131,7 @@ val explore :
   ?max_depth:int ->
   ?symmetry:bool ->
   ?legacy:bool ->
+  ?crashes:int ->
   config ->
   stats
 

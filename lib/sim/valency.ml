@@ -43,7 +43,7 @@ module M = struct
   let critical_found = Counter.make "valency.critical_found"
 end
 
-let analyze (config : Explorer.config) =
+let analyze ?crashes (config : Explorer.config) =
   (* full-depth-hash table: joint-state keys collide pathologically
      under the generic hash (see [Value.hash_full]) *)
   let memo : valency Value.Tbl.t = Value.Tbl.create 4096 in
@@ -61,7 +61,7 @@ let analyze (config : Explorer.config) =
             List.fold_left
               (fun acc (_, succ) -> Vset.union acc (valency succ))
               Vset.empty
-              (Explorer.successors config node)
+              (Explorer.successors ?crashes config node)
         in
         Value.Tbl.replace memo k v;
         v
@@ -74,9 +74,9 @@ let analyze (config : Explorer.config) =
    until one is found all of whose successors are univalent.  Returns the
    first found, if any.  (For a correct wait-free consensus protocol one
    always exists: the root is bivalent and every terminal univalent.) *)
-let find_critical (config : Explorer.config) =
+let find_critical ?crashes (config : Explorer.config) =
   Wfs_obs.Metrics.Counter.incr M.critical_searches;
-  let _, valency = analyze config in
+  let _, valency = analyze ?crashes config in
   let seen : unit Value.Tbl.t = Value.Tbl.create 4096 in
   let exception Found of critical in
   let rec dfs node =
@@ -84,7 +84,7 @@ let find_critical (config : Explorer.config) =
     if not (Value.Tbl.mem seen k) then begin
       Value.Tbl.replace seen k ();
       if is_bivalent (valency node) && not (Explorer.is_terminal node) then begin
-        let succs = Explorer.successors config node in
+        let succs = Explorer.successors ?crashes config node in
         let branches =
           List.map (fun (pid, succ) -> (pid, succ, valency succ)) succs
         in

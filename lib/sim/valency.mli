@@ -21,13 +21,20 @@ type critical = {
 }
 
 (** [analyze config] is [(root_valency, valency_fn)]: the valency of the
-    initial state, plus a memoized valency function over nodes. *)
+    initial state, plus a memoized valency function over nodes.
+
+    [crashes] grants the crash-stop adversary a halt budget (see
+    {!Explorer.successors}); reachable-decision sets then range over
+    crash-extended executions, where a terminal's values are those of
+    the surviving deciders. *)
 val analyze :
-  Explorer.config -> valency * (Explorer.node -> valency)
+  ?crashes:int -> Explorer.config -> valency * (Explorer.node -> valency)
 
 (** Find a critical state reachable from the initial state, if any.  A
     correct wait-free consensus protocol with a bivalent initial state
-    always has one. *)
-val find_critical : Explorer.config -> critical option
+    always has one.  [crashes] as in {!analyze}; crash successors count
+    as branches, so a state is only critical if even the adversary's
+    halts commit the outcome. *)
+val find_critical : ?crashes:int -> Explorer.config -> critical option
 
 val pp_valency : valency Fmt.t

@@ -360,9 +360,15 @@ let test_violation_found_and_replays () =
   | Some v ->
       Alcotest.(check bool) "disagreement" true
         (v.Protocol.kind = `Disagreement);
-      (* replaying the extracted schedule reproduces the failure *)
+      (* replaying the extracted schedule reproduces the failure; a
+         crash-free search yields only [Step] entries *)
+      let pids =
+        List.map
+          (function Protocol.Step p -> p | Protocol.Crash _ -> assert false)
+          v.Protocol.schedule
+      in
       let outcome =
-        Protocol.run_once ~schedule:(Scheduler.of_list v.Protocol.schedule) p
+        Protocol.run_once ~schedule:(Scheduler.of_list pids) p
       in
       let ds = List.map snd outcome.Runner.decisions in
       (match ds with

@@ -32,7 +32,9 @@ let test_randomized_same_inputs_never_abort () =
         (fun d ->
           Alcotest.(check bool)
             "decides true" true
-            (Value.equal d (Value.bool true)))
+            (match d with
+            | Some d -> Value.equal d (Value.bool true)
+            | None -> false))
         t.Wfs_sim.Explorer.decisions)
     stats.Wfs_sim.Explorer.terminals
 

@@ -1,0 +1,241 @@
+(* The crash-stop fault layer, both substrates.
+
+   Sim side: a crash budget of 0 must be *observationally identical* to
+   the original crash-free semantics (differential check over the whole
+   registry), sound protocols must keep passing under any budget up to
+   n-1 (wait-freedom checked literally), and the naive register protocol
+   must fail with a crash-bearing schedule that replays and round-trips
+   through the on-disk counterexample format.  Runtime side: the
+   deterministic injector and the halt-k-of-n stress harness. *)
+
+open Wfs_consensus
+open Wfs_runtime
+module CE = Wfs_obs.Counterexample
+
+(* --- differential: crashes=0 is the crash-free semantics --- *)
+
+let test_crashes_zero_identical () =
+  List.iter
+    (fun key ->
+      let entry = Registry.find key in
+      List.iter
+        (fun n ->
+          match entry.Registry.build ~n with
+          | None -> ()
+          | Some p ->
+              let plain = Protocol.verify p in
+              let zero = Protocol.verify ~crashes:0 p in
+              Alcotest.(check bool)
+                (Fmt.str "%s n=%d: crashes:0 report = plain report" key n)
+                true (plain = zero))
+        [ 2; 3 ])
+    (Registry.keys ())
+
+(* --- sound protocols survive any budget the paper grants --- *)
+
+let test_registry_passes_under_crashes () =
+  List.iter
+    (fun entry ->
+      List.iter
+        (fun n ->
+          match entry.Registry.build ~n with
+          | None -> ()
+          | Some p ->
+              for crashes = 1 to n - 1 do
+                let r = Protocol.verify ~crashes p in
+                Alcotest.(check bool)
+                  (Fmt.str "%s n=%d crashes=%d passes" entry.Registry.key n
+                     crashes)
+                  true (Protocol.passed r);
+                Alcotest.(check int)
+                  (Fmt.str "%s n=%d report echoes budget" entry.Registry.key n)
+                  crashes r.Protocol.crashes
+              done)
+        [ 2; 3 ])
+    Registry.entries
+
+let test_crash_budget_grows_state_space () =
+  let entry = Registry.find "cas" in
+  match entry.Registry.build ~n:2 with
+  | None -> Alcotest.fail "cas builds at n=2"
+  | Some p ->
+      let r0 = Protocol.verify p and r1 = Protocol.verify ~crashes:1 p in
+      Alcotest.(check bool)
+        "crash edges add reachable states" true
+        (r1.Protocol.states > r0.Protocol.states)
+
+let test_explorer_rejects_negative_budget () =
+  let entry = Registry.find "cas" in
+  match entry.Registry.build ~n:2 with
+  | None -> Alcotest.fail "cas builds at n=2"
+  | Some p -> (
+      match Protocol.verify ~crashes:(-1) p with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument for crashes=-1")
+
+(* --- the naive register protocol fails by crash --- *)
+
+let naive_register_n3 () =
+  match (Registry.find "register-naive").Registry.build ~n:3 with
+  | Some p -> p
+  | None -> Alcotest.fail "register-naive builds at n=3"
+
+let test_naive_register_crash_counterexample () =
+  let p = naive_register_n3 () in
+  let r = Protocol.verify ~crashes:1 p in
+  Alcotest.(check bool) "fails under one crash" false (Protocol.passed r);
+  match Protocol.find_violation ~crashes:1 p with
+  | None -> Alcotest.fail "expected a violation"
+  | Some v ->
+      Alcotest.(check bool)
+        "schedule exercises a crash" true
+        (List.exists
+           (function Protocol.Crash _ -> true | Protocol.Step _ -> false)
+           v.Protocol.schedule);
+      (* the schedule replays deterministically to the same violation *)
+      (match Protocol.replay p ~schedule:v.Protocol.schedule with
+      | Some v' ->
+          Alcotest.(check bool) "same kind" true (v'.Protocol.kind = v.Protocol.kind);
+          Alcotest.(check bool)
+            "same decisions" true
+            (v'.Protocol.decisions = v.Protocol.decisions)
+      | None -> Alcotest.fail "replay lost the violation");
+      (* ... and round-trips through the on-disk format with its crash *)
+      let ce =
+        Protocol.violation_to_counterexample ~protocol:"register-naive" ~n:3 v
+      in
+      Alcotest.(check string) "crash schedule bumps schema" CE.schema_v2
+        (CE.schema_of ce);
+      let ce' = CE.of_json (CE.to_json ce) in
+      Alcotest.(check bool) "json round trip" true (ce'.CE.schedule = ce.CE.schedule);
+      match Protocol.replay_counterexample p ce' with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("counterexample replay diverged: " ^ e)
+
+let test_crash_free_counterexample_keeps_schema_v1 () =
+  let p = naive_register_n3 () in
+  match Protocol.find_violation p with
+  | None -> Alcotest.fail "register-naive violates without crashes too"
+  | Some v ->
+      let ce =
+        Protocol.violation_to_counterexample ~protocol:"register-naive" ~n:3 v
+      in
+      Alcotest.(check string)
+        "crash-free files keep the old schema" CE.schema_v1 (CE.schema_of ce)
+
+(* --- the runtime injector --- *)
+
+let test_injector_halts_permanently () =
+  let inj = Fault.create ~n:2 [ Fault.Halt { pid = 0; boundary = 2 } ] in
+  Alcotest.(check int) "survives first op" 7
+    (Fault.protect inj ~pid:0 (fun () -> 7));
+  (match Fault.protect inj ~pid:0 (fun () -> Alcotest.fail "effect must not run")
+   with
+  | exception Fault.Halted 0 -> ()
+  | _ -> Alcotest.fail "expected Halted 0 at boundary 2");
+  Alcotest.(check bool) "marked down" true (Fault.is_halted inj ~pid:0);
+  Alcotest.(check (list int)) "halted list" [ 0 ] (Fault.halted inj);
+  (* once down, always down *)
+  (match Fault.boundary inj ~pid:0 with
+  | exception Fault.Halted 0 -> ()
+  | () -> Alcotest.fail "a crashed process took another step");
+  (* other processes unaffected *)
+  Alcotest.(check int) "pid 1 untouched" 9
+    (Fault.protect inj ~pid:1 (fun () -> 9))
+
+let test_injector_stall_is_transparent () =
+  let inj =
+    Fault.create ~n:1 [ Fault.Stall { pid = 0; boundary = 0; spins = 32 } ]
+  in
+  Alcotest.(check int) "stalled op still completes" 3
+    (Fault.protect inj ~pid:0 (fun () -> 3));
+  Alcotest.(check bool) "not down" false (Fault.is_halted inj ~pid:0)
+
+let test_injector_validates_plan () =
+  match Fault.create ~n:2 [ Fault.Halt { pid = 2; boundary = 0 } ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for out-of-range pid"
+
+let test_wrapped_cas_crash_after_effect () =
+  (* halting at the second boundary (odd) crashes *after* the CAS took
+     effect: the caller never learns the outcome, but survivors see it *)
+  let inj = Fault.create ~n:2 [ Fault.Halt { pid = 0; boundary = 1 } ] in
+  let c = Fault.Cas.make inj 0 in
+  (match Fault.Cas.compare_and_set c ~pid:0 0 5 with
+  | exception Fault.Halted 0 -> ()
+  | _ -> Alcotest.fail "expected Halted before the response");
+  Alcotest.(check int) "effect visible to a survivor" 5
+    (Fault.Cas.read c ~pid:1)
+
+let test_wrapped_register_crash_before_effect () =
+  (* boundary 0 is *before* the operation: the write must not happen *)
+  let inj = Fault.create ~n:2 [ Fault.Halt { pid = 0; boundary = 0 } ] in
+  let r = Fault.Register.make inj 1 in
+  (match Fault.Register.write r ~pid:0 99 with
+  | exception Fault.Halted 0 -> ()
+  | () -> Alcotest.fail "expected Halted before the effect");
+  Alcotest.(check int) "effect suppressed" 1 (Fault.Register.read r ~pid:1)
+
+(* --- the stress harness --- *)
+
+let test_stress_queue_survivors_linearize () =
+  List.iter
+    (fun (n, halts) ->
+      let s = Fault.stress_queue ~n ~halts () in
+      Alcotest.(check bool)
+        (Fmt.str "n=%d halts=%d passes" n halts)
+        true (Fault.stress_passed s);
+      Alcotest.(check int)
+        (Fmt.str "n=%d halts=%d pending ops" n halts)
+        halts s.Fault.crashed_ops)
+    [ (2, 0); (2, 1); (3, 2); (4, 3) ]
+
+let test_stress_queue_validates_arguments () =
+  (match Fault.stress_queue ~n:2 ~halts:2 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "halts must be < n");
+  match Fault.stress_queue ~ops_per_proc:1000 ~n:4 ~halts:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "workload must fit the linearizability checker"
+
+let suite =
+  [
+    ( "fault.sim",
+      [
+        Alcotest.test_case "crashes=0 ≡ crash-free (registry, n=2,3)" `Quick
+          test_crashes_zero_identical;
+        Alcotest.test_case "registry passes under crashes ≤ n-1" `Quick
+          test_registry_passes_under_crashes;
+        Alcotest.test_case "crash budget grows state space" `Quick
+          test_crash_budget_grows_state_space;
+        Alcotest.test_case "negative budget rejected" `Quick
+          test_explorer_rejects_negative_budget;
+      ] );
+    ( "fault.counterexample",
+      [
+        Alcotest.test_case "register-naive fails by crash, replays" `Quick
+          test_naive_register_crash_counterexample;
+        Alcotest.test_case "crash-free files keep schema v1" `Quick
+          test_crash_free_counterexample_keeps_schema_v1;
+      ] );
+    ( "fault.injector",
+      [
+        Alcotest.test_case "halt is permanent" `Quick
+          test_injector_halts_permanently;
+        Alcotest.test_case "stall is transparent" `Quick
+          test_injector_stall_is_transparent;
+        Alcotest.test_case "plan validation" `Quick test_injector_validates_plan;
+        Alcotest.test_case "cas crash after effect" `Quick
+          test_wrapped_cas_crash_after_effect;
+        Alcotest.test_case "register crash before effect" `Quick
+          test_wrapped_register_crash_before_effect;
+      ] );
+    ( "fault.stress",
+      [
+        Alcotest.test_case "halted domains leave pending ops, history \
+                            linearizes"
+          `Quick test_stress_queue_survivors_linearize;
+        Alcotest.test_case "argument validation" `Quick
+          test_stress_queue_validates_arguments;
+      ] );
+  ]

@@ -178,12 +178,14 @@ let test_trace_null_sink_is_noop () =
 
 (* --- counterexamples --- *)
 
+let step = Alcotest.testable Counterexample.pp_step Stdlib.( = )
+
 let sample_ce =
   {
     Counterexample.protocol = "register-naive";
     n = 2;
     kind = Counterexample.Disagreement;
-    schedule = [ 0; 0; 0; 1; 1; 1 ];
+    schedule = List.map (fun p -> Counterexample.Step p) [ 0; 0; 0; 1; 1; 1 ];
     decisions = [ (0, Value.pid 0); (1, Value.pid 1) ];
   }
 
@@ -192,7 +194,7 @@ let test_counterexample_round_trip () =
   Alcotest.(check string) "protocol" sample_ce.Counterexample.protocol
     ce'.Counterexample.protocol;
   Alcotest.(check int) "n" 2 ce'.Counterexample.n;
-  Alcotest.(check (list int)) "schedule" sample_ce.Counterexample.schedule
+  Alcotest.(check (list step)) "schedule" sample_ce.Counterexample.schedule
     ce'.Counterexample.schedule;
   Alcotest.(check (list (pair int value)))
     "decisions" sample_ce.Counterexample.decisions
@@ -227,7 +229,7 @@ let test_counterexample_save_load () =
     (fun () ->
       Counterexample.save path sample_ce;
       let ce' = Counterexample.load path in
-      Alcotest.(check (list int))
+      Alcotest.(check (list step))
         "schedule survives disk" sample_ce.Counterexample.schedule
         ce'.Counterexample.schedule;
       (* the file is plain JSON with the schema marker *)
@@ -270,7 +272,7 @@ let test_violation_export_and_replay () =
 let test_replay_rejects_impossible_schedule () =
   let entry = Registry.find "register-naive" in
   let t = Option.get (entry.Registry.build ~n:2) in
-  match Protocol.replay t ~schedule:[ 9 ] with
+  match Protocol.replay t ~schedule:[ Counterexample.Step 9 ] with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument for a pid that cannot step"
 
@@ -312,8 +314,49 @@ let test_explorer_truncation_metrics_distinguish_causes () =
   Alcotest.(check int) "depth budget counted" 1 (counter "explorer.truncated.depth");
   Alcotest.(check int) "states budget not counted" 0 (counter "explorer.truncated.states")
 
+(* --- clock --- *)
+
+let test_clock_precision () =
+  let module Clock = Wfs_obs.Clock in
+  (* exact on representable inputs *)
+  Alcotest.(check int) "1.5 s" 1_500_000_000 (Clock.of_gettimeofday 1.5);
+  Alcotest.(check int) "whole seconds exact"
+    1_754_000_000_000_000_000
+    (Clock.of_gettimeofday 1.754e9);
+  (* the regression: at current-epoch magnitude, nanoseconds exceed the
+     53-bit double mantissa, so a single [*. 1e9] would quantize to
+     ~256 ns steps; adjacent representable doubles (~238 ns apart) must
+     map to distinct, properly spaced integers *)
+  let s1 = 1.754e9 +. 0.123456 in
+  let s2 = Float.succ s1 in
+  let n1 = Clock.of_gettimeofday s1 and n2 = Clock.of_gettimeofday s2 in
+  Alcotest.(check bool) "adjacent doubles distinguished" true (n2 > n1);
+  Alcotest.(check bool)
+    "spacing below the naive 256 ns quantum" true
+    (n2 - n1 < 256)
+
+let test_clock_monotone () =
+  let module Clock = Wfs_obs.Clock in
+  let ok = ref true in
+  let prev = ref (Clock.now_ns ()) in
+  for _ = 1 to 10_000 do
+    let t = Clock.now_ns () in
+    if t < !prev then ok := false;
+    prev := t
+  done;
+  Alcotest.(check bool) "never goes backwards" true !ok;
+  let (), dt = Clock.elapsed_ns (fun () -> ignore (Sys.opaque_identity 1)) in
+  Alcotest.(check bool) "elapsed non-negative" true (dt >= 0)
+
 let suite =
   [
+    ( "obs.clock",
+      [
+        Alcotest.test_case "sub-microsecond precision at epoch scale" `Quick
+          test_clock_precision;
+        Alcotest.test_case "monotone across 10k reads" `Quick
+          test_clock_monotone;
+      ] );
     ( "obs.json",
       [
         Alcotest.test_case "round trip" `Quick test_json_round_trip;

@@ -21,8 +21,11 @@ let terminal_encodings (stats : Explorer.stats) =
     (List.map
        (fun (t : Explorer.terminal) ->
          Value.pair
-           (Value.list (Array.to_list t.Explorer.decisions))
-           (Value.int t.Explorer.who_stepped))
+           (Value.list
+              (Array.to_list (Array.map Value.of_option t.Explorer.decisions)))
+           (Value.pair
+              (Value.int t.Explorer.who_stepped)
+              (Value.int t.Explorer.who_crashed)))
        stats.Explorer.terminals)
 
 let truncation_str = function

@@ -548,6 +548,33 @@ let test_recorder_headroom_gauge () =
     "gauge tracks remaining slots" (Some 8)
     (Wfs_obs.Metrics.gauge_value "recorder.headroom")
 
+let test_recorder_around_exception_path () =
+  let open Wfs_spec in
+  let r = Recorder.create ~capacity:8 in
+  (match
+     Recorder.around r ~pid:1 ~obj:"q" ~op:Queues.deq ~encode_res:Value.int
+       (fun () -> failwith "boom")
+   with
+  | exception Failure m -> Alcotest.(check string) "exception re-raised" "boom" m
+  | _ -> Alcotest.fail "expected the Failure to propagate");
+  let h = Recorder.history r in
+  (match h with
+  | [ Wfs_history.Event.Invoke _; Wfs_history.Event.Respond { res; _ } ] ->
+      Alcotest.(check bool) "crashed response recorded" true
+        (Value.equal res Wfs_history.Event.crashed_res)
+  | _ ->
+      Alcotest.fail
+        (Fmt.str "expected INVOKE then crashed RESPOND, got %d events"
+           (List.length h)));
+  Alcotest.(check bool) "well-formed" true (Wfs_history.History.well_formed h);
+  let ops = Wfs_history.History.operations h in
+  Alcotest.(check int) "the crashed op is pending, not dangling" 1
+    (List.length (List.filter Wfs_history.History.is_pending ops));
+  (* a later operation of the same process still records cleanly *)
+  Alcotest.(check int) "recorder usable afterwards" 3
+    (Recorder.around r ~pid:1 ~obj:"q" ~op:Queues.deq ~encode_res:Value.int
+       (fun () -> 3))
+
 let recorder_suite =
   ( "runtime.recorder",
     [
@@ -559,9 +586,35 @@ let recorder_suite =
         test_recorder_around_pairing;
       Alcotest.test_case "headroom gauge when hot" `Quick
         test_recorder_headroom_gauge;
+      Alcotest.test_case "exception leaves a pending op" `Quick
+        test_recorder_around_exception_path;
     ] )
 
-let suite = suite @ [ recorder_suite ]
+let test_lamport_capacity_edges () =
+  List.iter
+    (fun capacity ->
+      match Lamport_queue.create ~capacity with
+      | exception Invalid_argument _ -> ()
+      | _ ->
+          Alcotest.fail
+            (Fmt.str "capacity %d should be rejected" capacity))
+    [ 0; -1; Lamport_queue.max_capacity + 1; max_int ];
+  (* requests round up to a power of two (allocating the true maximum
+     would need gigabytes, so the upper edge is only checked for
+     rejection above) *)
+  Alcotest.(check int) "5 rounds to 8" 8
+    (Lamport_queue.capacity (Lamport_queue.create ~capacity:5));
+  Alcotest.(check int) "1 stays 1" 1
+    (Lamport_queue.capacity (Lamport_queue.create ~capacity:1));
+  Alcotest.(check int) "powers of two kept exactly" 16
+    (Lamport_queue.capacity (Lamport_queue.create ~capacity:16))
+
+let lamport_suite =
+  ( "runtime.lamport-queue",
+    [ Alcotest.test_case "capacity edges" `Quick test_lamport_capacity_edges ]
+  )
+
+let suite = suite @ [ recorder_suite; lamport_suite ]
 
 (* --- reference-equivalence properties (single domain) ---
 

@@ -131,10 +131,12 @@ let test_explorer_tas () =
     (List.length stats.Explorer.terminals);
   List.iter
     (fun (t : Explorer.terminal) ->
-      let d0 = t.Explorer.decisions.(0) in
+      let d0 = Option.get t.Explorer.decisions.(0) in
       Alcotest.(check bool)
         "agreement" true
-        (Array.for_all (Value.equal d0) t.Explorer.decisions))
+        (Array.for_all
+           (fun d -> Value.equal d0 (Option.get d))
+           t.Explorer.decisions))
     stats.Explorer.terminals
 
 let test_explorer_detects_cycle () =
