@@ -30,6 +30,64 @@ let series_rows : (string * Obs.Json.t) list ref = ref []
 let record_ns name ns r2 = ols_rows := (name, ns, r2) :: !ols_rows
 let record_series name json = series_rows := (name, json) :: !series_rows
 
+(* HEAD commit without shelling out: find the checkout by walking up
+   from the executable (the harness may run from any working
+   directory), then follow [.git/HEAD] through loose and packed refs.
+   "unknown" outside a checkout — the stamp is a provenance aid, never
+   a failure. *)
+let git_dir () =
+  let rec up dir =
+    let candidate = Filename.concat dir ".git" in
+    if Sys.file_exists candidate && Sys.is_directory candidate then
+      Some candidate
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  match up (Filename.dirname (Unix.realpath Sys.executable_name)) with
+  | Some d -> Some d
+  | None | (exception Unix.Unix_error _) -> up (Sys.getcwd ())
+
+let git_rev () =
+  let first_line path =
+    match open_in path with
+    | exception Sys_error _ -> None
+    | ic ->
+        let line = try Some (input_line ic) with End_of_file -> None in
+        close_in ic;
+        line
+  in
+  match git_dir () with
+  | None -> "unknown"
+  | Some git -> (
+      match first_line (Filename.concat git "HEAD") with
+      | None -> "unknown"
+      | Some head
+        when String.length head >= 5 && String.sub head 0 5 = "ref: " -> (
+          let r = String.trim (String.sub head 5 (String.length head - 5)) in
+          match first_line (Filename.concat git r) with
+          | Some sha -> String.trim sha
+          | None -> (
+              match open_in (Filename.concat git "packed-refs") with
+              | exception Sys_error _ -> "unknown"
+              | ic ->
+                  let rec scan acc =
+                    match input_line ic with
+                    | exception End_of_file -> acc
+                    | line ->
+                        if
+                          String.length line > 41
+                          && line.[0] <> '#'
+                          && line.[40] = ' '
+                          && String.sub line 41 (String.length line - 41) = r
+                        then scan (Some (String.sub line 0 40))
+                        else scan acc
+                  in
+                  let found = scan None in
+                  close_in ic;
+                  (match found with Some sha -> sha | None -> "unknown")))
+      | Some head -> String.trim head)
+
 let write_results path sections_run =
   let sorted_obj rows =
     Obs.Json.obj (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
@@ -37,8 +95,12 @@ let write_results path sections_run =
   let json =
     Obs.Json.obj
       [
-        ("schema", Obs.Json.str "wfs-bench/1");
+        (* /2 adds the provenance stamps below; /1 fields unchanged. *)
+        ("schema", Obs.Json.str "wfs-bench/2");
         ("generated_unix_time", Obs.Json.float (Unix.time ()));
+        ("domains_used", Obs.Json.int (Domain.recommended_domain_count ()));
+        ("git_rev", Obs.Json.str (git_rev ()));
+        ("ocaml_version", Obs.Json.str Sys.ocaml_version);
         ( "sections",
           Obs.Json.list (List.map Obs.Json.str sections_run) );
         ( "ns_per_op",
@@ -660,6 +722,83 @@ let perf () =
     ~legacy:(census_slice ~intern_views:false)
     ~fresh:(census_slice ~intern_views:true)
 
+(* ---------- PERF-PAR: multicore verification speedup curves ---------- *)
+
+(* Largest domain count the curves exercise; the harness's [-j N] flag
+   overrides it (CI's 2-core job passes [-j 2]). *)
+let par_max_j = ref 8
+
+let perf_par () =
+  section
+    "PERF-PAR  multicore verification: domain-pool speedup curves \
+     (j = domains; j=1 is the sequential engine)";
+  let max_j = max 1 !par_max_j in
+  let js =
+    let base = List.filter (fun j -> j <= max_j) [ 1; 2; 4; 8 ] in
+    if List.mem max_j base then base else base @ [ max_j ]
+  in
+  (* Wall-clock curves need far fewer samples than the ns-level PERF
+     pairs; cap the reps so the default run stays affordable. *)
+  let reps =
+    match Sys.getenv_opt "WFS_PERF_REPS" with
+    | Some s -> ( try max 1 (min 3 (int_of_string s)) with Failure _ -> 3)
+    | None -> 3
+  in
+  let census_budget =
+    match Sys.getenv_opt "WFS_PAR_CENSUS_BUDGET" with
+    | Some s -> ( try max 10_000 (int_of_string s) with Failure _ -> 1_000_000)
+    | None -> 1_000_000
+  in
+  let best f =
+    let t = ref infinity in
+    for _ = 1 to reps do
+      Gc.minor ();
+      let (), dt = time_once f in
+      if dt < !t then t := dt
+    done;
+    !t
+  in
+  (* One speedup curve: run [work pool] at each j, j=1 without a pool
+     (the untouched sequential path), and record seconds + speedup
+     relative to j=1. *)
+  let curve name work =
+    let t1 = ref Float.nan in
+    List.iter
+      (fun j ->
+        let with_p f =
+          if j <= 1 then f None
+          else Pool.with_pool ~domains:j (fun p -> f (Some p))
+        in
+        with_p (fun pool ->
+            let run () = work pool in
+            run () (* warm *);
+            let t = best run in
+            if j = 1 then t1 := t;
+            let speedup = !t1 /. t in
+            record_series
+              (Fmt.str "perf-par/%s-j%d" name j)
+              (Obs.Json.obj
+                 [
+                   ("seconds", Obs.Json.float t);
+                   ("speedup_vs_j1", Obs.Json.float speedup);
+                   ("domains", Obs.Json.int j);
+                   ("reps", Obs.Json.int reps);
+                 ]);
+            Fmt.pr "  %-28s j=%d  %8.3f s   speedup %5.2fx@." name j t speedup))
+      js
+  in
+  (* Registry-wide sharding: the solver-only census (the acceptance
+     workload) and the Figure 1-1 evidence table. *)
+  curve "census" (fun pool ->
+      ignore (Census.run ~max_nodes:census_budget ?pool ()));
+  curve "hierarchy" (fun pool -> ignore (Table.generate ?pool ()));
+  (* Intra-exploration sharding: one big state space split across
+     workers by schedule prefix.  The augmented queue at n = 5 is the
+     largest exploration in the registry (~40k interned states). *)
+  let aq5 = Aug_queue_consensus.protocol ~n:5 () in
+  curve "explore-aug-queue-n5" (fun pool ->
+      ignore (Protocol.verify ?pool aq5))
+
 (* ---------- EXT-2: Lamport 1P/1C queue (§3.3) ---------- *)
 
 let lamport_queue_bench () =
@@ -812,12 +951,30 @@ let sections : (string * (unit -> unit)) list =
     ("lamport", lamport_queue_bench);
     ("fault", fault_bench);
     ("perf", perf);
+    ("perf-par", perf_par);
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with [] | [ _ ] -> [] | _ :: rest -> rest
+  let argv =
+    match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest
   in
+  (* [-j N] caps the domain counts the perf-par curves exercise. *)
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | "-j" :: [] ->
+        Fmt.epr "-j expects a domain count@.";
+        exit 2
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+            par_max_j := v;
+            parse_args acc rest
+        | Some _ | None ->
+            Fmt.epr "-j expects a positive integer (got %s)@." n;
+            exit 2)
+    | s :: rest -> parse_args (s :: acc) rest
+  in
+  let requested = parse_args [] argv in
   let unknown =
     List.filter (fun s -> not (List.mem_assoc s sections)) requested
   in

@@ -24,27 +24,61 @@
 open Cmdliner
 open Wfs
 
+(* --- shared -j plumbing ---
+
+   [-j 1] (the default) never constructs a pool, so those runs go
+   through the sequential engines untouched — byte-identical output to
+   a build without the pool.  [-j 0] means "all cores". *)
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Verification domains: shard independent verifications (and, \
+           for verify, the exploration itself) across $(docv) domains. \
+           1 = sequential engines, byte-identical to previous releases; \
+           0 = one domain per core.")
+
+(* Returns [None] for invalid [j] so callers can exit 2 uniformly. *)
+let with_jobs j f =
+  if j < 0 then None
+  else
+    let domains = if j = 0 then Domain.recommended_domain_count () else j in
+    if domains <= 1 then Some (f None)
+    else
+      Pool.with_pool ~domains (fun pool -> Some (f (Some pool)))
+
+let bad_jobs j =
+  Fmt.epr "-j must be >= 0 (got %d)@." j;
+  2
+
 (* --- hierarchy --- *)
 
 let hierarchy_cmd =
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Include the expensive solver instances (minutes).")
   in
-  let run full =
-    let table = Table.generate ~full () in
-    Fmt.pr "%a@." Table.pp table;
-    if Table.consistent table then begin
-      Fmt.pr "@.All rows consistent with Figure 1-1.@.";
-      0
-    end
-    else begin
-      Fmt.pr "@.INCONSISTENT rows found!@.";
-      1
-    end
+  let run full j =
+    match
+      with_jobs j (fun pool ->
+          let table = Table.generate ?pool ~full () in
+          Fmt.pr "%a@." Table.pp table;
+          if Table.consistent table then begin
+            Fmt.pr "@.All rows consistent with Figure 1-1.@.";
+            0
+          end
+          else begin
+            Fmt.pr "@.INCONSISTENT rows found!@.";
+            1
+          end)
+    with
+    | Some code -> code
+    | None -> bad_jobs j
   in
   Cmd.v
     (Cmd.info "hierarchy" ~doc:"Regenerate the Figure 1-1 hierarchy table")
-    Term.(const run $ full)
+    Term.(const run $ full $ jobs_arg)
 
 (* --- verify --- *)
 
@@ -87,7 +121,7 @@ let verify_cmd =
              (wait-freedom's own failure model). 0 checks the crash-free \
              semantics.")
   in
-  let run key n max_states max_depth out crashes =
+  let run key n max_states max_depth out crashes j =
     if crashes < 0 || crashes >= n then begin
       Fmt.epr "--crashes must be in [0, n-1] (got %d with n = %d)@." crashes n;
       2
@@ -100,41 +134,52 @@ let verify_cmd =
       | None ->
           Fmt.epr "%s does not support n = %d@." key n;
           2
-      | Some protocol ->
-          let report =
-            Protocol.verify ~max_states ~max_depth ~crashes protocol
-          in
-          Fmt.pr "%s (%s), n = %d:@.%a@." protocol.Protocol.name
-            protocol.Protocol.theorem n Protocol.pp_report report;
-          if report.Protocol.truncated then
-            Fmt.pr
-              "exploration truncated by the %s — raise --max-states / \
-               --max-depth for a complete verdict@."
-              (Protocol.truncation_label report.Protocol.truncation);
-          if Protocol.passed report then 0
-          else begin
-            (match Protocol.find_violation ~max_states ~crashes protocol with
-            | Some v ->
-                Fmt.pr "@.counterexample: %a@." Protocol.pp_violation v;
-                (match out with
-                | Some path ->
-                    Obs.Counterexample.save path
-                      (Protocol.violation_to_counterexample ~protocol:key ~n v);
-                    Fmt.pr "counterexample written to %s@." path
-                | None -> ())
-            | None ->
-                Fmt.pr
-                  "@.no schedule-shaped counterexample (failure is a cycle, \
-                   truncation or stuck process)@.");
-            1
-          end
+      | Some protocol -> (
+          match
+            with_jobs j (fun pool ->
+                let report =
+                  Protocol.verify ~max_states ~max_depth ~crashes ?pool
+                    protocol
+                in
+                Fmt.pr "%s (%s), n = %d:@.%a@." protocol.Protocol.name
+                  protocol.Protocol.theorem n Protocol.pp_report report;
+                if report.Protocol.truncated then
+                  Fmt.pr
+                    "exploration truncated by the %s — raise --max-states / \
+                     --max-depth for a complete verdict@."
+                    (Protocol.truncation_label report.Protocol.truncation);
+                if Protocol.passed report then 0
+                else begin
+                  (match
+                     Protocol.find_violation ~max_states ~crashes ?pool
+                       protocol
+                   with
+                  | Some v ->
+                      Fmt.pr "@.counterexample: %a@." Protocol.pp_violation v;
+                      (match out with
+                      | Some path ->
+                          Obs.Counterexample.save path
+                            (Protocol.violation_to_counterexample
+                               ~protocol:key ~n v);
+                          Fmt.pr "counterexample written to %s@." path
+                      | None -> ())
+                  | None ->
+                      Fmt.pr
+                        "@.no schedule-shaped counterexample (failure is a \
+                         cycle, truncation or stuck process)@.");
+                  1
+                end)
+          with
+          | Some code -> code
+          | None -> bad_jobs j)
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
          "Exhaustively verify a consensus protocol over all schedules, \
           optionally under a crash-stop adversary (--crashes)")
-    Term.(const run $ key $ n $ max_states $ max_depth $ out $ crashes)
+    Term.(
+      const run $ key $ n $ max_states $ max_depth $ out $ crashes $ jobs_arg)
 
 (* --- replay --- *)
 
@@ -298,39 +343,44 @@ let census_cmd =
             "Cap on operations per process (bounds both the n=2 and n=3 \
              instances; defaults are 2 and 1).")
   in
-  let run budget max_states max_depth =
+  let run budget max_states max_depth j =
     let max_nodes =
       match max_states with Some s -> min s budget | None -> budget
     in
     let depth2 = match max_depth with Some d -> min d 2 | None -> 2 in
     let depth3 = match max_depth with Some d -> min d 1 | None -> 1 in
-    Fmt.pr
-      "solver-only census (bounded: n=2 within %d op(s), n=3 within %d \
-       op(s),@.over initializations reachable in ≤ 2 operations):@.@."
-      depth2 depth3;
-    let results = Census.run ~depth2 ~depth3 ~max_nodes () in
-    Fmt.pr "%a@." Census.pp results;
-    let budget_hit =
-      List.exists
-        (fun (m : Census.measurement) ->
-          fst m.Census.two_proc = Census.Budget
-          || fst m.Census.three_proc = Census.Budget)
-        results
-    in
-    if budget_hit then begin
-      Fmt.pr
-        "@.some verdicts hit the node budget — raise --budget / \
-         --max-states for a conclusive census@.";
-      1
-    end
-    else 0
+    match
+      with_jobs j (fun pool ->
+          Fmt.pr
+            "solver-only census (bounded: n=2 within %d op(s), n=3 within %d \
+             op(s),@.over initializations reachable in ≤ 2 operations):@.@."
+            depth2 depth3;
+          let results = Census.run ~depth2 ~depth3 ~max_nodes ?pool () in
+          Fmt.pr "%a@." Census.pp results;
+          let budget_hit =
+            List.exists
+              (fun (m : Census.measurement) ->
+                fst m.Census.two_proc = Census.Budget
+                || fst m.Census.three_proc = Census.Budget)
+              results
+          in
+          if budget_hit then begin
+            Fmt.pr
+              "@.some verdicts hit the node budget — raise --budget / \
+               --max-states for a conclusive census@.";
+            1
+          end
+          else 0)
+    with
+    | Some code -> code
+    | None -> bad_jobs j
   in
   Cmd.v
     (Cmd.info "census"
        ~doc:
          "Measure every zoo object's bounded consensus number with the \
           solver alone")
-    Term.(const run $ budget $ max_states $ max_depth)
+    Term.(const run $ budget $ max_states $ max_depth $ jobs_arg)
 
 (* --- critical --- *)
 

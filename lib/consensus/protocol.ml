@@ -54,9 +54,10 @@ let terminal_agreement (t : Explorer.terminal) =
   | [] -> true
   | d0 :: rest -> List.for_all (Value.equal d0) rest
 
-let verify ?(max_states = 2_000_000) ?max_depth ?legacy ?(crashes = 0) t =
+let verify ?(max_states = 2_000_000) ?max_depth ?legacy ?(crashes = 0) ?pool t
+    =
   let stats =
-    Explorer.explore ~max_states ?max_depth ?legacy ~crashes t.config
+    Explorer.explore ~max_states ?max_depth ?legacy ~crashes ?pool t.config
   in
   let agreement = List.for_all terminal_agreement stats.Explorer.terminals in
   (* Validity is checked at every decide event during exploration — the
@@ -107,9 +108,20 @@ type violation = {
   decisions : (int * Value.t) list;
 }
 
-let find_violation ?(max_states = 2_000_000) ?(crashes = 0) t =
+(* The search is a DFS in successor order with visited-set pruning; the
+   violation returned is therefore the one at the DFS-first violating
+   node.  The parallel mode below shards the root's successor branches
+   across the pool, each branch searched with its own visited set
+   (seeded with the root), and keeps the lowest-branch-index result.
+   That reproduces the sequential answer exactly: a branch's private
+   search expands a superset of what the sequential search expands
+   inside that branch, but every extra node was already expanded —
+   violation-free — in an earlier branch of the sequential order, so
+   the first violating node per branch, and the access path to it, are
+   identical to the sequential search's; and the earliest violating
+   branch wins in both. *)
+let find_violation ?(max_states = 2_000_000) ?(crashes = 0) ?pool t =
   let cfg = t.config in
-  let seen : unit Value.Tbl.t = Value.Tbl.create 4096 in
   let exception Found of violation in
   let violation_at node path kind =
     let decisions =
@@ -119,7 +131,7 @@ let find_violation ?(max_states = 2_000_000) ?(crashes = 0) t =
     in
     raise (Found { kind; schedule = List.rev path; decisions })
   in
-  let rec dfs node path =
+  let rec dfs seen node path =
     let k = Explorer.key node in
     if (not (Value.Tbl.mem seen k)) && Value.Tbl.length seen < max_states
     then begin
@@ -148,13 +160,52 @@ let find_violation ?(max_states = 2_000_000) ?(crashes = 0) t =
             | Explorer.Decide_edge _ | Explorer.Op_edge
             | Explorer.Crash_edge ->
                 ());
-            dfs succ (entry :: path))
+            dfs seen succ (entry :: path))
           (Explorer.successors_with_edges ~crashes cfg node)
     end
   in
-  match dfs (Explorer.initial cfg) [] with
-  | () -> None
-  | exception Found v -> Some v
+  let sequential () =
+    match dfs (Value.Tbl.create 4096) (Explorer.initial cfg) [] with
+    | () -> None
+    | exception Found v -> Some v
+  in
+  match pool with
+  | Some p when Wfs_sim.Pool.size p > 1 -> (
+      let root = Explorer.initial cfg in
+      if Explorer.is_terminal root then sequential ()
+      else
+        match Explorer.successors_with_edges ~crashes cfg root with
+        | [] -> None
+        | succs ->
+            let root_key = Explorer.key root in
+            let results =
+              Wfs_sim.Pool.parallel_map p
+                (fun (pid, edge, succ) ->
+                  let seen : unit Value.Tbl.t = Value.Tbl.create 4096 in
+                  Value.Tbl.replace seen root_key ();
+                  let entry =
+                    match edge with
+                    | Explorer.Crash_edge -> Crash pid
+                    | Explorer.Decide_edge _ | Explorer.Op_edge -> Step pid
+                  in
+                  match
+                    (match edge with
+                    | Explorer.Decide_edge v
+                      when not (Explorer.decision_valid root ~pid v) ->
+                        violation_at succ [ entry ] `Invalid_decision
+                    | Explorer.Decide_edge _ | Explorer.Op_edge
+                    | Explorer.Crash_edge ->
+                        ());
+                    dfs seen succ [ entry ]
+                  with
+                  | () -> None
+                  | exception Found v -> Some v)
+                (Array.of_list succs)
+            in
+            Array.fold_left
+              (fun acc r -> match acc with Some _ -> acc | None -> r)
+              None results)
+  | _ -> sequential ()
 
 (* --- replayable export ---
 

@@ -47,9 +47,18 @@ val make :
     of any schedule (see {!Explorer.explore}).  Agreement and validity
     are then checked over the processes that do decide, and
     wait-freedom demands every surviving process decide on every
-    schedule — the paper's own failure model, checked literally. *)
+    schedule — the paper's own failure model, checked literally.
+
+    [pool] runs the exploration across a domain pool (see
+    {!Explorer.explore}); verdicts on untruncated runs are identical to
+    the sequential engine's. *)
 val verify :
-  ?max_states:int -> ?max_depth:int -> ?legacy:bool -> ?crashes:int -> t ->
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?legacy:bool ->
+  ?crashes:int ->
+  ?pool:Pool.t ->
+  t ->
   report
 
 (** Human-readable truncation cause ("no" when complete). *)
@@ -72,8 +81,14 @@ type violation = {
 }
 
 (** [crashes] as in {!verify}; with a positive budget the returned
-    schedule may contain [Crash] entries. *)
-val find_violation : ?max_states:int -> ?crashes:int -> t -> violation option
+    schedule may contain [Crash] entries.
+
+    [pool] shards the search over the root's successor branches and
+    keeps the lowest-branch-index violation, which — the search being a
+    pruned DFS in successor order — is exactly the schedule the
+    sequential search returns. *)
+val find_violation :
+  ?max_states:int -> ?crashes:int -> ?pool:Pool.t -> t -> violation option
 
 val pp_violation : violation Fmt.t
 

@@ -36,6 +36,8 @@ module Scheduler = Wfs_sim.Scheduler
 module Runner = Wfs_sim.Runner
 module Explorer = Wfs_sim.Explorer
 module Valency = Wfs_sim.Valency
+module Intern = Wfs_sim.Intern
+module Pool = Wfs_sim.Pool
 
 (* consensus protocols *)
 module Protocol = Wfs_consensus.Protocol

@@ -98,15 +98,8 @@ let solve_any_init ~n ~depth ~max_nodes ~intern_views (spec : Object_spec.t)
   in
   go 0 false None inits
 
-let measure ?(depth2 = 2) ?(depth3 = 1) ?(max_nodes = 20_000_000)
-    ?(max_candidates = 16) ?(intern_views = true) (spec : Object_spec.t) =
-  let inits = candidate_inits ~max_candidates spec in
-  let two_proc, winning_init2 =
-    solve_any_init ~n:2 ~depth:depth2 ~max_nodes ~intern_views spec inits
-  in
-  let three_proc, winning_init3 =
-    solve_any_init ~n:3 ~depth:depth3 ~max_nodes ~intern_views spec inits
-  in
+let assemble ~depth2 ~depth3 (spec : Object_spec.t) inits
+    (two_proc, winning_init2) (three_proc, winning_init3) =
   {
     object_name = spec.Object_spec.name;
     menu_size = List.length spec.Object_spec.menu;
@@ -120,16 +113,58 @@ let measure ?(depth2 = 2) ?(depth3 = 1) ?(max_nodes = 20_000_000)
     interpretation = interpret ~depth2 ~depth3 (fst two_proc) (fst three_proc);
   }
 
+let measure ?(depth2 = 2) ?(depth3 = 1) ?(max_nodes = 20_000_000)
+    ?(max_candidates = 16) ?(intern_views = true) (spec : Object_spec.t) =
+  let inits = candidate_inits ~max_candidates spec in
+  let two =
+    solve_any_init ~n:2 ~depth:depth2 ~max_nodes ~intern_views spec inits
+  in
+  let three =
+    solve_any_init ~n:3 ~depth:depth3 ~max_nodes ~intern_views spec inits
+  in
+  assemble ~depth2 ~depth3 spec inits two three
+
 (* The census over the whole zoo.  Objects whose 2-process protocols
    need more than [depth2] operations even from the best initialization
    (e.g. memory-to-memory swap's swap-then-scan) report a bounded
    negative; the protocol-verified table covers those — the census is
-   the solver-only view. *)
+   the solver-only view.
+
+   With [pool], the (object, n) solver instances — two per zoo entry —
+   become independent pool jobs; every instance allocates its own
+   solver tables, so jobs share nothing.  Measurements are reassembled
+   in zoo order from per-instance results, making the census output
+   byte-identical to the sequential one. *)
 let run ?(depth2 = 2) ?(depth3 = 1) ?(max_nodes = 20_000_000)
-    ?(intern_views = true) () =
-  List.map
-    (fun spec -> measure ~depth2 ~depth3 ~max_nodes ~intern_views spec)
-    (Zoo.all ())
+    ?(intern_views = true) ?pool () =
+  let specs = Zoo.all () in
+  match pool with
+  | Some p when Wfs_sim.Pool.size p > 1 ->
+      let jobs =
+        Array.of_list
+          (List.concat_map
+             (fun spec ->
+               let inits = candidate_inits spec in
+               [ (spec, inits, 2, depth2); (spec, inits, 3, depth3) ])
+             specs)
+      in
+      let halves =
+        Wfs_sim.Pool.parallel_map p
+          (fun (spec, inits, n, depth) ->
+            solve_any_init ~n ~depth ~max_nodes ~intern_views spec inits)
+          jobs
+      in
+      List.mapi
+        (fun i spec ->
+          let spec', inits, _, _ = jobs.(2 * i) in
+          assert (spec' == spec);
+          assemble ~depth2 ~depth3 spec inits halves.(2 * i)
+            halves.((2 * i) + 1))
+        specs
+  | _ ->
+      List.map
+        (fun spec -> measure ~depth2 ~depth3 ~max_nodes ~intern_views spec)
+        specs
 
 let pp_outcome ppf = function
   | Solvable -> Fmt.string ppf "solvable"

@@ -37,9 +37,13 @@ val measure :
   ?depth2:int -> ?depth3:int -> ?max_nodes:int -> ?max_candidates:int ->
   ?intern_views:bool -> Object_spec.t -> measurement
 
+(** [pool] shards the census across a domain pool: each (object, n)
+    solver instance is an independent job, and measurements are
+    reassembled in zoo order — the output is byte-identical to the
+    sequential census. *)
 val run :
   ?depth2:int -> ?depth3:int -> ?max_nodes:int -> ?intern_views:bool ->
-  unit -> measurement list
+  ?pool:Wfs_sim.Pool.t -> unit -> measurement list
 
 val pp_outcome : outcome Fmt.t
 val pp_measurement : measurement Fmt.t

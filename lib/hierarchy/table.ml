@@ -29,20 +29,13 @@ type t = row list
 
 (* --- evidence builders --- *)
 
-let verify_protocol ?(max_states = 2_000_000) (p : Protocol.t) =
-  let report = Protocol.verify ~max_states p in
+let verify_protocol ?(max_states = 2_000_000) ?pool (p : Protocol.t) =
+  let report = Protocol.verify ~max_states ?pool p in
   if Protocol.passed report then
     Protocol_verified
       { n = p.Protocol.processes; states = report.Protocol.states;
         protocol = p.Protocol.name }
   else Protocol_failed { n = p.Protocol.processes; protocol = p.Protocol.name }
-
-let registry_evidence ~key ~ns =
-  let entry = Registry.find key in
-  List.filter_map
-    (fun n ->
-      Option.map (fun p -> verify_protocol p) (entry.Registry.build ~n))
-    ns
 
 let run_solver ?(max_nodes = 20_000_000) ~n ~depth spec =
   let outcome =
@@ -85,140 +78,135 @@ let classify_cas () =
     [ Registers.read_op; Registers.compare_and_swap_op int_domain ]
 
 (* [generate ()] builds the table.  [full] additionally runs the more
-   expensive solver instances (minutes rather than seconds). *)
-let generate ?(full = false) () : t =
-  let solver_rows_cheap =
-    [
-      run_solver ~n:2 ~depth:2 (binary_register ());
-      run_solver ~n:3 ~depth:1 (Registers.test_and_set ());
-    ]
+   expensive solver instances (minutes rather than seconds).
+
+   Each row is planned as a list of evidence thunks — one per protocol
+   verification, classification or solver run.  Sequentially the thunks
+   are forced in place; with [pool] they flatten into one registry-wide
+   job array (each verification is an independent job with its own
+   explorer/solver state) and the rows are reassembled in plan order,
+   so the table is byte-identical either way. *)
+let plan ~full : (string * string * (unit -> evidence list) list) list =
+  (* One thunk per (protocol, n) of a registry key, skipping sizes the
+     registry cannot build. *)
+  let reg key ns =
+    List.map
+      (fun n () ->
+        let entry = Registry.find key in
+        match entry.Registry.build ~n with
+        | Some p -> [ verify_protocol p ]
+        | None -> [])
+      ns
   in
-  let solver_rows_full =
-    if full then
-      [
-        run_solver ~n:2 ~depth:3 (binary_register ());
-        run_solver ~n:3 ~depth:2 (Registers.test_and_set ());
-        run_solver ~max_nodes:60_000_000 ~n:3 ~depth:2 (two_item_queue ());
-      ]
-    else []
-  in
+  let one th () = [ th () ] in
+  let when_full thunks = if full then thunks else [] in
   [
-    {
-      object_family = "atomic read/write registers";
-      paper_level = "1";
-      evidence =
-        [ Classified (classify_registers ()) ]
-        @ solver_rows_cheap @ solver_rows_full;
-    };
-    {
-      object_family = "test-and-set";
-      paper_level = "2";
-      evidence =
-        registry_evidence ~key:"test-and-set" ~ns:[ 2 ]
-        @ [
-            Classified
-              (Interference.classify ~family:"test-and-set"
-                 ~domain:int_domain
-                 [ Registers.read_op; Registers.test_and_set_op ]);
-            run_solver ~n:3 ~depth:1 (Registers.test_and_set ());
-          ];
-    };
-    {
-      object_family = "swap (read-modify-write)";
-      paper_level = "2";
-      evidence =
-        registry_evidence ~key:"rmw-swap" ~ns:[ 2 ]
-        @ [
-            Classified
-              (Interference.classify ~family:"swap" ~domain:int_domain
-                 [ Registers.read_op; Registers.swap_op int_domain ]);
-          ];
-    };
-    {
-      object_family = "fetch-and-add";
-      paper_level = "2";
-      evidence =
-        registry_evidence ~key:"fetch-and-add" ~ns:[ 2 ]
-        @ [ Classified (classify_classical ()) ];
-    };
-    {
-      object_family = "FIFO queue";
-      paper_level = "2";
-      evidence =
-        registry_evidence ~key:"queue" ~ns:[ 2 ]
-        @ [ run_solver ~n:3 ~depth:1 (two_item_queue ()) ]
-        @
-        if full then
-          [ run_solver ~max_nodes:60_000_000 ~n:3 ~depth:2 (two_item_queue ()) ]
-        else [];
-    };
-    {
-      object_family = "stack";
-      paper_level = "2";
-      evidence = registry_evidence ~key:"stack" ~ns:[ 2 ];
-    };
-    {
-      object_family = "priority queue";
-      paper_level = "2";
-      evidence = registry_evidence ~key:"priority-queue" ~ns:[ 2 ];
-    };
-    {
-      object_family = "set";
-      paper_level = "2";
-      evidence = registry_evidence ~key:"set" ~ns:[ 2 ];
-    };
-    {
-      object_family = "FIFO message channels";
-      paper_level = "1 (point-to-point, DDS)";
-      evidence =
-        [
-          run_solver ~n:2 ~depth:2
-            (Channels.fifo_point_to_point ~name:"ch" ~processes:2
-               ~messages:[ Value.pid 0; Value.pid 1 ]
-               ());
-        ];
-    };
-    {
-      object_family = "n-register assignment";
-      paper_level = "2n-2";
-      evidence =
-        registry_evidence ~key:"n-assignment" ~ns:[ 2 ]
-        @ registry_evidence ~key:"n-assignment-2n-2" ~ns:[ 2 ]
-        @ if full then registry_evidence ~key:"n-assignment" ~ns:[ 3 ] else [];
-    };
-    {
-      object_family = "memory-to-memory move";
-      paper_level = "unbounded";
-      evidence = registry_evidence ~key:"move" ~ns:[ 2; 3 ];
-    };
-    {
-      object_family = "memory-to-memory swap";
-      paper_level = "unbounded";
-      evidence = registry_evidence ~key:"memory-swap" ~ns:[ 2; 3 ];
-    };
-    {
-      object_family = "augmented queue (peek)";
-      paper_level = "unbounded";
-      evidence = registry_evidence ~key:"augmented-queue" ~ns:[ 2; 3; 4 ];
-    };
-    {
-      object_family = "compare-and-swap";
-      paper_level = "unbounded";
-      evidence =
-        registry_evidence ~key:"cas" ~ns:[ 2; 3; 4 ]
-        @ [ Classified (classify_cas ()) ];
-    };
-    {
-      object_family = "fetch-and-cons";
-      paper_level = "unbounded";
-      evidence = registry_evidence ~key:"fetch-and-cons" ~ns:[ 2; 3 ];
-    };
-    {
-      object_family = "broadcast with ordered delivery";
-      paper_level = "unbounded (DDS)";
-      evidence = registry_evidence ~key:"ordered-broadcast" ~ns:[ 2; 3 ];
-    };
+    ( "atomic read/write registers",
+      "1",
+      [
+        one (fun () -> Classified (classify_registers ()));
+        one (fun () -> run_solver ~n:2 ~depth:2 (binary_register ()));
+        one (fun () -> run_solver ~n:3 ~depth:1 (Registers.test_and_set ()));
+      ]
+      @ when_full
+          [
+            one (fun () -> run_solver ~n:2 ~depth:3 (binary_register ()));
+            one (fun () ->
+                run_solver ~n:3 ~depth:2 (Registers.test_and_set ()));
+            one (fun () ->
+                run_solver ~max_nodes:60_000_000 ~n:3 ~depth:2
+                  (two_item_queue ()));
+          ] );
+    ( "test-and-set",
+      "2",
+      reg "test-and-set" [ 2 ]
+      @ [
+          one (fun () ->
+              Classified
+                (Interference.classify ~family:"test-and-set"
+                   ~domain:int_domain
+                   [ Registers.read_op; Registers.test_and_set_op ]));
+          one (fun () -> run_solver ~n:3 ~depth:1 (Registers.test_and_set ()));
+        ] );
+    ( "swap (read-modify-write)",
+      "2",
+      reg "rmw-swap" [ 2 ]
+      @ [
+          one (fun () ->
+              Classified
+                (Interference.classify ~family:"swap" ~domain:int_domain
+                   [ Registers.read_op; Registers.swap_op int_domain ]));
+        ] );
+    ( "fetch-and-add",
+      "2",
+      reg "fetch-and-add" [ 2 ]
+      @ [ one (fun () -> Classified (classify_classical ())) ] );
+    ( "FIFO queue",
+      "2",
+      reg "queue" [ 2 ]
+      @ [ one (fun () -> run_solver ~n:3 ~depth:1 (two_item_queue ())) ]
+      @ when_full
+          [
+            one (fun () ->
+                run_solver ~max_nodes:60_000_000 ~n:3 ~depth:2
+                  (two_item_queue ()));
+          ] );
+    ("stack", "2", reg "stack" [ 2 ]);
+    ("priority queue", "2", reg "priority-queue" [ 2 ]);
+    ("set", "2", reg "set" [ 2 ]);
+    ( "FIFO message channels",
+      "1 (point-to-point, DDS)",
+      [
+        one (fun () ->
+            run_solver ~n:2 ~depth:2
+              (Channels.fifo_point_to_point ~name:"ch" ~processes:2
+                 ~messages:[ Value.pid 0; Value.pid 1 ]
+                 ()));
+      ] );
+    ( "n-register assignment",
+      "2n-2",
+      reg "n-assignment" [ 2 ]
+      @ reg "n-assignment-2n-2" [ 2 ]
+      @ when_full (reg "n-assignment" [ 3 ]) );
+    ("memory-to-memory move", "unbounded", reg "move" [ 2; 3 ]);
+    ("memory-to-memory swap", "unbounded", reg "memory-swap" [ 2; 3 ]);
+    ("augmented queue (peek)", "unbounded", reg "augmented-queue" [ 2; 3; 4 ]);
+    ( "compare-and-swap",
+      "unbounded",
+      reg "cas" [ 2; 3; 4 ] @ [ one (fun () -> Classified (classify_cas ())) ]
+    );
+    ("fetch-and-cons", "unbounded", reg "fetch-and-cons" [ 2; 3 ]);
+    ( "broadcast with ordered delivery",
+      "unbounded (DDS)",
+      reg "ordered-broadcast" [ 2; 3 ] );
   ]
+
+let generate ?pool ?(full = false) () : t =
+  let rows = plan ~full in
+  match pool with
+  | Some p when Wfs_sim.Pool.size p > 1 ->
+      let jobs =
+        Array.of_list (List.concat_map (fun (_, _, ts) -> ts) rows)
+      in
+      let results = Wfs_sim.Pool.parallel_map p (fun th -> th ()) jobs in
+      let idx = ref 0 in
+      List.map
+        (fun (object_family, paper_level, ts) ->
+          let evidence =
+            List.concat_map
+              (fun _ ->
+                let r = results.(!idx) in
+                incr idx;
+                r)
+              ts
+          in
+          { object_family; paper_level; evidence })
+        rows
+  | _ ->
+      List.map
+        (fun (object_family, paper_level, ts) ->
+          { object_family; paper_level; evidence = List.concat_map (fun t -> t ()) ts })
+        rows
 
 (* --- consistency with the paper --- *)
 

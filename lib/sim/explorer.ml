@@ -582,11 +582,311 @@ let explore_fast ~max_states ~max_depth ~symmetry ~crashes config =
     step_bounds;
   }
 
+(* --- the parallel engine --- *)
+
+(* Reachability is parallelised; the verdict pass is not.
+
+   Phase 1 (parallel): a short sequential BFS from the root grows a
+   frontier of claimed-but-unexpanded nodes — disjoint top-level
+   schedule prefixes — which become pool jobs.  Workers share exactly
+   one structure, the lock-striped interner ([Intern.Sharded]): its
+   claim bit makes each distinct state the property of whichever worker
+   interned it first, so every node is expanded exactly once and the
+   global state count is exact, schedule-independent, and equal to the
+   sequential engine's.  Everything else a worker writes — the int
+   adjacency of the nodes it expanded, terminals, invalid decides,
+   crash-edge counts — goes into a private record.
+
+   Phase 2 (sequential): cycle detection and the fused longest-path DP
+   cannot be split across workers (a cycle, and a longest path, can
+   thread through several workers' territories), but by then the
+   expensive work — [successors_with_edges], [Env.apply], hashing —
+   is already done.  Phase 2 is a DFS over int arrays: a few machine
+   operations per edge, a small fraction of phase-1 cost.
+
+   Determinism: on runs that complete within budget, [states],
+   [terminals], [cyclic], [stuck = None], validity and [step_bounds]
+   are all schedule-independent (terminals are deduped by the same
+   value key as the sequential engines and reported sorted).  Budget
+   truncation is the one racy edge: which states fall inside a
+   just-exceeded budget depends on the schedule, so truncated parallel
+   runs may differ marginally from sequential ones — conservatively,
+   since a truncated run never claims wait-freedom.  [-j 1] bypasses
+   this engine entirely. *)
+
+module MP = struct
+  open Wfs_obs.Metrics
+
+  let runs = Counter.make "explorer.par.runs"
+  let seeds = Counter.make "explorer.par.seeds"
+  let domains = Gauge.make "explorer.par.domains"
+end
+
+let terminal_key node =
+  Value.pair
+    (Value.list (Array.to_list (Array.map Value.of_option node.decided)))
+    (Value.pair (Value.int node.stepped) (Value.int node.crashed))
+
+(* Private per-worker record; merged single-threaded after the join. *)
+type prec = {
+  mutable r_edges : (int * int array * int array) list;
+      (* (src id, pid codes, dst ids) — crash edges coded [-2 - pid] *)
+  r_terminals : terminal Value.Tbl.t;
+  r_invalid : (int * Value.t) Value.Tbl.t;
+  mutable r_stuck : (int * string) option;
+  mutable r_deepest : int;
+  mutable r_crash : int;
+  mutable r_truncation : truncation option;
+}
+
+let prec_make () =
+  {
+    r_edges = [];
+    r_terminals = Value.Tbl.create 16;
+    r_invalid = invalid_make ();
+    r_stuck = None;
+    r_deepest = 0;
+    r_crash = 0;
+    r_truncation = None;
+  }
+
+let explore_par ~pool ~max_states ~max_depth ~symmetry ~crashes config =
+  let n = Array.length config.procs in
+  let workers = Pool.size pool in
+  let encode = if symmetry then canonical_key else key in
+  let stbl =
+    Intern.Sharded.create ~stripes:(max 61 (4 * workers))
+      ~size_hint:(max 16 (min max_states 65536)) ()
+  in
+  let visited = Atomic.make 0 in
+  (* Claim [node]: on first sight across all domains, count it and
+     either record it as a terminal or hand it to [enqueue] for
+     expansion.  Always returns the id so the caller can record the
+     edge — edges to already-claimed nodes are what phase 2's cycle
+     detection feeds on. *)
+  let consider rec_ ~enqueue node depth =
+    if depth > rec_.r_deepest then rec_.r_deepest <- depth;
+    let id, fresh = Intern.Sharded.intern stbl (encode node) in
+    (if fresh then
+       if Atomic.get visited >= max_states then (
+         if rec_.r_truncation = None then rec_.r_truncation <- Some Budget_states)
+       else if depth >= max_depth then (
+         if rec_.r_truncation = None then rec_.r_truncation <- Some Budget_depth)
+       else begin
+         ignore (Atomic.fetch_and_add visited 1);
+         if is_terminal node then
+           Value.Tbl.replace rec_.r_terminals (terminal_key node)
+             {
+               decisions = Array.copy node.decided;
+               who_stepped = node.stepped;
+               who_crashed = node.crashed;
+             }
+         else enqueue (node, id, depth)
+       end);
+    id
+  in
+  let expand rec_ ~enqueue (node, id, depth) =
+    match successors_with_edges ~crashes config node with
+    | exception Object_spec.Unknown_operation { obj; op } ->
+        if rec_.r_stuck = None then
+          rec_.r_stuck <-
+            Some (-1, Fmt.str "unknown operation %a on %s" Op.pp op obj)
+    | [] -> if rec_.r_stuck = None then rec_.r_stuck <- Some (-1, "no successor")
+    | succs ->
+        let m = List.length succs in
+        let pids = Array.make m (-1) in
+        let dsts = Array.make m (-1) in
+        List.iteri
+          (fun i (pid, edge, succ) ->
+            (match edge with
+            | Decide_edge v when not (decision_valid node ~pid v) ->
+                invalid_note rec_.r_invalid pid v
+            | Crash_edge -> rec_.r_crash <- rec_.r_crash + 1
+            | Decide_edge _ | Op_edge -> ());
+            pids.(i) <- (match edge with Crash_edge -> -2 - pid | _ -> pid);
+            dsts.(i) <- consider rec_ ~enqueue succ (depth + 1))
+          succs;
+        rec_.r_edges <- (id, pids, dsts) :: rec_.r_edges
+  in
+  (* Seed BFS: expand breadth-first until the frontier is wide enough to
+     feed every worker several seeds (imbalance insurance — one seed's
+     subtree can dwarf another's; work stealing smooths the rest).  The
+     expansion cap keeps a stubbornly narrow frontier from dragging the
+     whole exploration into this sequential phase. *)
+  let rec0 = prec_make () in
+  let root = initial config in
+  let queue : (node * int * int) Queue.t = Queue.create () in
+  let root_id =
+    consider rec0 ~enqueue:(fun x -> Queue.add x queue) root 0
+  in
+  let target = 4 * workers in
+  let budget = ref (8 * target) in
+  while
+    (not (Queue.is_empty queue)) && Queue.length queue < target && !budget > 0
+  do
+    decr budget;
+    expand rec0 ~enqueue:(fun x -> Queue.add x queue) (Queue.pop queue)
+  done;
+  let seeds = Array.of_seq (Queue.to_seq queue) in
+  (* Phase 1 proper: one DFS job per seed. *)
+  let recs =
+    Pool.parallel_map pool
+      (fun seed ->
+        let rec_ = prec_make () in
+        let stack = Stack.create () in
+        Stack.push seed stack;
+        let enqueue x = Stack.push x stack in
+        while not (Stack.is_empty stack) do
+          expand rec_ ~enqueue (Stack.pop stack)
+        done;
+        rec_)
+      seeds
+  in
+  let all_recs = rec0 :: Array.to_list recs in
+  (* Merge.  Each expanded node's adjacency was recorded by exactly one
+     worker, so the writes below never collide on an index. *)
+  let sz = Intern.Sharded.size stbl in
+  let adj_pids = Array.make sz [||] in
+  let adj_dsts = Array.make sz [||] in
+  let terminals : terminal Value.Tbl.t = Value.Tbl.create 64 in
+  (* Uncapped merge: workers cap at [max_invalid] each, but which pairs
+     a worker sees depends on claim races.  Merging everything and then
+     sorting before the cap keeps the report deterministic whenever the
+     distinct-pair count fits the cap (and the validity verdict — empty
+     or not — is exact regardless). *)
+  let invalid : (int * Value.t) Value.Tbl.t = Value.Tbl.create 16 in
+  let stuck = ref None in
+  let deepest = ref 0 in
+  let crash_seen = ref 0 in
+  let states_trunc = ref false in
+  let depth_trunc = ref false in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (id, pids, dsts) ->
+          adj_pids.(id) <- pids;
+          adj_dsts.(id) <- dsts)
+        r.r_edges;
+      Value.Tbl.iter (Value.Tbl.replace terminals) r.r_terminals;
+      Value.Tbl.iter (Value.Tbl.replace invalid) r.r_invalid;
+      if !stuck = None then stuck := r.r_stuck;
+      if r.r_deepest > !deepest then deepest := r.r_deepest;
+      crash_seen := !crash_seen + r.r_crash;
+      (match r.r_truncation with
+      | Some Budget_states -> states_trunc := true
+      | Some Budget_depth -> depth_trunc := true
+      | None -> ()))
+    all_recs;
+  let truncation =
+    if !states_trunc then Some Budget_states
+    else if !depth_trunc then Some Budget_depth
+    else None
+  in
+  (* Phase 2: cycle detection + longest-path DP over the int graph.
+     Nodes with no recorded adjacency (terminals, and claimed-but-
+     dropped nodes of truncated runs) are leaves with zero bounds —
+     exactly the sequential engines' treatment. *)
+  let cyclic = ref false in
+  let fused = ref 0 in
+  let colors = Bytes.make sz white in
+  let bounds = Array.make sz [||] in
+  let zeros = Array.make n 0 in
+  let stack : frame Stack.t = Stack.create () in
+  let combine f pid child =
+    incr fused;
+    let best = f.f_best in
+    for p = 0 to n - 1 do
+      let v = child.(p) + if p = pid then 1 else 0 in
+      if v > best.(p) then best.(p) <- v
+    done
+  in
+  let visit parent via_pid id =
+    match Bytes.get colors id with
+    | c when c = gray -> cyclic := true
+    | c when c = black -> (
+        match parent with Some f -> combine f via_pid bounds.(id) | None -> ())
+    | _ ->
+        if Array.length adj_pids.(id) = 0 then begin
+          Bytes.set colors id black;
+          bounds.(id) <- zeros;
+          match parent with Some f -> combine f via_pid zeros | None -> ()
+        end
+        else begin
+          Bytes.set colors id gray;
+          Stack.push
+            {
+              f_id = id;
+              f_pids = adj_pids.(id);
+              f_nodes = [||];
+              f_next = 0;
+              f_pending = -1;
+              f_best = Array.make n 0;
+            }
+            stack
+        end
+  in
+  visit None (-1) root_id;
+  while not (Stack.is_empty stack) do
+    let f = Stack.top stack in
+    if f.f_next < Array.length f.f_pids then begin
+      let i = f.f_next in
+      f.f_next <- i + 1;
+      f.f_pending <- f.f_pids.(i);
+      visit (Some f) f.f_pids.(i) adj_dsts.(f.f_id).(i)
+    end
+    else begin
+      ignore (Stack.pop stack);
+      bounds.(f.f_id) <- f.f_best;
+      Bytes.set colors f.f_id black;
+      match Stack.top_opt stack with
+      | Some parent -> combine parent parent.f_pending f.f_best
+      | None -> ()
+    end
+  done;
+  let truncated = truncation <> None in
+  let acyclic = (not !cyclic) && (not truncated) && !stuck = None in
+  let step_bounds = if acyclic then Some (Array.copy bounds.(root_id)) else None in
+  let states = Atomic.get visited in
+  let hits = Intern.Sharded.hits stbl in
+  let lookups = Intern.Sharded.lookups stbl in
+  flush_metrics ~states ~hits ~lookups ~deepest:!deepest ~truncation
+    ~cyclic:!cyclic ~intern:None;
+  let open Wfs_obs.Metrics in
+  Counter.add M.intern_hits hits;
+  Counter.add M.intern_lookups lookups;
+  Gauge.set_max M.arena_size sz;
+  Counter.add M.fused_edges !fused;
+  Counter.add M.crash_edges !crash_seen;
+  Counter.incr MP.runs;
+  Counter.add MP.seeds (Array.length seeds);
+  Gauge.set_max MP.domains workers;
+  let terminal_list =
+    Value.Tbl.fold (fun k d acc -> (k, d) :: acc) terminals []
+    |> List.sort (fun (k1, _) (k2, _) -> Value.compare k1 k2)
+    |> List.map snd
+  in
+  {
+    states;
+    terminals = terminal_list;
+    cyclic = !cyclic;
+    stuck = !stuck;
+    truncated;
+    truncation;
+    invalid_decisions =
+      (let all = invalid_report invalid in
+       List.filteri (fun i _ -> i < max_invalid) all);
+    step_bounds;
+  }
+
 let explore ?(max_states = 2_000_000) ?(max_depth = 10_000)
-    ?(symmetry = false) ?(legacy = false) ?(crashes = 0) config =
+    ?(symmetry = false) ?(legacy = false) ?(crashes = 0) ?pool config =
   if crashes < 0 then invalid_arg "Explorer.explore: crashes < 0";
-  if legacy then explore_legacy ~max_states ~max_depth ~crashes config
-  else explore_fast ~max_states ~max_depth ~symmetry ~crashes config
+  match pool with
+  | Some p when (not legacy) && Pool.size p > 1 ->
+      explore_par ~pool:p ~max_states ~max_depth ~symmetry ~crashes config
+  | _ ->
+      if legacy then explore_legacy ~max_states ~max_depth ~crashes config
+      else explore_fast ~max_states ~max_depth ~symmetry ~crashes config
 
 let wait_free stats =
   (not stats.cyclic) && (not stats.truncated) && stats.stuck = None

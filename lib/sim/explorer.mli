@@ -118,6 +118,19 @@ val decision_valid : node -> pid:int -> Value.t -> bool
     exactly those of the crash-free explorer.  Crash edges feed the
     [explorer.crash_edges] counter.
 
+    [pool] (default none) runs the exploration across the pool's
+    domains when the pool has size > 1 (and [legacy] is off): a short
+    sequential BFS fans the top-level schedule prefixes out as worker
+    seeds; workers share the visited set through a lock-striped
+    interner whose claim bit assigns each distinct state to exactly one
+    expander; cycle detection and the step-bound DP then run as a cheap
+    sequential pass over the recorded int adjacency.  On runs that
+    finish within budget, every field of {!stats} except the marginal
+    truncation details is schedule-independent and equal to the
+    sequential engine's ([terminals] as a set — the parallel engine
+    reports them sorted).  Omitting [pool], or passing a size-1 pool,
+    uses the sequential engine unchanged.
+
     Each run also feeds the default [Wfs_obs.Metrics] registry:
     [explorer.runs], [explorer.states_visited], [explorer.dedup_hits] /
     [explorer.dedup_lookups] / [explorer.dedup_hit_rate],
@@ -125,13 +138,16 @@ val decision_valid : node -> pid:int -> Value.t -> bool
     and — fast engine only — [explorer.intern.hits] /
     [explorer.intern.lookups] / [explorer.intern.arena_size] and
     [explorer.fused_dp.edges] (edges whose DP contribution was folded
-    in the single pass, i.e. the second traversal saved). *)
+    in the single pass, i.e. the second traversal saved).  Parallel
+    runs add [explorer.par.runs], [explorer.par.seeds] and the
+    [explorer.par.domains] gauge. *)
 val explore :
   ?max_states:int ->
   ?max_depth:int ->
   ?symmetry:bool ->
   ?legacy:bool ->
   ?crashes:int ->
+  ?pool:Pool.t ->
   config ->
   stats
 

@@ -62,3 +62,125 @@ let value t id =
 let size t = t.size
 let lookups t = t.lookups
 let hits t = t.hits
+
+type table_stats = {
+  entries : int;
+  buckets : int;
+  load : float;
+  max_bucket : int;
+}
+
+let stats_of_hashtbl (s : Hashtbl.statistics) =
+  {
+    entries = s.Hashtbl.num_bindings;
+    buckets = s.Hashtbl.num_buckets;
+    load =
+      (if s.Hashtbl.num_buckets = 0 then 0.
+       else float_of_int s.Hashtbl.num_bindings /. float_of_int s.Hashtbl.num_buckets);
+    max_bucket = s.Hashtbl.max_bucket_length;
+  }
+
+let stats t = stats_of_hashtbl (Value.Tbl.stats t.ids)
+
+module Sharded = struct
+  (* Lock-striped interner shared across domains.  Each key hashes to a
+     stripe; the stripe's mutex guards one ordinary [Value.Tbl].  Dense
+     ids come from a single atomic counter, so ids are unique but their
+     order depends on the schedule — parallel consumers must not read
+     meaning into id order, only into the claim bit.
+
+     [intern] doubles as the visited-set claim: exactly one domain ever
+     sees [fresh = true] for a given key, which is what makes parallel
+     exploration count each state exactly once.
+
+     The stripe count is a prime (never a power of two) on purpose:
+     OCaml's [Hashtbl] buckets by the low bits of the hash, so striping
+     by [hash mod prime] stays independent of the in-stripe bucketing
+     and neither index starves the other of entropy. *)
+
+  type stripe = {
+    lock : Mutex.t;
+    tbl : int Value.Tbl.t;
+    mutable s_lookups : int;
+    mutable s_hits : int;
+  }
+
+  type nonrec t = { stripes : stripe array; next : int Atomic.t }
+
+  let default_stripes = 61
+
+  let create ?(stripes = default_stripes) ?(size_hint = 4096) () =
+    let stripes = max 1 (min stripes 4093) in
+    let per = max 16 (size_hint / stripes) in
+    {
+      stripes =
+        Array.init stripes (fun _ ->
+            { lock = Mutex.create (); tbl = Value.Tbl.create per; s_lookups = 0; s_hits = 0 });
+      next = Atomic.make 0;
+    }
+
+  let stripe_of t v =
+    let h = Value.hash_full v land max_int in
+    t.stripes.(h mod Array.length t.stripes)
+
+  let intern t v =
+    let s = stripe_of t v in
+    Mutex.lock s.lock;
+    s.s_lookups <- s.s_lookups + 1;
+    let r =
+      match Value.Tbl.find_opt s.tbl v with
+      | Some id ->
+          s.s_hits <- s.s_hits + 1;
+          (id, false)
+      | None ->
+          let id = Atomic.fetch_and_add t.next 1 in
+          Value.Tbl.replace s.tbl v id;
+          (id, true)
+    in
+    Mutex.unlock s.lock;
+    r
+
+  let find_opt t v =
+    let s = stripe_of t v in
+    Mutex.lock s.lock;
+    s.s_lookups <- s.s_lookups + 1;
+    let r = Value.Tbl.find_opt s.tbl v in
+    if r <> None then s.s_hits <- s.s_hits + 1;
+    Mutex.unlock s.lock;
+    r
+
+  let size t = Atomic.get t.next
+
+  let fold_stripes t f init =
+    Array.fold_left
+      (fun acc s ->
+        Mutex.lock s.lock;
+        let acc = f acc s in
+        Mutex.unlock s.lock;
+        acc)
+      init t.stripes
+
+  let lookups t = fold_stripes t (fun acc s -> acc + s.s_lookups) 0
+  let hits t = fold_stripes t (fun acc s -> acc + s.s_hits) 0
+
+  let stats t =
+    let zero = { entries = 0; buckets = 0; load = 0.; max_bucket = 0 } in
+    let sum =
+      fold_stripes t
+        (fun acc s ->
+          let st = stats_of_hashtbl (Value.Tbl.stats s.tbl) in
+          {
+            entries = acc.entries + st.entries;
+            buckets = acc.buckets + st.buckets;
+            load = 0.;
+            max_bucket = max acc.max_bucket st.max_bucket;
+          })
+        zero
+    in
+    {
+      sum with
+      load =
+        (if sum.buckets = 0 then 0.
+         else float_of_int sum.entries /. float_of_int sum.buckets);
+    }
+end

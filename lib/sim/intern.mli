@@ -32,3 +32,45 @@ val size : t -> int
 
 val lookups : t -> int
 val hits : t -> int
+
+(** Occupancy snapshot of an id table, for sizing downstream structures
+    (e.g. stripe counts for {!Sharded}) and for rehash diagnostics. *)
+type table_stats = {
+  entries : int;  (** distinct keys interned *)
+  buckets : int;  (** hash-table buckets allocated *)
+  load : float;  (** [entries /. buckets] *)
+  max_bucket : int;  (** longest collision chain *)
+}
+
+val stats : t -> table_stats
+
+(** Lock-striped interner shared across domains.
+
+    Ids are dense and unique but {e schedule-dependent} in order —
+    unlike {!intern} above, two runs may assign different ids to the
+    same key.  What is deterministic is the claim: for each key exactly
+    one [intern] call across all domains returns [fresh = true].  The
+    parallel explorer uses that claim bit as its visited set, and never
+    relies on id order. *)
+module Sharded : sig
+  type t
+
+  (** [create ?stripes ?size_hint ()] — [stripes] (default 61, clamped
+      to [\[1, 4093\]], prime recommended) sets lock granularity;
+      [size_hint] pre-sizes the per-stripe tables from an expected
+      total key count. *)
+  val create : ?stripes:int -> ?size_hint:int -> unit -> t
+
+  (** [intern t v] returns [(id, fresh)]: [fresh] is [true] on exactly
+      the first intern of [v] across all domains. *)
+  val intern : t -> Value.t -> int * bool
+
+  val find_opt : t -> Value.t -> int option
+
+  (** Distinct keys interned so far (= the next fresh id). *)
+  val size : t -> int
+
+  val lookups : t -> int
+  val hits : t -> int
+  val stats : t -> table_stats
+end

@@ -1,0 +1,235 @@
+(* Domain pool with per-member work-stealing deques.
+
+   Batches are published through an epoch counter: the leader installs
+   [current <- Some (epoch, batch)] and broadcasts; workers that have
+   already drained epoch [e] sleep until they observe an epoch [<> e]
+   (or shutdown).  Completion is an atomic countdown — whichever member
+   runs the last job clears [current] and wakes the leader.  Workers
+   that wake late for a batch simply find the deques empty and go back
+   to sleep; correctness never depends on every member participating.
+
+   Determinism: results land in a slot array indexed by job index, and
+   exceptions are re-raised lowest-index-first, so the observable
+   outcome of [parallel_map] does not depend on the schedule. *)
+
+module M = struct
+  open Wfs_obs.Metrics
+
+  let batches = Counter.make "pool.batches"
+  let jobs = Counter.make "pool.jobs"
+  let steals = Counter.make "pool.steals"
+
+  (* High-water mark of pool sizes created (incl. the caller). *)
+  let domains = Gauge.make "pool.domains"
+end
+
+(* Single-lock deque of job indices: the owner pushes/pops at the tail
+   (LIFO, cache-friendly for its own block), thieves take from the head
+   (FIFO, so they grab the work farthest from the owner's hot end).
+   A mutex per deque is plenty here: contention is bounded by the batch
+   fan-out, and jobs (protocol verifications) dwarf the lock cost. *)
+type deque = {
+  dq_lock : Mutex.t;
+  items : int array;
+  mutable head : int; (* next steal slot *)
+  mutable tail : int; (* next owner push slot *)
+}
+
+let deque_of_block items =
+  { dq_lock = Mutex.create (); items; head = 0; tail = Array.length items }
+
+let dq_pop d =
+  Mutex.lock d.dq_lock;
+  let r =
+    if d.tail > d.head then begin
+      d.tail <- d.tail - 1;
+      Some d.items.(d.tail)
+    end
+    else None
+  in
+  Mutex.unlock d.dq_lock;
+  r
+
+let dq_steal d =
+  Mutex.lock d.dq_lock;
+  let r =
+    if d.tail > d.head then begin
+      let i = d.items.(d.head) in
+      d.head <- d.head + 1;
+      Some i
+    end
+    else None
+  in
+  Mutex.unlock d.dq_lock;
+  r
+
+type batch = {
+  run : int -> unit; (* run job [i]; must not raise *)
+  deques : deque array; (* one per member, leader = 0 *)
+  remaining : int Atomic.t;
+}
+
+type t = {
+  pool_size : int;
+  lock : Mutex.t;
+  work_cv : Condition.t; (* leader -> workers: new batch / shutdown *)
+  done_cv : Condition.t; (* last finisher -> leader *)
+  mutable current : (int * batch) option;
+  mutable epoch : int;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.pool_size
+
+(* True while the current domain is executing a pool job.  A nested
+   [parallel_map] from inside a job must not block on the pool's own
+   members, so it runs inline instead. *)
+let in_job_key = Domain.DLS.new_key (fun () -> false)
+
+let run_job t b i =
+  Domain.DLS.set in_job_key true;
+  (try b.run i with _ -> ());
+  Domain.DLS.set in_job_key false;
+  Wfs_obs.Metrics.Counter.incr M.jobs;
+  if Atomic.fetch_and_add b.remaining (-1) = 1 then begin
+    Mutex.lock t.lock;
+    t.current <- None;
+    Condition.broadcast t.done_cv;
+    Mutex.unlock t.lock
+  end
+
+(* Run jobs until neither our deque nor anyone else's has work left.
+   Jobs may still be in flight on other members when we return; the
+   countdown in [run_job] is what signals true completion. *)
+let drain t b me =
+  let k = Array.length b.deques in
+  let steal_one () =
+    let rec go off =
+      if off >= k then None
+      else
+        match dq_steal b.deques.((me + off) mod k) with
+        | Some _ as r ->
+            Wfs_obs.Metrics.Counter.incr M.steals;
+            r
+        | None -> go (off + 1)
+    in
+    go 1
+  in
+  let rec loop () =
+    match dq_pop b.deques.(me) with
+    | Some i ->
+        run_job t b i;
+        loop ()
+    | None -> (
+        match steal_one () with
+        | Some i ->
+            run_job t b i;
+            loop ()
+        | None -> ())
+  in
+  loop ()
+
+let worker_main t me =
+  let rec wait_for_batch last_epoch =
+    Mutex.lock t.lock;
+    let rec block () =
+      if t.stop then begin
+        Mutex.unlock t.lock;
+        None
+      end
+      else
+        match t.current with
+        | Some (e, b) when e <> last_epoch ->
+            Mutex.unlock t.lock;
+            Some (e, b)
+        | _ ->
+            Condition.wait t.work_cv t.lock;
+            block ()
+    in
+    match block () with
+    | None -> ()
+    | Some (e, b) ->
+        drain t b me;
+        wait_for_batch e
+  in
+  wait_for_batch 0
+
+let create ?domains () =
+  let requested =
+    match domains with None -> Domain.recommended_domain_count () | Some d -> d
+  in
+  let n = max 1 (min requested 128) in
+  let t =
+    {
+      pool_size = n;
+      lock = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      current = None;
+      epoch = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  Wfs_obs.Metrics.Gauge.set_max M.domains n;
+  t.workers <- List.init (n - 1) (fun i -> Domain.spawn (fun () -> worker_main t (i + 1)));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let already = t.stop in
+  t.stop <- true;
+  Condition.broadcast t.work_cv;
+  Mutex.unlock t.lock;
+  if not already then begin
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Block-partition [0, n) over [k] deques: member [m] owns
+   [m*n/k, (m+1)*n/k).  Members with an empty block steal. *)
+let make_deques n k =
+  Array.init k (fun m ->
+      let lo = m * n / k and hi = (m + 1) * n / k in
+      deque_of_block (Array.init (hi - lo) (fun i -> lo + i)))
+
+let parallel_map t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if t.pool_size = 1 || Domain.DLS.get in_job_key then Array.map f arr
+  else begin
+    if t.stop then invalid_arg "Wfs_sim.Pool.parallel_map: pool is shut down";
+    let slots = Array.make n None in
+    let run i = slots.(i) <- Some (try Ok (f arr.(i)) with e -> Error e) in
+    let b =
+      { run; deques = make_deques n t.pool_size; remaining = Atomic.make n }
+    in
+    Wfs_obs.Metrics.Counter.incr M.batches;
+    Mutex.lock t.lock;
+    t.epoch <- t.epoch + 1;
+    let epoch = t.epoch in
+    t.current <- Some (epoch, b);
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.lock;
+    (* The leader works its own block (and steals) like any member. *)
+    drain t b 0;
+    Mutex.lock t.lock;
+    while Atomic.get b.remaining > 0 do
+      Condition.wait t.done_cv t.lock
+    done;
+    (match t.current with Some (e, _) when e = epoch -> t.current <- None | _ -> ());
+    Mutex.unlock t.lock;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false (* every job decremented [remaining] *))
+      slots
+  end
+
+let map_list t f l = Array.to_list (parallel_map t f (Array.of_list l))

@@ -1,0 +1,54 @@
+(** A reusable OCaml 5 domain pool with work-stealing deques and a
+    deterministic join.
+
+    The pool owns [size - 1] worker domains plus the calling domain,
+    which participates in every batch.  {!parallel_map} partitions the
+    jobs block-wise across per-member deques; idle members steal single
+    jobs from the top of other members' deques, so an unbalanced batch
+    (one giant exploration next to many small ones) still keeps every
+    domain busy.  Results are joined {e by job index}, so the output
+    order — and, when the jobs themselves are deterministic, the output
+    content — is independent of which domain ran what.
+
+    A pool of size 1 spawns no domains at all: {!parallel_map} then
+    runs the jobs inline, sequentially, in index order — byte-identical
+    to not having a pool.  Likewise a {!parallel_map} issued from
+    inside a running job (nested parallelism) executes inline rather
+    than deadlocking on the pool's own workers.
+
+    Each batch feeds the default [Wfs_obs.Metrics] registry:
+    [pool.batches], [pool.jobs], [pool.steals] and the [pool.domains]
+    gauge. *)
+
+type t
+
+(** [create ?domains ()] spawns [domains - 1] worker domains
+    ([Domain.recommended_domain_count ()] by default, clamped to
+    [\[1, 128\]]).  The workers idle on a condition variable between
+    batches — creating a pool is cheap enough to do once per CLI
+    invocation, but pools are reusable and meant to be shared across
+    many batches. *)
+val create : ?domains:int -> unit -> t
+
+(** Number of domains that execute a batch, including the caller. *)
+val size : t -> int
+
+(** [parallel_map t f arr] computes [Array.map f arr] across the pool.
+    Element [i] of the result is always [f arr.(i)] — the join is by
+    index, deterministic regardless of scheduling.  If one or more jobs
+    raise, the batch still runs to completion and the exception of the
+    {e lowest-indexed} failing job is re-raised (again deterministic).
+    Safe to call repeatedly; not safe to call concurrently from two
+    domains on the same pool (the CLI and bench drive it from one
+    leader).  Calls from inside a job run inline. *)
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** List version of {!parallel_map}; same ordering guarantees. *)
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Terminate and join the worker domains.  Idempotent.  Using the pool
+    after [shutdown] raises [Invalid_argument]. *)
+val shutdown : t -> unit
+
+(** [with_pool ?domains f] — create, run [f], always shut down. *)
+val with_pool : ?domains:int -> (t -> 'a) -> 'a

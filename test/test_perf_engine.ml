@@ -194,6 +194,58 @@ let test_symmetry () =
            (symmetric_spin_config n)))
     [ 2; 3 ]
 
+(* --- symmetry quotient combined with a crash budget ---
+
+   Crash transitions are symmetric too (any orbit member may crash), so
+   the quotient remains sound under fault injection.  The legacy engine
+   has no symmetry support (the flag is documented as ignored), so the
+   reference comparison is two-legged: fast = legacy exactly on the
+   full crash-augmented graph, and the crash-augmented quotient agrees
+   with that reference graph on every verdict. *)
+
+let test_symmetry_with_crashes () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (cname, config) ->
+          let name = Fmt.str "%s n=%d crashes=1" cname n in
+          let full = Explorer.explore ~crashes:1 config in
+          (* fast vs legacy on the full crash-augmented graph *)
+          check_stats_equal
+            (name ^ " [full]")
+            (Explorer.explore ~legacy:true ~crashes:1 config)
+            full;
+          (* crash-augmented quotient vs the full graph *)
+          let quot = Explorer.explore ~symmetry:true ~crashes:1 config in
+          Alcotest.(check bool)
+            (name ^ ": cyclic agrees") full.Explorer.cyclic
+            quot.Explorer.cyclic;
+          Alcotest.(check bool)
+            (name ^ ": wait_free agrees")
+            (Explorer.wait_free full) (Explorer.wait_free quot);
+          Alcotest.(check bool)
+            (name ^ ": quotient no larger") true
+            (quot.Explorer.states <= full.Explorer.states);
+          (match (full.Explorer.step_bounds, quot.Explorer.step_bounds) with
+          | None, None -> ()
+          | Some fb, Some qb ->
+              let max_of = Array.fold_left max 0 in
+              Alcotest.(check bool)
+                (name ^ ": quotient bounds dominate")
+                true
+                (max_of qb >= max_of fb)
+          | Some _, None | None, Some _ ->
+              Alcotest.fail (name ^ ": step_bounds presence disagrees"));
+          if n >= 3 then
+            Alcotest.(check bool)
+              (name ^ ": quotient strictly smaller") true
+              (quot.Explorer.states < full.Explorer.states))
+        [
+          ("sym-tas", symmetric_tas_config n);
+          ("sym-spin", symmetric_spin_config n);
+        ])
+    [ 2; 3 ]
+
 (* --- solver: interned view table vs raw (pid, view) keys --- *)
 
 let action_str a = Fmt.str "%a" Solver.pp_action a
@@ -289,6 +341,8 @@ let suite =
         Alcotest.test_case "verify: legacy = fast reports" `Quick
           test_verify_differential;
         Alcotest.test_case "symmetry quotient agrees" `Quick test_symmetry;
+        Alcotest.test_case "symmetry quotient under crash faults" `Quick
+          test_symmetry_with_crashes;
         Alcotest.test_case "solver: raw = interned views" `Quick
           test_solver_differential;
       ] );
