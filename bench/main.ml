@@ -27,6 +27,11 @@ open Toolkit
 let ols_rows : (string * float * float) list ref = ref []
 let series_rows : (string * Obs.Json.t) list ref = ref []
 
+(* Wall-clock duration + monotonic start stamp of every section run, so
+   perf trajectories in [series]/[ns_per_op] can be correlated with a
+   [--profile] trace of the same process (both clocks are Clock.now_ns). *)
+let section_timings : (string * Obs.Json.t) list ref = ref []
+
 let record_ns name ns r2 = ols_rows := (name, ns, r2) :: !ols_rows
 let record_series name json = series_rows := (name, json) :: !series_rows
 
@@ -95,8 +100,9 @@ let write_results path sections_run =
   let json =
     Obs.Json.obj
       [
-        (* /2 adds the provenance stamps below; /1 fields unchanged. *)
-        ("schema", Obs.Json.str "wfs-bench/2");
+        (* /3 adds section_timings; /2 added the provenance stamps;
+           /1 fields unchanged. *)
+        ("schema", Obs.Json.str "wfs-bench/3");
         ("generated_unix_time", Obs.Json.float (Unix.time ()));
         ("domains_used", Obs.Json.int (Domain.recommended_domain_count ()));
         ("git_rev", Obs.Json.str (git_rev ()));
@@ -113,6 +119,7 @@ let write_results path sections_run =
                  ))
                !ols_rows) );
         ("series", sorted_obj !series_rows);
+        ("section_timings", sorted_obj !section_timings);
         ("metrics", Obs.Metrics.snapshot ());
       ]
   in
@@ -927,6 +934,120 @@ let fault_bench () =
         (Runtime.Fault.stress_passed s))
     [ (2, 1); (4, 1); (4, 2); (4, 3) ]
 
+(* ---------- profile: span profiler overhead ----------
+
+   The Profile contract (DESIGN 5.9): one predictable branch when
+   disabled, <= 5% on an exploration workload when enabled.  Three
+   measurements pin it down:
+
+     profile/overhead          Protocol.verify aug-queue n=4, profiling
+                               off vs enabled (coarse spans: shards,
+                               solver verdicts)
+     profile/recorder-op       recorder-dense loop — one rt.op span per
+                               operation, the fine-grained worst case
+     profile/disabled-span-ns  Profile.span around a trivial thunk vs
+                               the bare thunk, per call, profiler off
+
+   The profiler is disabled and its rings reset before the section
+   returns so later sections (and write_results) see a quiet state. *)
+
+let profile_overhead () =
+  section "PROFILE  span profiler overhead: off vs enabled (target <=5%)";
+  let reps =
+    match Sys.getenv_opt "WFS_PERF_REPS" with
+    | Some s -> ( try max 1 (int_of_string s) with Failure _ -> 5)
+    | None -> 5
+  in
+  let best ~iters f =
+    ignore (f ());
+    let t = ref infinity in
+    for _ = 1 to reps do
+      Gc.minor ();
+      let (), dt =
+        time_once (fun () ->
+            for _ = 1 to iters do
+              ignore (f ())
+            done)
+      in
+      let per_call = dt /. float_of_int iters in
+      if per_call < !t then t := per_call
+    done;
+    !t
+  in
+  let measure_pair name ~iters work =
+    let off = best ~iters work in
+    Obs.Profile.enable ();
+    let on_ = best ~iters work in
+    Obs.Profile.disable ();
+    Obs.Profile.reset ();
+    let pct = if off > 0. then (on_ -. off) /. off *. 100. else 0. in
+    (off, on_, pct, name)
+  in
+  (* Exploration workload: spans here are coarse (per shard, per solver
+     verdict), so the enabled tax must stay well inside the 5% budget. *)
+  let aq4 = Aug_queue_consensus.protocol ~n:4 () in
+  let off, on_, pct, _ =
+    measure_pair "verify-aug-queue-n4" ~iters:1 (fun () ->
+        Protocol.verify aq4)
+  in
+  record_series "profile/overhead"
+    (Obs.Json.obj
+       [
+         ("off_seconds", Obs.Json.float off);
+         ("on_seconds", Obs.Json.float on_);
+         ("overhead_pct", Obs.Json.float pct);
+         ("reps", Obs.Json.int reps);
+       ]);
+  Fmt.pr "  %-34s off %9.2f ms   on %9.2f ms   overhead %+5.1f%%@."
+    "verify-aug-queue-n4" (off *. 1e3) (on_ *. 1e3) pct;
+  (* Recorder-dense workload: every operation opens and closes an rt.op
+     span, so this is the per-span enabled cost in its least flattering
+     setting (ops that do almost nothing). *)
+  let ops = 20_000 in
+  let off, on_, pct, _ =
+    measure_pair "recorder-op" ~iters:1 (fun () ->
+        let r = Runtime.Recorder.create ~capacity:(2 * ops) in
+        for pid = 0 to ops - 1 do
+          ignore
+            (Runtime.Recorder.around r ~pid:(pid land 7) ~obj:"q"
+               ~op:Queues.deq ~encode_res:Value.int (fun () -> 0))
+        done)
+  in
+  record_series "profile/recorder-op"
+    (Obs.Json.obj
+       [
+         ("off_ns_per_op", Obs.Json.float (off /. float_of_int ops *. 1e9));
+         ("on_ns_per_op", Obs.Json.float (on_ /. float_of_int ops *. 1e9));
+         ("overhead_pct", Obs.Json.float pct);
+         ("ops", Obs.Json.int ops);
+         ("reps", Obs.Json.int reps);
+       ]);
+  Fmt.pr "  %-34s off %9.1f ns/op on %9.1f ns/op overhead %+5.1f%%@."
+    "recorder-op"
+    (off /. float_of_int ops *. 1e9)
+    (on_ /. float_of_int ops *. 1e9)
+    pct;
+  (* Disabled micro-cost: Profile.span around a trivial thunk vs the
+     bare thunk.  The delta is the price every instrumented seam pays
+     when nobody is profiling — it should be a branch, i.e. ~0 ns. *)
+  let iters = 2_000_000 in
+  let sink = ref 0 in
+  let thunk () = incr sink in
+  let bare = best ~iters (fun () -> thunk ()) in
+  let spanned = best ~iters (fun () -> Obs.Profile.span "bench.noop" thunk) in
+  let delta_ns = (spanned -. bare) *. 1e9 in
+  record_series "profile/disabled-span-ns"
+    (Obs.Json.obj
+       [
+         ("bare_ns", Obs.Json.float (bare *. 1e9));
+         ("span_ns", Obs.Json.float (spanned *. 1e9));
+         ("delta_ns", Obs.Json.float delta_ns);
+         ("iters_per_rep", Obs.Json.int iters);
+         ("reps", Obs.Json.int reps);
+       ]);
+  Fmt.pr "  %-34s bare %8.2f ns   span %8.2f ns   delta %+6.2f ns@."
+    "disabled-span" (bare *. 1e9) (spanned *. 1e9) delta_ns
+
 (* ---------- entry point ----------
 
    With no arguments every section runs; positional arguments select a
@@ -952,6 +1073,7 @@ let sections : (string * (unit -> unit)) list =
     ("fault", fault_bench);
     ("perf", perf);
     ("perf-par", perf_par);
+    ("profile", profile_overhead);
   ]
 
 let () =
@@ -995,6 +1117,18 @@ let () =
      hardware note: %d CPU core(s) visible; multi-domain numbers are@.\
      interleaved concurrency, not parallel speedup.@."
     (Domain.recommended_domain_count ());
-  List.iter (fun (_, run) -> run ()) to_run;
+  List.iter
+    (fun (name, run) ->
+      let started_ns = Obs.Clock.now_ns () in
+      let (), dt = time_once run in
+      section_timings :=
+        ( name,
+          Obs.Json.obj
+            [
+              ("seconds", Obs.Json.float dt);
+              ("started_ns", Obs.Json.int started_ns);
+            ] )
+        :: !section_timings)
+    to_run;
   write_results "BENCH_results.json" (List.map fst to_run);
   Fmt.pr "@.done.@."

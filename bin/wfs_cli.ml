@@ -53,55 +53,171 @@ let bad_jobs j =
   Fmt.epr "-j must be >= 0 (got %d)@." j;
   2
 
+(* --- shared --progress / --profile plumbing ---
+
+   [obs_setup] must wrap [with_jobs]: profiling has to be on before the
+   pool spawns its workers (each worker announces itself to the trace at
+   startup), and the profile is written only after the wrapped run
+   returns — by then the pool has been shut down and joined, so every
+   domain's ring buffer is quiescent. *)
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Print a heartbeat line to stderr (states, rate, elapsed) at \
+           most once per second while the exploration runs.")
+
+let profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Record a span profile of the run and write it to $(docv) as \
+           Chrome trace_event JSON (load in ui.perfetto.dev or \
+           chrome://tracing).")
+
+let obs_setup ~progress ~profile ~label ?(crashes = 0) f =
+  if progress then Obs.Progress.start ~crashes label;
+  (match profile with Some _ -> Obs.Profile.enable () | None -> ());
+  let finish () =
+    if progress then Obs.Progress.finish ();
+    match profile with
+    | Some path ->
+        Obs.Profile.disable ();
+        Obs.Profile.write path;
+        Fmt.epr "profile written to %s (%d spans%s)@." path
+          (Obs.Profile.recorded ())
+          (let d = Obs.Profile.dropped () in
+           if d = 0 then "" else Fmt.str ", %d dropped" d)
+    | None -> ()
+  in
+  match f () with
+  | code ->
+      finish ();
+      code
+  | exception e ->
+      finish ();
+      raise e
+
 (* --- hierarchy --- *)
 
+let hierarchy_full_arg =
+  Arg.(value & flag & info [ "full" ] ~doc:"Include the expensive solver instances (minutes).")
+
+let hierarchy_run ~progress ~profile full j =
+  obs_setup ~progress ~profile ~label:"hierarchy" (fun () ->
+      match
+        with_jobs j (fun pool ->
+            let table = Table.generate ?pool ~full () in
+            Fmt.pr "%a@." Table.pp table;
+            if Table.consistent table then begin
+              Fmt.pr "@.All rows consistent with Figure 1-1.@.";
+              0
+            end
+            else begin
+              Fmt.pr "@.INCONSISTENT rows found!@.";
+              1
+            end)
+      with
+      | Some code -> code
+      | None -> bad_jobs j)
+
 let hierarchy_cmd =
-  let full =
-    Arg.(value & flag & info [ "full" ] ~doc:"Include the expensive solver instances (minutes).")
-  in
-  let run full j =
-    match
-      with_jobs j (fun pool ->
-          let table = Table.generate ?pool ~full () in
-          Fmt.pr "%a@." Table.pp table;
-          if Table.consistent table then begin
-            Fmt.pr "@.All rows consistent with Figure 1-1.@.";
-            0
-          end
-          else begin
-            Fmt.pr "@.INCONSISTENT rows found!@.";
-            1
-          end)
-    with
-    | Some code -> code
-    | None -> bad_jobs j
-  in
+  let run full j progress profile = hierarchy_run ~progress ~profile full j in
   Cmd.v
     (Cmd.info "hierarchy" ~doc:"Regenerate the Figure 1-1 hierarchy table")
-    Term.(const run $ full $ jobs_arg)
+    Term.(const run $ hierarchy_full_arg $ jobs_arg $ progress_arg $ profile_arg)
 
 (* --- verify --- *)
 
+let verify_key_arg =
+  let keys = Registry.keys () in
+  let doc = Fmt.str "Protocol key: one of %s." (String.concat ", " keys) in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc)
+
+let verify_n_arg =
+  Arg.(value & opt int 2 & info [ "n" ] ~doc:"Number of processes.")
+
+let verify_max_states_arg =
+  Arg.(
+    value & opt int 2_000_000
+    & info [ "max-states" ]
+        ~doc:"State budget for the exhaustive exploration.")
+
+let verify_max_depth_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "max-depth" ] ~doc:"Depth budget for the exploration DFS.")
+
+let verify_crashes_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "crashes" ]
+        ~doc:
+          "Crash-stop adversary budget: additionally quantify over every \
+           placement of up to this many permanent process halts \
+           (wait-freedom's own failure model). 0 checks the crash-free \
+           semantics.")
+
+let verify_run ~progress ~profile key n max_states max_depth out crashes j =
+  if crashes < 0 || crashes >= n then begin
+    Fmt.epr "--crashes must be in [0, n-1] (got %d with n = %d)@." crashes n;
+    2
+  end
+  else
+    match (Registry.find key).Registry.build ~n with
+    | exception Invalid_argument msg ->
+        Fmt.epr "%s@." msg;
+        2
+    | None ->
+        Fmt.epr "%s does not support n = %d@." key n;
+        2
+    | Some protocol ->
+        obs_setup ~progress ~profile ~crashes
+          ~label:(Fmt.str "verify %s n=%d" key n)
+          (fun () ->
+            match
+              with_jobs j (fun pool ->
+                  let report =
+                    Protocol.verify ~max_states ~max_depth ~crashes ?pool
+                      protocol
+                  in
+                  Fmt.pr "%s (%s), n = %d:@.%a@." protocol.Protocol.name
+                    protocol.Protocol.theorem n Protocol.pp_report report;
+                  if report.Protocol.truncated then
+                    Fmt.pr
+                      "exploration truncated by the %s — raise --max-states / \
+                       --max-depth for a complete verdict@."
+                      (Protocol.truncation_label report.Protocol.truncation);
+                  if Protocol.passed report then 0
+                  else begin
+                    (match
+                       Protocol.find_violation ~max_states ~crashes ?pool
+                         protocol
+                     with
+                    | Some v ->
+                        Fmt.pr "@.counterexample: %a@." Protocol.pp_violation v;
+                        (match out with
+                        | Some path ->
+                            Obs.Counterexample.save path
+                              (Protocol.violation_to_counterexample
+                                 ~protocol:key ~n v);
+                            Fmt.pr "counterexample written to %s@." path
+                        | None -> ())
+                    | None ->
+                        Fmt.pr
+                          "@.no schedule-shaped counterexample (failure is a \
+                           cycle, truncation or stuck process)@.");
+                    1
+                  end)
+            with
+            | Some code -> code
+            | None -> bad_jobs j)
+
 let verify_cmd =
-  let key =
-    let keys = Registry.keys () in
-    let doc = Fmt.str "Protocol key: one of %s." (String.concat ", " keys) in
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc)
-  in
-  let n =
-    Arg.(value & opt int 2 & info [ "n" ] ~doc:"Number of processes.")
-  in
-  let max_states =
-    Arg.(
-      value & opt int 2_000_000
-      & info [ "max-states" ]
-          ~doc:"State budget for the exhaustive exploration.")
-  in
-  let max_depth =
-    Arg.(
-      value & opt int 10_000
-      & info [ "max-depth" ] ~doc:"Depth budget for the exploration DFS.")
-  in
   let out =
     Arg.(
       value
@@ -111,67 +227,8 @@ let verify_cmd =
             "On violation, export the counterexample schedule to $(docv) \
              as replayable JSON (see the replay subcommand).")
   in
-  let crashes =
-    Arg.(
-      value & opt int 0
-      & info [ "crashes" ]
-          ~doc:
-            "Crash-stop adversary budget: additionally quantify over every \
-             placement of up to this many permanent process halts \
-             (wait-freedom's own failure model). 0 checks the crash-free \
-             semantics.")
-  in
-  let run key n max_states max_depth out crashes j =
-    if crashes < 0 || crashes >= n then begin
-      Fmt.epr "--crashes must be in [0, n-1] (got %d with n = %d)@." crashes n;
-      2
-    end
-    else
-      match (Registry.find key).Registry.build ~n with
-      | exception Invalid_argument msg ->
-          Fmt.epr "%s@." msg;
-          2
-      | None ->
-          Fmt.epr "%s does not support n = %d@." key n;
-          2
-      | Some protocol -> (
-          match
-            with_jobs j (fun pool ->
-                let report =
-                  Protocol.verify ~max_states ~max_depth ~crashes ?pool
-                    protocol
-                in
-                Fmt.pr "%s (%s), n = %d:@.%a@." protocol.Protocol.name
-                  protocol.Protocol.theorem n Protocol.pp_report report;
-                if report.Protocol.truncated then
-                  Fmt.pr
-                    "exploration truncated by the %s — raise --max-states / \
-                     --max-depth for a complete verdict@."
-                    (Protocol.truncation_label report.Protocol.truncation);
-                if Protocol.passed report then 0
-                else begin
-                  (match
-                     Protocol.find_violation ~max_states ~crashes ?pool
-                       protocol
-                   with
-                  | Some v ->
-                      Fmt.pr "@.counterexample: %a@." Protocol.pp_violation v;
-                      (match out with
-                      | Some path ->
-                          Obs.Counterexample.save path
-                            (Protocol.violation_to_counterexample
-                               ~protocol:key ~n v);
-                          Fmt.pr "counterexample written to %s@." path
-                      | None -> ())
-                  | None ->
-                      Fmt.pr
-                        "@.no schedule-shaped counterexample (failure is a \
-                         cycle, truncation or stuck process)@.");
-                  1
-                end)
-          with
-          | Some code -> code
-          | None -> bad_jobs j)
+  let run key n max_states max_depth out crashes j progress profile =
+    verify_run ~progress ~profile key n max_states max_depth out crashes j
   in
   Cmd.v
     (Cmd.info "verify"
@@ -179,7 +236,9 @@ let verify_cmd =
          "Exhaustively verify a consensus protocol over all schedules, \
           optionally under a crash-stop adversary (--crashes)")
     Term.(
-      const run $ key $ n $ max_states $ max_depth $ out $ crashes $ jobs_arg)
+      const run $ verify_key_arg $ verify_n_arg $ verify_max_states_arg
+      $ verify_max_depth_arg $ out $ verify_crashes_arg $ jobs_arg
+      $ progress_arg $ profile_arg)
 
 (* --- replay --- *)
 
@@ -322,65 +381,71 @@ let universal_cmd =
 
 (* --- census --- *)
 
-let census_cmd =
-  let budget =
-    Arg.(value & opt int 30_000_000
-         & info [ "budget" ] ~doc:"Search-node budget per solver run.")
+let census_budget_arg =
+  Arg.(value & opt int 30_000_000
+       & info [ "budget" ] ~doc:"Search-node budget per solver run.")
+
+let census_max_states_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-states" ]
+        ~doc:
+          "Cap on solver search nodes per run (lower of this and \
+           --budget wins).")
+
+let census_max_depth_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-depth" ]
+        ~doc:
+          "Cap on operations per process (bounds both the n=2 and n=3 \
+           instances; defaults are 2 and 1).")
+
+let census_run ~progress ~profile budget max_states max_depth j =
+  let max_nodes =
+    match max_states with Some s -> min s budget | None -> budget
   in
-  let max_states =
-    Arg.(
-      value & opt (some int) None
-      & info [ "max-states" ]
-          ~doc:
-            "Cap on solver search nodes per run (lower of this and \
-             --budget wins).")
-  in
-  let max_depth =
-    Arg.(
-      value & opt (some int) None
-      & info [ "max-depth" ]
-          ~doc:
-            "Cap on operations per process (bounds both the n=2 and n=3 \
-             instances; defaults are 2 and 1).")
-  in
-  let run budget max_states max_depth j =
-    let max_nodes =
-      match max_states with Some s -> min s budget | None -> budget
-    in
-    let depth2 = match max_depth with Some d -> min d 2 | None -> 2 in
-    let depth3 = match max_depth with Some d -> min d 1 | None -> 1 in
-    match
-      with_jobs j (fun pool ->
-          Fmt.pr
-            "solver-only census (bounded: n=2 within %d op(s), n=3 within %d \
-             op(s),@.over initializations reachable in ≤ 2 operations):@.@."
-            depth2 depth3;
-          let results = Census.run ~depth2 ~depth3 ~max_nodes ?pool () in
-          Fmt.pr "%a@." Census.pp results;
-          let budget_hit =
-            List.exists
-              (fun (m : Census.measurement) ->
-                fst m.Census.two_proc = Census.Budget
-                || fst m.Census.three_proc = Census.Budget)
-              results
-          in
-          if budget_hit then begin
+  let depth2 = match max_depth with Some d -> min d 2 | None -> 2 in
+  let depth3 = match max_depth with Some d -> min d 1 | None -> 1 in
+  obs_setup ~progress ~profile ~label:"census" (fun () ->
+      match
+        with_jobs j (fun pool ->
             Fmt.pr
-              "@.some verdicts hit the node budget — raise --budget / \
-               --max-states for a conclusive census@.";
-            1
-          end
-          else 0)
-    with
-    | Some code -> code
-    | None -> bad_jobs j
+              "solver-only census (bounded: n=2 within %d op(s), n=3 within %d \
+               op(s),@.over initializations reachable in ≤ 2 operations):@.@."
+              depth2 depth3;
+            let results = Census.run ~depth2 ~depth3 ~max_nodes ?pool () in
+            Fmt.pr "%a@." Census.pp results;
+            let budget_hit =
+              List.exists
+                (fun (m : Census.measurement) ->
+                  fst m.Census.two_proc = Census.Budget
+                  || fst m.Census.three_proc = Census.Budget)
+                results
+            in
+            if budget_hit then begin
+              Fmt.pr
+                "@.some verdicts hit the node budget — raise --budget / \
+                 --max-states for a conclusive census@.";
+              1
+            end
+            else 0)
+      with
+      | Some code -> code
+      | None -> bad_jobs j)
+
+let census_cmd =
+  let run budget max_states max_depth j progress profile =
+    census_run ~progress ~profile budget max_states max_depth j
   in
   Cmd.v
     (Cmd.info "census"
        ~doc:
          "Measure every zoo object's bounded consensus number with the \
           solver alone")
-    Term.(const run $ budget $ max_states $ max_depth $ jobs_arg)
+    Term.(
+      const run $ census_budget_arg $ census_max_states_arg
+      $ census_max_depth_arg $ jobs_arg $ progress_arg $ profile_arg)
 
 (* --- critical --- *)
 
@@ -586,6 +651,65 @@ let zoo_cmd =
   in
   Cmd.v (Cmd.info "zoo" ~doc:"List the object zoo") Term.(const run $ const ())
 
+(* --- profile ---
+
+   [wfs profile CMD ... --out prof.json] = run CMD with the span
+   profiler on and write the trace to --out.  Equivalent to the
+   subcommand's own --profile flag, packaged as a dedicated group so
+   profiling runs read naturally.  Note: under [profile verify], --out
+   names the trace file, so counterexample export is only available via
+   the plain [verify --out ... --profile ...] spelling. *)
+
+let profile_out_arg =
+  Arg.(
+    value & opt string "prof.json"
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:
+          "Write the Chrome trace_event JSON to $(docv) (load in \
+           ui.perfetto.dev or chrome://tracing).")
+
+let profile_cmd =
+  let verify =
+    let run key n max_states max_depth crashes j progress out =
+      verify_run ~progress ~profile:(Some out) key n max_states max_depth None
+        crashes j
+    in
+    Cmd.v
+      (Cmd.info "verify" ~doc:"Profile an exhaustive protocol verification")
+      Term.(
+        const run $ verify_key_arg $ verify_n_arg $ verify_max_states_arg
+        $ verify_max_depth_arg $ verify_crashes_arg $ jobs_arg $ progress_arg
+        $ profile_out_arg)
+  in
+  let census =
+    let run budget max_states max_depth j progress out =
+      census_run ~progress ~profile:(Some out) budget max_states max_depth j
+    in
+    Cmd.v
+      (Cmd.info "census" ~doc:"Profile the solver census over the zoo")
+      Term.(
+        const run $ census_budget_arg $ census_max_states_arg
+        $ census_max_depth_arg $ jobs_arg $ progress_arg $ profile_out_arg)
+  in
+  let hierarchy =
+    let run full j progress out =
+      hierarchy_run ~progress ~profile:(Some out) full j
+    in
+    Cmd.v
+      (Cmd.info "hierarchy"
+         ~doc:"Profile the Figure 1-1 hierarchy table generation")
+      Term.(
+        const run $ hierarchy_full_arg $ jobs_arg $ progress_arg
+        $ profile_out_arg)
+  in
+  Cmd.group
+    (Cmd.info "profile"
+       ~doc:
+         "Run a subcommand under the per-domain span profiler and write a \
+          Chrome trace_event JSON timeline (pool jobs, steals, idle waits, \
+          exploration phases, solver runs — one thread row per domain)")
+    [ verify; census; hierarchy ]
+
 let main =
   Cmd.group
     (Cmd.info "wfs" ~version:"1.0.0"
@@ -595,7 +719,7 @@ let main =
     [
       hierarchy_cmd; verify_cmd; replay_cmd; solve_cmd; universal_cmd;
       census_cmd; critical_cmd; fault_cmd;
-      randomized_cmd; stats_cmd; zoo_cmd;
+      randomized_cmd; stats_cmd; zoo_cmd; profile_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

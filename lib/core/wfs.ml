@@ -73,6 +73,8 @@ module Obs = struct
   module Trace = Wfs_obs.Trace
   module Clock = Wfs_obs.Clock
   module Counterexample = Wfs_obs.Counterexample
+  module Profile = Wfs_obs.Profile
+  module Progress = Wfs_obs.Progress
 end
 
 (* multicore runtime *)

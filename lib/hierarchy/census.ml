@@ -80,6 +80,14 @@ let candidate_inits ?(max_candidates = 16) (spec : Object_spec.t) =
    until one admits a protocol. *)
 let solve_any_init ~n ~depth ~max_nodes ~intern_views (spec : Object_spec.t)
     inits =
+  Wfs_obs.Profile.span ~cat:"census"
+    ~args:(fun () ->
+      [
+        ("object", Wfs_obs.Json.str spec.Object_spec.name);
+        ("n", Wfs_obs.Json.int n);
+      ])
+    "census.solve"
+  @@ fun () ->
   let rec go total_nodes budget_hit winning = function
     | [] ->
         if budget_hit then ((Budget, total_nodes), winning)

@@ -269,9 +269,13 @@ let solve_with_ops (type k) ~max_nodes ~prune_agreement (ops : k sigma_ops)
 
 let solve_with_stats ?(max_nodes = 20_000_000) ?(prune_agreement = true)
     ?(intern_views = true) inst =
-  if intern_views then
-    solve_with_ops ~max_nodes ~prune_agreement (interned_sigma inst.n) inst
-  else solve_with_ops ~max_nodes ~prune_agreement (legacy_sigma ()) inst
+  Wfs_obs.Profile.span ~cat:"solver"
+    ~args:(fun () -> [ ("n", Wfs_obs.Json.int inst.n) ])
+    "solver.solve"
+    (fun () ->
+      if intern_views then
+        solve_with_ops ~max_nodes ~prune_agreement (interned_sigma inst.n) inst
+      else solve_with_ops ~max_nodes ~prune_agreement (legacy_sigma ()) inst)
 
 let solve ?max_nodes ?prune_agreement ?intern_views inst =
   fst (solve_with_stats ?max_nodes ?prune_agreement ?intern_views inst)

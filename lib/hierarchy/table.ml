@@ -183,12 +183,24 @@ let plan ~full : (string * string * (unit -> evidence list) list) list =
 
 let generate ?pool ?(full = false) () : t =
   let rows = plan ~full in
+  let force_evidence family th =
+    Wfs_obs.Profile.span ~cat:"table"
+      ~args:(fun () -> [ ("family", Wfs_obs.Json.str family) ])
+      "table.evidence" th
+  in
   match pool with
   | Some p when Wfs_sim.Pool.size p > 1 ->
       let jobs =
-        Array.of_list (List.concat_map (fun (_, _, ts) -> ts) rows)
+        Array.of_list
+          (List.concat_map
+             (fun (family, _, ts) -> List.map (fun th -> (family, th)) ts)
+             rows)
       in
-      let results = Wfs_sim.Pool.parallel_map p (fun th -> th ()) jobs in
+      let results =
+        Wfs_sim.Pool.parallel_map p
+          (fun (family, th) -> force_evidence family th)
+          jobs
+      in
       let idx = ref 0 in
       List.map
         (fun (object_family, paper_level, ts) ->
@@ -205,7 +217,12 @@ let generate ?pool ?(full = false) () : t =
   | _ ->
       List.map
         (fun (object_family, paper_level, ts) ->
-          { object_family; paper_level; evidence = List.concat_map (fun t -> t ()) ts })
+          {
+            object_family;
+            paper_level;
+            evidence =
+              List.concat_map (fun t -> force_evidence object_family t) ts;
+          })
         rows
 
 (* --- consistency with the paper --- *)

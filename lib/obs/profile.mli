@@ -1,0 +1,96 @@
+(** Per-domain span profiler with Chrome [trace_event] output.
+
+    {!span}/{!begin_}/{!end_} record named, timestamped spans into a
+    {e per-domain ring buffer}; {!write} serializes everything recorded
+    so far as Chrome trace-event JSON ([{"traceEvents": [...]}]) that
+    loads directly in Perfetto ([ui.perfetto.dev]) or
+    [chrome://tracing], with [pid] = the OS process and one [tid] row
+    per OCaml domain.
+
+    Cost model:
+
+    - disabled (the default), every entry point is one branch on a
+      plain [bool ref] — argument thunks are not forced, no clock is
+      read, nothing allocates beyond the closure at the call site;
+    - enabled, a span costs two {!Clock.now_ns} reads and one ring
+      slot.  No lock is taken on the record path: each domain writes
+      only its own ring.
+
+    Ring semantics: a completed span occupies exactly {e one} ring
+    entry (written at [end_] time), so wraparound drops whole spans,
+    oldest first — it can never tear a span into an unbalanced
+    begin/end pair.  Spans still open when the profile is written are
+    dropped for the same reason.
+
+    Concurrency contract: {!span}, {!begin_}, {!end_}, {!complete},
+    {!instant} and {!counter} are safe from any domain concurrently.
+    {!enable}, {!reset}, {!to_json} and {!write} must run at
+    {e quiescence} — no other domain inside an instrumented region —
+    which is why the CLI and pool flush only after the pool has
+    joined. *)
+
+type args = (string * Json.t) list
+
+(** True between {!enable} and {!disable}.  The one-branch gate. *)
+val enabled : unit -> bool
+
+(** [enable ?ring_capacity ()] clears any previous recording and turns
+    recording on.  [ring_capacity] (default 65536) is the per-domain
+    span budget; when a domain overflows it, its oldest entries are
+    dropped (see {!dropped}). *)
+val enable : ?ring_capacity:int -> unit -> unit
+
+(** Stop recording.  Recorded data is retained until {!reset} or the
+    next {!enable}, so it can still be written out. *)
+val disable : unit -> unit
+
+(** Drop everything recorded, in every domain's ring.  Quiescence
+    required. *)
+val reset : unit -> unit
+
+(** [span ?cat ?args name f] runs [f] inside a span.  The [args] thunk
+    is forced only when profiling is enabled.  Exceptions close the
+    span and propagate. *)
+val span : ?cat:string -> ?args:(unit -> args) -> string -> (unit -> 'a) -> 'a
+
+(** Open a span on the calling domain's stack.  Every [begin_] must be
+    matched by an {!end_} on the same domain ([span] does this for
+    you). *)
+val begin_ : ?cat:string -> ?args:(unit -> args) -> string -> unit
+
+(** Close the most recent open span on the calling domain.  No-op when
+    the stack is empty (e.g. profiling was enabled mid-span). *)
+val end_ : unit -> unit
+
+(** [complete ?cat ?args name ~t0_ns] records a span that started at
+    [t0_ns] and ends now, bypassing the begin/end stack — for waits
+    whose start predates knowing whether they are interesting (pool
+    idle time).  [t0_ns] must not predate any event already recorded
+    by this domain, or the exported timeline clamps it. *)
+val complete : ?cat:string -> ?args:(unit -> args) -> string -> t0_ns:int -> unit
+
+(** A zero-duration instant event on the calling domain's row. *)
+val instant : ?cat:string -> ?args:(unit -> args) -> string -> unit
+
+(** [counter name values] records a trace counter sample (rendered by
+    Perfetto as a track of stacked series). *)
+val counter : string -> (string * float) list -> unit
+
+(** Entries currently buffered across all domains. *)
+val recorded : unit -> int
+
+(** Entries lost to ring wraparound across all domains. *)
+val dropped : unit -> int
+
+(** The whole recording as one Chrome trace-event JSON object:
+    [traceEvents] holds [M] (process/thread name) metadata, balanced
+    [B]/[E] span pairs, [i] instants and [C] counters.  Per-[tid]
+    timestamps are non-decreasing and spans are properly nested. *)
+val to_json : unit -> Json.t
+
+(** [write path] = {!to_json} pretty-printed to [path]. *)
+val write : string -> unit
+
+(** [with_profile ?ring_capacity ~out f]: enable, run [f], then always
+    disable and write the profile to [out]. *)
+val with_profile : ?ring_capacity:int -> out:string -> (unit -> 'a) -> 'a

@@ -1,0 +1,71 @@
+(* Rate-limited heartbeat on stderr + Profile counter tracks.
+
+   [tick] runs on exploration hot paths (masked by the caller), so the
+   fast path is: one bool load, one clock read, one atomic load, one
+   compare.  Emission is elected by compare_and_set on [last_emit], so
+   under parallel exploration exactly one shard worker wins each
+   interval; the stderr write itself is serialized by [emit_lock] only
+   on the (rare) winning path. *)
+
+let on = ref false
+let label = ref ""
+let crash_budget = ref 0
+let interval_ns = ref 1_000_000_000
+let started = Atomic.make 0
+let last_emit = Atomic.make 0
+let last_states = Atomic.make 0
+let emit_lock = Mutex.create ()
+
+let enabled () = !on
+
+let start ?(interval_ms = 1000) ?(crashes = 0) lbl =
+  label := lbl;
+  crash_budget := crashes;
+  interval_ns := max 1 interval_ms * 1_000_000;
+  let now = Clock.now_ns () in
+  Atomic.set started now;
+  Atomic.set last_emit now;
+  Atomic.set last_states 0;
+  on := true
+
+let rate_str r =
+  if r >= 1_000_000. then Fmt.str "%.1fM" (r /. 1e6)
+  else if r >= 1_000. then Fmt.str "%.0fk" (r /. 1e3)
+  else Fmt.str "%.0f" r
+
+let emit ~states ~frontier ~now ~final =
+  let t0 = Atomic.get started in
+  let elapsed = float_of_int (now - t0) /. 1e9 in
+  let rate = if elapsed > 0. then float_of_int states /. elapsed else 0. in
+  Mutex.lock emit_lock;
+  Fmt.epr "[wfs %s] states=%d%s %s states/s elapsed=%.1fs%s%s@."
+    !label states
+    (if final then "" else Fmt.str " frontier~%d" frontier)
+    (rate_str rate) elapsed
+    (if !crash_budget > 0 then Fmt.str " crashes<=%d" !crash_budget else "")
+    (if final then " done" else "");
+  Mutex.unlock emit_lock;
+  Profile.counter "progress.states" [ ("states", float_of_int states) ];
+  Profile.counter "progress.rate" [ ("states_per_s", rate) ]
+
+let tick ~states ~frontier =
+  if !on then begin
+    (* a plain max: ticks arrive from many domains and [states] is a
+       shared cumulative count, so keeping the largest seen is exact *)
+    if states > Atomic.get last_states then Atomic.set last_states states;
+    let now = Clock.now_ns () in
+    let last = Atomic.get last_emit in
+    if now - last >= !interval_ns
+       && Atomic.compare_and_set last_emit last now
+    then emit ~states ~frontier ~now ~final:false
+  end
+
+let finish () =
+  if !on then begin
+    on := false;
+    emit
+      ~states:(Atomic.get last_states)
+      ~frontier:0
+      ~now:(Clock.now_ns ())
+      ~final:true
+  end

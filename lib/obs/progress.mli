@@ -1,0 +1,36 @@
+(** Heartbeat progress reporting for long explorations.
+
+    A rate-limited stderr reporter: exploration engines call {!tick}
+    from their hot loops (masked, e.g. every 1024 states) and a line
+    like
+
+    {v [wfs verify cas n=3] states=412310 frontier~1982 183k states/s elapsed=2.3s v}
+
+    appears at most once per interval.  When {!Profile} is recording,
+    every emitted heartbeat also lands in the trace as
+    [progress.states] / [progress.rate] counter tracks, so Perfetto
+    shows throughput over time next to the span rows.
+
+    {!tick} is safe from any domain; the rate limit is a CAS on an
+    atomic so concurrent shard workers elect one emitter per
+    interval. *)
+
+(** True between {!start} and {!finish}.  Call sites should gate their
+    (cheap, masked) tick computation on this. *)
+val enabled : unit -> bool
+
+(** [start ?interval_ms ?crashes label] arms the reporter.
+    [interval_ms] defaults to 1000; [crashes] (the crash-budget bound
+    of the run, when faults are being explored) is echoed in each
+    line. *)
+val start : ?interval_ms:int -> ?crashes:int -> string -> unit
+
+(** [tick ~states ~frontier] reports progress; emits at most once per
+    interval.  [states] is cumulative states visited/interned,
+    [frontier] a cheap estimate of outstanding work (stack or queue
+    length; pass 0 when unknown). *)
+val tick : states:int -> frontier:int -> unit
+
+(** Emit one final line (largest state count any tick reported, overall
+    rate, elapsed) and disarm the reporter.  No-op when not started. *)
+val finish : unit -> unit

@@ -62,14 +62,28 @@ let history t : Wfs_history.History.t =
    operation.  Record the distinguished crashed response (which
    [History.operations] maps back to "pending") and re-raise. *)
 let around t ~pid ~obj ~op ~encode_res f =
+  (* [Op.name] is one constant-time projection — cheap enough for the
+     profiler's per-op span args, unlike a full [Op.pp] render *)
+  let prof = Wfs_obs.Profile.enabled () in
+  if prof then
+    Wfs_obs.Profile.begin_ ~cat:"runtime"
+      ~args:(fun () ->
+        [
+          ("op", Wfs_obs.Json.str (Wfs_spec.Op.name op));
+          ("obj", Wfs_obs.Json.str obj);
+          ("pid", Wfs_obs.Json.int pid);
+        ])
+      "rt.op";
   invoke t ~pid ~obj op;
   match f () with
   | res ->
       respond t ~pid ~obj (encode_res res);
+      if prof then Wfs_obs.Profile.end_ ();
       res
   | exception e ->
       let bt = Printexc.get_raw_backtrace () in
       respond t ~pid ~obj Wfs_history.Event.crashed_res;
+      if prof then Wfs_obs.Profile.end_ ();
       Printexc.raise_with_backtrace e bt
 
 let pp ppf t = Wfs_history.History.pp ppf (history t)

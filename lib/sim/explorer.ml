@@ -243,6 +243,7 @@ module M = struct
   let arena_size = Gauge.make "explorer.intern.arena_size"
   let fused_edges = Counter.make "explorer.fused_dp.edges"
   let crash_edges = Counter.make "explorer.crash_edges"
+  let intern_contention = Counter.make "explorer.intern.contention"
 end
 
 let flush_metrics ~states ~hits ~lookups ~deepest ~truncation ~cyclic ~intern =
@@ -485,6 +486,11 @@ let explore_fast ~max_states ~max_depth ~symmetry ~crashes config =
           (if !truncation = None then truncation := Some Budget_depth)
         else begin
           incr visited;
+          (* masked heartbeat: one clock read per 1024 states, and only
+             when a reporter is armed (Stack.length is O(1)) *)
+          if !visited land 1023 = 0 && Wfs_obs.Progress.enabled () then
+            Wfs_obs.Progress.tick ~states:!visited
+              ~frontier:(Stack.length stack);
           if is_terminal node then begin
             let decisions = Array.copy node.decided in
             Value.Tbl.replace terminals
@@ -717,32 +723,49 @@ let explore_par ~pool ~max_states ~max_depth ~symmetry ~crashes config =
   let root = initial config in
   let queue : (node * int * int) Queue.t = Queue.create () in
   let root_id =
-    consider rec0 ~enqueue:(fun x -> Queue.add x queue) root 0
+    Wfs_obs.Profile.span ~cat:"explore" "explore.seeds" (fun () ->
+        let root_id =
+          consider rec0 ~enqueue:(fun x -> Queue.add x queue) root 0
+        in
+        let target = 4 * workers in
+        let budget = ref (8 * target) in
+        while
+          (not (Queue.is_empty queue))
+          && Queue.length queue < target
+          && !budget > 0
+        do
+          decr budget;
+          expand rec0 ~enqueue:(fun x -> Queue.add x queue) (Queue.pop queue)
+        done;
+        root_id)
   in
-  let target = 4 * workers in
-  let budget = ref (8 * target) in
-  while
-    (not (Queue.is_empty queue)) && Queue.length queue < target && !budget > 0
-  do
-    decr budget;
-    expand rec0 ~enqueue:(fun x -> Queue.add x queue) (Queue.pop queue)
-  done;
   let seeds = Array.of_seq (Queue.to_seq queue) in
   (* Phase 1 proper: one DFS job per seed. *)
   let recs =
     Pool.parallel_map pool
-      (fun seed ->
-        let rec_ = prec_make () in
-        let stack = Stack.create () in
-        Stack.push seed stack;
-        let enqueue x = Stack.push x stack in
-        while not (Stack.is_empty stack) do
-          expand rec_ ~enqueue (Stack.pop stack)
-        done;
-        rec_)
-      seeds
+      (fun (si, seed) ->
+        Wfs_obs.Profile.span ~cat:"explore"
+          ~args:(fun () -> [ ("seed", Wfs_obs.Json.int si) ])
+          "explore.shard"
+          (fun () ->
+            let rec_ = prec_make () in
+            let stack = Stack.create () in
+            Stack.push seed stack;
+            let enqueue x = Stack.push x stack in
+            let ticks = ref 0 in
+            while not (Stack.is_empty stack) do
+              expand rec_ ~enqueue (Stack.pop stack);
+              incr ticks;
+              if !ticks land 255 = 0 && Wfs_obs.Progress.enabled () then
+                Wfs_obs.Progress.tick
+                  ~states:(Atomic.get visited)
+                  ~frontier:(Stack.length stack)
+            done;
+            rec_))
+      (Array.mapi (fun i s -> (i, s)) seeds)
   in
   let all_recs = rec0 :: Array.to_list recs in
+  Wfs_obs.Profile.begin_ ~cat:"explore" "explore.merge";
   (* Merge.  Each expanded node's adjacency was recorded by exactly one
      worker, so the writes below never collide on an index. *)
   let sz = Intern.Sharded.size stbl in
@@ -782,6 +805,8 @@ let explore_par ~pool ~max_states ~max_depth ~symmetry ~crashes config =
     else if !depth_trunc then Some Budget_depth
     else None
   in
+  Wfs_obs.Profile.end_ ();
+  Wfs_obs.Profile.begin_ ~cat:"explore" "explore.phase2";
   (* Phase 2: cycle detection + longest-path DP over the int graph.
      Nodes with no recorded adjacency (terminals, and claimed-but-
      dropped nodes of truncated runs) are leaves with zero bounds —
@@ -843,15 +868,21 @@ let explore_par ~pool ~max_states ~max_depth ~symmetry ~crashes config =
       | None -> ()
     end
   done;
+  Wfs_obs.Profile.end_ ();
   let truncated = truncation <> None in
   let acyclic = (not !cyclic) && (not truncated) && !stuck = None in
   let step_bounds = if acyclic then Some (Array.copy bounds.(root_id)) else None in
   let states = Atomic.get visited in
   let hits = Intern.Sharded.hits stbl in
   let lookups = Intern.Sharded.lookups stbl in
+  let contended = Intern.Sharded.contention stbl in
+  if Wfs_obs.Profile.enabled () then
+    Wfs_obs.Profile.counter "explorer.intern.contention"
+      [ ("contended", float_of_int contended) ];
   flush_metrics ~states ~hits ~lookups ~deepest:!deepest ~truncation
     ~cyclic:!cyclic ~intern:None;
   let open Wfs_obs.Metrics in
+  Counter.add M.intern_contention contended;
   Counter.add M.intern_hits hits;
   Counter.add M.intern_lookups lookups;
   Gauge.set_max M.arena_size sz;
@@ -883,10 +914,15 @@ let explore ?(max_states = 2_000_000) ?(max_depth = 10_000)
   if crashes < 0 then invalid_arg "Explorer.explore: crashes < 0";
   match pool with
   | Some p when (not legacy) && Pool.size p > 1 ->
-      explore_par ~pool:p ~max_states ~max_depth ~symmetry ~crashes config
+      Wfs_obs.Profile.span ~cat:"explore" "explore.par" (fun () ->
+          explore_par ~pool:p ~max_states ~max_depth ~symmetry ~crashes config)
   | _ ->
-      if legacy then explore_legacy ~max_states ~max_depth ~crashes config
-      else explore_fast ~max_states ~max_depth ~symmetry ~crashes config
+      if legacy then
+        Wfs_obs.Profile.span ~cat:"explore" "explore.legacy" (fun () ->
+            explore_legacy ~max_states ~max_depth ~crashes config)
+      else
+        Wfs_obs.Profile.span ~cat:"explore" "explore.dfs" (fun () ->
+            explore_fast ~max_states ~max_depth ~symmetry ~crashes config)
 
 let wait_free stats =
   (not stats.cyclic) && (not stats.truncated) && stats.stuck = None

@@ -103,7 +103,17 @@ module Sharded = struct
     tbl : int Value.Tbl.t;
     mutable s_lookups : int;
     mutable s_hits : int;
+    mutable s_contended : int;
   }
+
+  (* [try_lock] first: the uncontended path costs the same lock, and
+     the fallback both blocks and counts, making stripe contention
+     observable ([contention], explorer.intern.contention). *)
+  let lock_stripe s =
+    if not (Mutex.try_lock s.lock) then begin
+      Mutex.lock s.lock;
+      s.s_contended <- s.s_contended + 1
+    end
 
   type nonrec t = { stripes : stripe array; next : int Atomic.t }
 
@@ -115,7 +125,13 @@ module Sharded = struct
     {
       stripes =
         Array.init stripes (fun _ ->
-            { lock = Mutex.create (); tbl = Value.Tbl.create per; s_lookups = 0; s_hits = 0 });
+            {
+              lock = Mutex.create ();
+              tbl = Value.Tbl.create per;
+              s_lookups = 0;
+              s_hits = 0;
+              s_contended = 0;
+            });
       next = Atomic.make 0;
     }
 
@@ -125,7 +141,7 @@ module Sharded = struct
 
   let intern t v =
     let s = stripe_of t v in
-    Mutex.lock s.lock;
+    lock_stripe s;
     s.s_lookups <- s.s_lookups + 1;
     let r =
       match Value.Tbl.find_opt s.tbl v with
@@ -142,7 +158,7 @@ module Sharded = struct
 
   let find_opt t v =
     let s = stripe_of t v in
-    Mutex.lock s.lock;
+    lock_stripe s;
     s.s_lookups <- s.s_lookups + 1;
     let r = Value.Tbl.find_opt s.tbl v in
     if r <> None then s.s_hits <- s.s_hits + 1;
@@ -162,6 +178,7 @@ module Sharded = struct
 
   let lookups t = fold_stripes t (fun acc s -> acc + s.s_lookups) 0
   let hits t = fold_stripes t (fun acc s -> acc + s.s_hits) 0
+  let contention t = fold_stripes t (fun acc s -> acc + s.s_contended) 0
 
   let stats t =
     let zero = { entries = 0; buckets = 0; load = 0.; max_bucket = 0 } in

@@ -72,5 +72,11 @@ module Sharded : sig
 
   val lookups : t -> int
   val hits : t -> int
+
+  (** Number of lock acquisitions that found the stripe already held by
+      another domain (a [try_lock] miss).  High contention relative to
+      {!lookups} says the stripe count is too low for the fan-out. *)
+  val contention : t -> int
+
   val stats : t -> table_stats
 end

@@ -18,6 +18,7 @@ module M = struct
   let batches = Counter.make "pool.batches"
   let jobs = Counter.make "pool.jobs"
   let steals = Counter.make "pool.steals"
+  let steal_failures = Counter.make "pool.steal_failures"
 
   (* High-water mark of pool sizes created (incl. the caller). *)
   let domains = Gauge.make "pool.domains"
@@ -69,6 +70,24 @@ type batch = {
   remaining : int Atomic.t;
 }
 
+type member_stats = {
+  jobs_run : int;
+  steals : int;
+  steal_failures : int;
+  busy_ns : int;
+  idle_ns : int;
+}
+
+(* Per-member accumulators: member [m] writes only slot [m], so the
+   record path needs no lock.  [stats] reads between batches. *)
+type mrec = {
+  mutable m_jobs : int;
+  mutable m_steals : int;
+  mutable m_steal_failures : int;
+  mutable m_busy : int;
+  mutable m_idle : int;
+}
+
 type t = {
   pool_size : int;
   lock : Mutex.t;
@@ -78,7 +97,20 @@ type t = {
   mutable epoch : int;
   mutable stop : bool;
   mutable workers : unit Domain.t list;
+  mrecs : mrec array; (* one slot per member, leader = 0 *)
 }
+
+let stats t =
+  Array.map
+    (fun m ->
+      {
+        jobs_run = m.m_jobs;
+        steals = m.m_steals;
+        steal_failures = m.m_steal_failures;
+        busy_ns = m.m_busy;
+        idle_ns = m.m_idle;
+      })
+    t.mrecs
 
 let size t = t.pool_size
 
@@ -87,10 +119,21 @@ let size t = t.pool_size
    members, so it runs inline instead. *)
 let in_job_key = Domain.DLS.new_key (fun () -> false)
 
-let run_job t b i =
+let run_job t b me i =
+  let m = t.mrecs.(me) in
+  let prof = Wfs_obs.Profile.enabled () in
+  if prof then
+    Wfs_obs.Profile.begin_ ~cat:"pool"
+      ~args:(fun () -> [ ("job", Wfs_obs.Json.int i) ])
+      "pool.job";
+  let t0 = Wfs_obs.Clock.now_ns () in
   Domain.DLS.set in_job_key true;
   (try b.run i with _ -> ());
   Domain.DLS.set in_job_key false;
+  m.m_busy <- m.m_busy + (Wfs_obs.Clock.now_ns () - t0);
+  m.m_jobs <- m.m_jobs + 1;
+  (* b.run swallows exceptions, so the span always closes *)
+  if prof then Wfs_obs.Profile.end_ ();
   Wfs_obs.Metrics.Counter.incr M.jobs;
   if Atomic.fetch_and_add b.remaining (-1) = 1 then begin
     Mutex.lock t.lock;
@@ -104,34 +147,50 @@ let run_job t b i =
    countdown in [run_job] is what signals true completion. *)
 let drain t b me =
   let k = Array.length b.deques in
+  let m = t.mrecs.(me) in
   let steal_one () =
     let rec go off =
       if off >= k then None
       else
         match dq_steal b.deques.((me + off) mod k) with
         | Some _ as r ->
+            m.m_steals <- m.m_steals + 1;
             Wfs_obs.Metrics.Counter.incr M.steals;
+            if Wfs_obs.Profile.enabled () then
+              Wfs_obs.Profile.instant ~cat:"pool"
+                ~args:(fun () ->
+                  [ ("victim", Wfs_obs.Json.int ((me + off) mod k)) ])
+                "pool.steal";
             r
-        | None -> go (off + 1)
+        | None ->
+            m.m_steal_failures <- m.m_steal_failures + 1;
+            Wfs_obs.Metrics.Counter.incr M.steal_failures;
+            go (off + 1)
     in
     go 1
   in
   let rec loop () =
     match dq_pop b.deques.(me) with
     | Some i ->
-        run_job t b i;
+        run_job t b me i;
         loop ()
     | None -> (
         match steal_one () with
         | Some i ->
-            run_job t b i;
+            run_job t b me i;
             loop ()
         | None -> ())
   in
   loop ()
 
 let worker_main t me =
+  (* one event per worker at startup: the trace gets a tid row for
+     every member even if this worker never wins a job *)
+  if Wfs_obs.Profile.enabled () then
+    Wfs_obs.Profile.instant ~cat:"pool" "pool.member";
+  let m = t.mrecs.(me) in
   let rec wait_for_batch last_epoch =
+    let w0 = Wfs_obs.Clock.now_ns () in
     Mutex.lock t.lock;
     let rec block () =
       if t.stop then begin
@@ -150,6 +209,9 @@ let worker_main t me =
     match block () with
     | None -> ()
     | Some (e, b) ->
+        m.m_idle <- m.m_idle + (Wfs_obs.Clock.now_ns () - w0);
+        if Wfs_obs.Profile.enabled () then
+          Wfs_obs.Profile.complete ~cat:"pool" "pool.idle" ~t0_ns:w0;
         drain t b me;
         wait_for_batch e
   in
@@ -170,6 +232,9 @@ let create ?domains () =
       epoch = 0;
       stop = false;
       workers = [];
+      mrecs =
+        Array.init n (fun _ ->
+            { m_jobs = 0; m_steals = 0; m_steal_failures = 0; m_busy = 0; m_idle = 0 });
     }
   in
   Wfs_obs.Metrics.Gauge.set_max M.domains n;
@@ -210,6 +275,15 @@ let parallel_map t f arr =
       { run; deques = make_deques n t.pool_size; remaining = Atomic.make n }
     in
     Wfs_obs.Metrics.Counter.incr M.batches;
+    let prof = Wfs_obs.Profile.enabled () in
+    if prof then
+      Wfs_obs.Profile.begin_ ~cat:"pool"
+        ~args:(fun () ->
+          [
+            ("jobs", Wfs_obs.Json.int n);
+            ("members", Wfs_obs.Json.int t.pool_size);
+          ])
+        "pool.batch";
     Mutex.lock t.lock;
     t.epoch <- t.epoch + 1;
     let epoch = t.epoch in
@@ -218,12 +292,18 @@ let parallel_map t f arr =
     Mutex.unlock t.lock;
     (* The leader works its own block (and steals) like any member. *)
     drain t b 0;
+    let w0 = Wfs_obs.Clock.now_ns () in
     Mutex.lock t.lock;
     while Atomic.get b.remaining > 0 do
       Condition.wait t.done_cv t.lock
     done;
     (match t.current with Some (e, _) when e = epoch -> t.current <- None | _ -> ());
     Mutex.unlock t.lock;
+    t.mrecs.(0).m_idle <- t.mrecs.(0).m_idle + (Wfs_obs.Clock.now_ns () - w0);
+    if prof then begin
+      Wfs_obs.Profile.complete ~cat:"pool" "pool.wait" ~t0_ns:w0;
+      Wfs_obs.Profile.end_ ()
+    end;
     Array.map
       (function
         | Some (Ok v) -> v

@@ -33,6 +33,24 @@ val create : ?domains:int -> unit -> t
 (** Number of domains that execute a batch, including the caller. *)
 val size : t -> int
 
+(** Per-member activity totals, accumulated over the pool's lifetime. *)
+type member_stats = {
+  jobs_run : int;  (** jobs this member executed (own + stolen) *)
+  steals : int;  (** jobs taken from another member's deque *)
+  steal_failures : int;  (** empty-deque probes while looking for work *)
+  busy_ns : int;  (** wall time spent inside jobs *)
+  idle_ns : int;
+      (** workers: time parked between batches; leader: time blocked in
+          the {!parallel_map} join waiting on in-flight jobs *)
+}
+
+(** [stats t] is one {!member_stats} per member, index 0 = the leader
+    (calling domain).  Each member writes only its own slot, so read
+    this between batches for a consistent snapshot.  Batches that run
+    inline (pool of size 1, or nested {!parallel_map} from inside a
+    job) do not touch the stats. *)
+val stats : t -> member_stats array
+
 (** [parallel_map t f arr] computes [Array.map f arr] across the pool.
     Element [i] of the result is always [f arr.(i)] — the join is by
     index, deterministic regardless of scheduling.  If one or more jobs

@@ -133,6 +133,26 @@ let test_metrics_histogram_snapshot () =
   let reparsed = Json.of_string (Metrics.snapshot_string ~registry:r ()) in
   Alcotest.check json "snapshot string parses" snap reparsed
 
+let test_metrics_snapshot_sorted () =
+  (* registration order must not leak into the snapshot: sorted keys
+     keep BENCH_results.json diffs stable across runs *)
+  let r = Metrics.create () in
+  ignore (Metrics.Counter.make ~registry:r "zebra");
+  ignore (Metrics.Gauge.make ~registry:r "alpha");
+  ignore (Metrics.Counter.make ~registry:r "middle");
+  match Metrics.snapshot ~registry:r () with
+  | Json.Obj fields ->
+      let keys = List.map fst fields in
+      Alcotest.(check (list string))
+        "snapshot keys sorted by name"
+        (List.sort String.compare keys)
+        keys;
+      Alcotest.(check (list string))
+        "all registered names present"
+        [ "alpha"; "middle"; "zebra" ]
+        (List.sort String.compare keys)
+  | _ -> Alcotest.fail "snapshot should be an object"
+
 let test_metrics_hot_flag () =
   Alcotest.(check bool) "off by default" false (Metrics.hot ());
   let inside = Metrics.with_hot (fun () -> Metrics.hot ()) in
@@ -370,6 +390,8 @@ let suite =
         Alcotest.test_case "counter/gauge" `Quick test_metrics_counter_gauge;
         Alcotest.test_case "histogram + snapshot" `Quick
           test_metrics_histogram_snapshot;
+        Alcotest.test_case "snapshot sorted by name" `Quick
+          test_metrics_snapshot_sorted;
         Alcotest.test_case "hot flag" `Quick test_metrics_hot_flag;
       ] );
     ( "obs.trace",

@@ -1,0 +1,249 @@
+(* Tests for Wfs_obs.Profile (the span profiler) and its integration
+   points: structural validity of the exported Chrome trace (balanced
+   B/E per tid, non-decreasing timestamps, one thread row per domain),
+   the no-tearing guarantee under ring wraparound, pool member stats,
+   and the tentpole invariant that profiling does not perturb parallel
+   verification verdicts. *)
+
+open Wfs_sim
+open Wfs_consensus
+module Json = Wfs_obs.Json
+module Profile = Wfs_obs.Profile
+
+(* --- trace structure helpers --- *)
+
+let trace_events j =
+  match Json.member "traceEvents" j with
+  | Some (Json.List evs) -> evs
+  | _ -> Alcotest.fail "traceEvents missing or not a list"
+
+let str_field k ev = Option.bind (Json.member k ev) Json.to_str
+let num_field k ev = Option.bind (Json.member k ev) Json.to_number
+let int_field k ev = Option.bind (Json.member k ev) Json.to_int
+
+(* Every tid that appears on a non-metadata event, with that tid's
+   events in file order. *)
+let events_by_tid evs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match (str_field "ph" ev, int_field "tid" ev) with
+      | Some ph, Some tid when ph <> "M" ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt tbl tid) in
+          Hashtbl.replace tbl tid (ev :: prev)
+      | _ -> ())
+    evs;
+  Hashtbl.fold (fun tid evs acc -> (tid, List.rev evs) :: acc) tbl []
+
+let thread_name_tids evs =
+  List.filter_map
+    (fun ev ->
+      match (str_field "ph" ev, str_field "name" ev) with
+      | Some "M", Some "thread_name" -> int_field "tid" ev
+      | _ -> None)
+    evs
+
+(* The structural contract: per tid, B/E balanced (depth never negative,
+   zero at the end) and ts non-decreasing in file order. *)
+let check_tid_structure (tid, evs) =
+  let depth = ref 0 and last_ts = ref neg_infinity in
+  List.iter
+    (fun ev ->
+      let ts =
+        match num_field "ts" ev with
+        | Some ts -> ts
+        | None -> Alcotest.fail (Fmt.str "tid %d: event without ts" tid)
+      in
+      Alcotest.(check bool)
+        (Fmt.str "tid %d: ts non-decreasing" tid)
+        true (ts >= !last_ts);
+      last_ts := ts;
+      match str_field "ph" ev with
+      | Some "B" -> incr depth
+      | Some "E" ->
+          decr depth;
+          Alcotest.(check bool)
+            (Fmt.str "tid %d: E never precedes its B" tid)
+            true (!depth >= 0)
+      | Some ("i" | "C") -> ()
+      | ph ->
+          Alcotest.fail
+            (Fmt.str "tid %d: unexpected ph %a" tid
+               Fmt.(option string)
+               ph))
+    evs;
+  Alcotest.(check int) (Fmt.str "tid %d: B/E balanced" tid) 0 !depth
+
+let check_trace_structure j =
+  let evs = trace_events j in
+  List.iter check_tid_structure (events_by_tid evs)
+
+(* --- disabled path --- *)
+
+let test_disabled_noop () =
+  Alcotest.(check bool) "off by default" false (Profile.enabled ());
+  let r =
+    Profile.span "ignored"
+      ~args:(fun () -> Alcotest.fail "args thunk forced while disabled")
+      (fun () -> 41 + 1)
+  in
+  Alcotest.(check int) "span passes result through" 42 r;
+  Profile.begin_ "ignored";
+  Profile.end_ ();
+  Profile.instant "ignored";
+  Profile.counter "ignored" [ ("v", 1.0) ];
+  Alcotest.(check int) "nothing recorded" 0 (Profile.recorded ())
+
+let test_span_propagates_exceptions () =
+  Profile.enable ();
+  (match Profile.span "boom" (fun () -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure");
+  (* the span closed on the way out: the trace stays balanced *)
+  let j = Profile.to_json () in
+  Profile.disable ();
+  Profile.reset ();
+  check_trace_structure j
+
+(* --- multi-domain export --- *)
+
+let test_multi_domain_trace () =
+  Profile.enable ();
+  let work label =
+    Profile.span "outer" ~cat:"test"
+      ~args:(fun () -> [ ("who", Json.str label) ])
+      (fun () ->
+        for i = 1 to 5 do
+          Profile.span "inner" (fun () -> ignore (Sys.opaque_identity i))
+        done;
+        Profile.instant "mark")
+  in
+  work "main";
+  let ds = Array.init 2 (fun i -> Domain.spawn (fun () -> work (Fmt.str "d%d" i))) in
+  Array.iter Domain.join ds;
+  Profile.disable ();
+  let j = Profile.to_json () in
+  Profile.reset ();
+  (* serialized form is valid JSON and survives a round trip *)
+  let j = Json.of_string (Json.to_string_pretty j) in
+  let evs = trace_events j in
+  let tids = List.sort_uniq compare (thread_name_tids evs) in
+  Alcotest.(check bool)
+    "one thread row per domain (>= 3)" true
+    (List.length tids >= 3);
+  Alcotest.(check int)
+    "no duplicate thread rows" (List.length tids)
+    (List.length (thread_name_tids evs));
+  let by_tid = events_by_tid evs in
+  (* every event tid has a thread_name row *)
+  List.iter
+    (fun (tid, _) ->
+      Alcotest.(check bool)
+        (Fmt.str "tid %d has a thread row" tid)
+        true (List.mem tid tids))
+    by_tid;
+  Alcotest.(check bool)
+    "events on >= 3 tids" true
+    (List.length by_tid >= 3);
+  List.iter check_tid_structure by_tid;
+  (* instants made it through with their phase *)
+  let instants =
+    List.filter (fun ev -> str_field "ph" ev = Some "i") evs
+  in
+  Alcotest.(check int) "one instant per domain" 3 (List.length instants)
+
+(* --- ring wraparound never tears a span (qcheck) --- *)
+
+(* A script is a list of small commands run against a capacity-8 ring:
+   0 = leaf span, 1 = instant, 2 = nested span pair, 3 = counter
+   sample.  Any script long enough to wrap must still export balanced,
+   monotone events — wraparound drops whole spans, never halves. *)
+let run_script script =
+  List.iter
+    (fun cmd ->
+      match cmd mod 4 with
+      | 0 -> Profile.span "leaf" (fun () -> ())
+      | 1 -> Profile.instant "i"
+      | 2 ->
+          Profile.span "outer" (fun () ->
+              Profile.span "inner" (fun () -> ()))
+      | _ -> Profile.counter "c" [ ("v", float_of_int cmd) ])
+    script
+
+let prop_wraparound_balanced =
+  QCheck2.Test.make ~name:"ring wraparound never tears a span" ~count:100
+    QCheck2.Gen.(list_size (int_range 20 60) (int_range 0 3))
+    (fun script ->
+      Profile.enable ~ring_capacity:8 ();
+      run_script script;
+      Profile.disable ();
+      let j = Profile.to_json () in
+      let dropped = Profile.dropped () in
+      Profile.reset ();
+      (* >= 20 commands into 8 slots: the ring must have wrapped *)
+      if dropped = 0 then
+        QCheck2.Test.fail_report "expected wraparound drops";
+      check_trace_structure j;
+      true)
+
+(* --- pool member stats --- *)
+
+let test_pool_member_stats () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let out =
+        Pool.parallel_map pool
+          (fun i ->
+            ignore (Sys.opaque_identity (i * i));
+            i)
+          (Array.init 64 Fun.id)
+      in
+      Alcotest.(check int) "batch ran" 64 (Array.length out);
+      let stats = Pool.stats pool in
+      Alcotest.(check int) "one slot per member" 2 (Array.length stats);
+      let total =
+        Array.fold_left (fun acc s -> acc + s.Pool.jobs_run) 0 stats
+      in
+      Alcotest.(check int) "every job counted exactly once" 64 total;
+      Array.iter
+        (fun s ->
+          Alcotest.(check bool) "busy_ns non-negative" true (s.Pool.busy_ns >= 0);
+          Alcotest.(check bool) "idle_ns non-negative" true (s.Pool.idle_ns >= 0);
+          Alcotest.(check bool)
+            "steal counters non-negative" true
+            (s.Pool.steals >= 0 && s.Pool.steal_failures >= 0))
+        stats)
+
+(* --- profiling does not perturb parallel verdicts --- *)
+
+let test_profiled_parallel_verdict_identical () =
+  let p = Cas_consensus.protocol ~n:3 () in
+  let baseline = Fmt.str "%a" Protocol.pp_report (Protocol.verify p) in
+  let profiled =
+    Profile.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        Profile.disable ();
+        Profile.reset ())
+      (fun () ->
+        Pool.with_pool ~domains:2 (fun pool ->
+            Fmt.str "%a" Protocol.pp_report (Protocol.verify ~pool p)))
+  in
+  Alcotest.(check string)
+    "parallel + profiling verdict byte-identical to sequential" baseline
+    profiled
+
+let suite =
+  [
+    ( "obs.profile",
+      [
+        Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+        Alcotest.test_case "exceptions close spans" `Quick
+          test_span_propagates_exceptions;
+        Alcotest.test_case "multi-domain trace structure" `Quick
+          test_multi_domain_trace;
+        Alcotest.test_case "pool member stats" `Quick test_pool_member_stats;
+        Alcotest.test_case "profiled parallel verdict identical" `Quick
+          test_profiled_parallel_verdict_identical;
+        QCheck_alcotest.to_alcotest prop_wraparound_balanced;
+      ] );
+  ]
