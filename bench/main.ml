@@ -100,9 +100,10 @@ let write_results path sections_run =
   let json =
     Obs.Json.obj
       [
-        (* /3 adds section_timings; /2 added the provenance stamps;
-           /1 fields unchanged. *)
-        ("schema", Obs.Json.str "wfs-bench/3");
+        (* /4 adds shard_states / shard_imbalance / stripe_contention to
+           the perf-par series; /3 added section_timings; /2 the
+           provenance stamps; /1 fields unchanged. *)
+        ("schema", Obs.Json.str "wfs-bench/4");
         ("generated_unix_time", Obs.Json.float (Unix.time ()));
         ("domains_used", Obs.Json.int (Domain.recommended_domain_count ()));
         ("git_rev", Obs.Json.str (git_rev ()));
@@ -765,6 +766,19 @@ let perf_par () =
     done;
     !t
   in
+  (* Load-balance accounting around the timed reps: per-shard states
+     claimed (from the pool.shard.states series the engines feed) and
+     interner stripe try_lock contention, as before/after deltas. *)
+  let shard_states j =
+    List.init (max 1 j) (fun i ->
+        Option.value ~default:0
+          (Obs.Metrics.gauge_value
+             (Obs.Metrics.labeled "pool.shard.states"
+                [ ("shard", string_of_int i) ])))
+  in
+  let contention () =
+    Option.value ~default:0 (Obs.Metrics.counter_value "intern.contention")
+  in
   (* One speedup curve: run [work pool] at each j, j=1 without a pool
      (the untouched sequential path), and record seconds + speedup
      relative to j=1. *)
@@ -779,7 +793,21 @@ let perf_par () =
         with_p (fun pool ->
             let run () = work pool in
             run () (* warm *);
+            let states0 = shard_states j and cont0 = contention () in
             let t = best run in
+            let deltas =
+              List.map2 (fun b a -> a - b) states0 (shard_states j)
+            in
+            let total = List.fold_left ( + ) 0 deltas in
+            let mean =
+              float_of_int total /. float_of_int (List.length deltas)
+            in
+            (* max/mean states per shard over the timed reps: 1.0 is a
+               perfect split, j is one shard doing all the work *)
+            let imbalance =
+              if mean > 0. then float_of_int (List.fold_left max 0 deltas) /. mean
+              else 1.
+            in
             if j = 1 then t1 := t;
             let speedup = !t1 /. t in
             record_series
@@ -790,8 +818,13 @@ let perf_par () =
                    ("speedup_vs_j1", Obs.Json.float speedup);
                    ("domains", Obs.Json.int j);
                    ("reps", Obs.Json.int reps);
+                   ("shard_states", Obs.Json.list (List.map Obs.Json.int deltas));
+                   ("shard_imbalance", Obs.Json.float imbalance);
+                   ("stripe_contention", Obs.Json.int (contention () - cont0));
                  ]);
-            Fmt.pr "  %-28s j=%d  %8.3f s   speedup %5.2fx@." name j t speedup))
+            Fmt.pr
+              "  %-28s j=%d  %8.3f s   speedup %5.2fx   imbalance %.2f@."
+              name j t speedup imbalance))
       js
   in
   (* Registry-wide sharding: the solver-only census (the acceptance

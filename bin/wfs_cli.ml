@@ -14,6 +14,10 @@
                  must complete, recorded history must linearize)
      randomized  check the randomized register-consensus extension
      stats       run a fixed workload and dump the metrics snapshot
+                 (--watch N live-renders a humanized summary meanwhile)
+     top         live terminal view of a concurrent run's telemetry,
+                 polling the OpenMetrics file or HTTP endpoint that
+                 --metrics-out / --metrics-port publish
      zoo         list the object zoo
 
    Exit codes, uniformly: 0 = checked and passed, 1 = a violation /
@@ -79,36 +83,81 @@ let profile_arg =
            Chrome trace_event JSON (load in ui.perfetto.dev or \
            chrome://tracing).")
 
-let obs_setup ~progress ~profile ~label ?(crashes = 0) f =
-  if progress then Obs.Progress.start ~crashes label;
-  (match profile with Some _ -> Obs.Profile.enable () | None -> ());
-  let finish () =
-    if progress then Obs.Progress.finish ();
-    match profile with
-    | Some path ->
-        Obs.Profile.disable ();
-        Obs.Profile.write path;
-        Fmt.epr "profile written to %s (%d spans%s)@." path
-          (Obs.Profile.recorded ())
-          (let d = Obs.Profile.dropped () in
-           if d = 0 then "" else Fmt.str ", %d dropped" d)
-    | None -> ()
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Sample the metrics registry once per second and atomically \
+           rewrite $(docv) with the OpenMetrics text exposition — a live \
+           scrape target for wfs top and CI.")
+
+let metrics_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics-port" ] ~docv:"PORT"
+        ~doc:
+          "Serve the latest metrics snapshot as OpenMetrics text over \
+           HTTP on localhost:$(docv) (GET /metrics) while the run is in \
+           flight.")
+
+let obs_setup ~progress ~profile ?metrics_out ?metrics_port ~label
+    ?(crashes = 0) f =
+  (* the sampler starts first so its ring already has a baseline when
+     the pool spawns, and stops last so the final file-sink rewrite
+     carries the complete end-of-run values *)
+  let sampler =
+    match (metrics_out, metrics_port) with
+    | None, None -> Ok None
+    | out_file, port -> (
+        try Ok (Some (Obs.Sampler.start ?out_file ?port ()))
+        with Unix.Unix_error (e, _, _) ->
+          Error (Unix.error_message e))
   in
-  match f () with
-  | code ->
-      finish ();
-      code
-  | exception e ->
-      finish ();
-      raise e
+  match sampler with
+  | Error msg ->
+      Fmt.epr "cannot start metrics sampler: %s@." msg;
+      2
+  | Ok sampler -> (
+      if progress then Obs.Progress.start ~crashes label;
+      (match profile with Some _ -> Obs.Profile.enable () | None -> ());
+      let finish () =
+        if progress then Obs.Progress.finish ();
+        (match profile with
+        | Some path ->
+            Obs.Profile.disable ();
+            Obs.Profile.write path;
+            Fmt.epr "profile written to %s (%d spans%s)@." path
+              (Obs.Profile.recorded ())
+              (let d = Obs.Profile.dropped () in
+               if d = 0 then "" else Fmt.str ", %d dropped" d)
+        | None -> ());
+        match sampler with
+        | Some s ->
+            Obs.Sampler.stop s;
+            Option.iter
+              (fun path -> Fmt.epr "metrics written to %s@." path)
+              metrics_out
+        | None -> ()
+      in
+      match f () with
+      | code ->
+          finish ();
+          code
+      | exception e ->
+          finish ();
+          raise e)
 
 (* --- hierarchy --- *)
 
 let hierarchy_full_arg =
   Arg.(value & flag & info [ "full" ] ~doc:"Include the expensive solver instances (minutes).")
 
-let hierarchy_run ~progress ~profile full j =
-  obs_setup ~progress ~profile ~label:"hierarchy" (fun () ->
+let hierarchy_run ~progress ~profile ?metrics_out ?metrics_port full j =
+  obs_setup ~progress ~profile ?metrics_out ?metrics_port ~label:"hierarchy"
+    (fun () ->
       match
         with_jobs j (fun pool ->
             let table = Table.generate ?pool ~full () in
@@ -126,10 +175,14 @@ let hierarchy_run ~progress ~profile full j =
       | None -> bad_jobs j)
 
 let hierarchy_cmd =
-  let run full j progress profile = hierarchy_run ~progress ~profile full j in
+  let run full j progress profile metrics_out metrics_port =
+    hierarchy_run ~progress ~profile ?metrics_out ?metrics_port full j
+  in
   Cmd.v
     (Cmd.info "hierarchy" ~doc:"Regenerate the Figure 1-1 hierarchy table")
-    Term.(const run $ hierarchy_full_arg $ jobs_arg $ progress_arg $ profile_arg)
+    Term.(
+      const run $ hierarchy_full_arg $ jobs_arg $ progress_arg $ profile_arg
+      $ metrics_out_arg $ metrics_port_arg)
 
 (* --- verify --- *)
 
@@ -162,7 +215,8 @@ let verify_crashes_arg =
            (wait-freedom's own failure model). 0 checks the crash-free \
            semantics.")
 
-let verify_run ~progress ~profile key n max_states max_depth out crashes j =
+let verify_run ~progress ~profile ?metrics_out ?metrics_port key n max_states
+    max_depth out crashes j =
   if crashes < 0 || crashes >= n then begin
     Fmt.epr "--crashes must be in [0, n-1] (got %d with n = %d)@." crashes n;
     2
@@ -176,7 +230,7 @@ let verify_run ~progress ~profile key n max_states max_depth out crashes j =
         Fmt.epr "%s does not support n = %d@." key n;
         2
     | Some protocol ->
-        obs_setup ~progress ~profile ~crashes
+        obs_setup ~progress ~profile ?metrics_out ?metrics_port ~crashes
           ~label:(Fmt.str "verify %s n=%d" key n)
           (fun () ->
             match
@@ -227,8 +281,10 @@ let verify_cmd =
             "On violation, export the counterexample schedule to $(docv) \
              as replayable JSON (see the replay subcommand).")
   in
-  let run key n max_states max_depth out crashes j progress profile =
-    verify_run ~progress ~profile key n max_states max_depth out crashes j
+  let run key n max_states max_depth out crashes j progress profile
+      metrics_out metrics_port =
+    verify_run ~progress ~profile ?metrics_out ?metrics_port key n max_states
+      max_depth out crashes j
   in
   Cmd.v
     (Cmd.info "verify"
@@ -238,7 +294,7 @@ let verify_cmd =
     Term.(
       const run $ verify_key_arg $ verify_n_arg $ verify_max_states_arg
       $ verify_max_depth_arg $ out $ verify_crashes_arg $ jobs_arg
-      $ progress_arg $ profile_arg)
+      $ progress_arg $ profile_arg $ metrics_out_arg $ metrics_port_arg)
 
 (* --- replay --- *)
 
@@ -401,13 +457,15 @@ let census_max_depth_arg =
           "Cap on operations per process (bounds both the n=2 and n=3 \
            instances; defaults are 2 and 1).")
 
-let census_run ~progress ~profile budget max_states max_depth j =
+let census_run ~progress ~profile ?metrics_out ?metrics_port budget max_states
+    max_depth j =
   let max_nodes =
     match max_states with Some s -> min s budget | None -> budget
   in
   let depth2 = match max_depth with Some d -> min d 2 | None -> 2 in
   let depth3 = match max_depth with Some d -> min d 1 | None -> 1 in
-  obs_setup ~progress ~profile ~label:"census" (fun () ->
+  obs_setup ~progress ~profile ?metrics_out ?metrics_port ~label:"census"
+    (fun () ->
       match
         with_jobs j (fun pool ->
             Fmt.pr
@@ -435,8 +493,10 @@ let census_run ~progress ~profile budget max_states max_depth j =
       | None -> bad_jobs j)
 
 let census_cmd =
-  let run budget max_states max_depth j progress profile =
-    census_run ~progress ~profile budget max_states max_depth j
+  let run budget max_states max_depth j progress profile metrics_out
+      metrics_port =
+    census_run ~progress ~profile ?metrics_out ?metrics_port budget max_states
+      max_depth j
   in
   Cmd.v
     (Cmd.info "census"
@@ -445,7 +505,8 @@ let census_cmd =
           solver alone")
     Term.(
       const run $ census_budget_arg $ census_max_states_arg
-      $ census_max_depth_arg $ jobs_arg $ progress_arg $ profile_arg)
+      $ census_max_depth_arg $ jobs_arg $ progress_arg $ profile_arg
+      $ metrics_out_arg $ metrics_port_arg)
 
 (* --- critical --- *)
 
@@ -554,6 +615,332 @@ let randomized_cmd =
        ~doc:"Exhaustively check the randomized register consensus extension")
     Term.(const run $ flips)
 
+(* --- live view (shared by top and stats --watch) ---
+
+   Renders one terminal page from two OpenMetrics scrapes: totals come
+   from the newer scrape, rates and histogram quantiles from the
+   per-interval deltas between the two.  Sections with no data (e.g. the
+   runtime block during a pure-simulator run) are omitted. *)
+
+module Live = struct
+  open Obs.Export
+
+  type frame = { at : float; samples : sample list }
+
+  let value ?(labels = []) frame name =
+    Option.value ~default:0. (find frame.samples name labels)
+
+  let delta ?labels prev cur name =
+    value ?labels cur name -. value ?labels prev name
+
+  (* Shards present in a scrape, in numeric order. *)
+  let shards frame =
+    List.filter_map
+      (fun s ->
+        if s.s_name = "wfs_pool_shard_states" then
+          List.assoc_opt "shard" s.s_labels
+        else None)
+      frame.samples
+    |> List.sort_uniq (fun a b ->
+           compare (int_of_string_opt a, a) (int_of_string_opt b, b))
+
+  let buckets frame family =
+    List.filter_map
+      (fun s ->
+        if s.s_name = family ^ "_bucket" then
+          match List.assoc_opt "le" s.s_labels with
+          | Some "+Inf" -> Some (infinity, s.s_value)
+          | Some le ->
+              Option.map (fun f -> (f, s.s_value)) (float_of_string_opt le)
+          | None -> None
+        else None)
+      frame.samples
+    |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+
+  (* Quantile of the events that fell in (prev, cur]: subtract the two
+     cumulative bucket vectors, then walk the still-cumulative deltas to
+     the first upper bound covering [q] of the interval's total. *)
+  let quantile prev cur family q =
+    let pb = buckets prev family in
+    let d =
+      List.map
+        (fun (le, c) ->
+          let p = Option.value ~default:0. (List.assoc_opt le pb) in
+          (le, c -. p))
+        (buckets cur family)
+    in
+    match List.rev d with
+    | [] -> None
+    | (_, total) :: _ when total <= 0. -> None
+    | (_, total) :: _ ->
+        let target = q *. total in
+        Option.map fst (List.find_opt (fun (_, c) -> c >= target) d)
+
+  let pp_le = function
+    | None -> "-"
+    | Some le when le = infinity -> "inf"
+    | Some le -> Printf.sprintf "%.0f" le
+
+  let render ~ansi ~title ~prev ~cur =
+    let buf = Buffer.create 2048 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let bold s = if ansi then "\027[1m" ^ s ^ "\027[0m" else s in
+    let dim s = if ansi then "\027[2m" ^ s ^ "\027[0m" else s in
+    let dt =
+      let d = cur.at -. prev.at in
+      if d > 0. then d else 1.
+    in
+    let v ?labels name = value ?labels cur name in
+    let d ?labels name = delta ?labels prev cur name in
+    let rate ?labels name = Obs.Units.rate (d ?labels name /. dt) in
+    let ratio num den = if den > 0. then num /. den else 0. in
+    add "%s  %s\n\n" (bold title)
+      (dim (Printf.sprintf "interval %.1fs" dt));
+    (* exploration: states/sec is the headline number of every engine *)
+    add "%s  %s states  %s   frontier %s\n"
+      (bold "explore ")
+      (Obs.Units.si (v "wfs_explorer_states_total"))
+      (rate "wfs_explorer_states_total")
+      (Obs.Units.si (v "wfs_explorer_frontier"));
+    (* per-shard load: one row per pool member with any series *)
+    (match shards cur with
+    | [] -> ()
+    | shs ->
+        add "%s  %s\n" (bold "shards  ")
+          (dim "shard     states   states/s       jobs     steals  busy");
+        List.iter
+          (fun sh ->
+            let labels = [ ("shard", sh) ] in
+            let busy =
+              ratio (d ~labels "wfs_pool_shard_busy_ns") (dt *. 1e9)
+            in
+            add "         %5s  %9s  %9s  %9s  %9s  %s\n" sh
+              (Obs.Units.si (v ~labels "wfs_pool_shard_states"))
+              (rate ~labels "wfs_pool_shard_states")
+              (Obs.Units.si (v ~labels "wfs_pool_shard_jobs_total"))
+              (Obs.Units.si (v ~labels "wfs_pool_shard_steals_total"))
+              (Obs.Units.percent (min 1. busy)))
+          shs);
+    if v "wfs_intern_lookups_total" > 0. then
+      add "%s  %s lookups  %s   hit %s   contention %s\n"
+        (bold "intern  ")
+        (Obs.Units.si (v "wfs_intern_lookups_total"))
+        (rate "wfs_intern_lookups_total")
+        (Obs.Units.percent
+           (ratio (d "wfs_intern_hits_total") (d "wfs_intern_lookups_total")))
+        (rate "wfs_intern_contention_total");
+    if v "wfs_solver_nodes_total" > 0. then
+      add "%s  %s nodes  %s   memo hit %s\n"
+        (bold "solver  ")
+        (Obs.Units.si (v "wfs_solver_nodes_total"))
+        (rate "wfs_solver_nodes_total")
+        (Obs.Units.percent
+           (ratio
+              (d "wfs_solver_memo_hits_total")
+              (d "wfs_solver_memo_hits_total"
+              +. d "wfs_solver_memo_misses_total")));
+    let hist = "wfs_universal_rt_wait_free_help_rounds_hist" in
+    if v (hist ^ "_count") > 0. then
+      add "%s  %s ops  %s   help rounds p50 %s p99 %s   announce %.0f   log %s\n"
+        (bold "runtime ")
+        (Obs.Units.si (v "wfs_universal_rt_wait_free_ops_total"))
+        (rate "wfs_universal_rt_wait_free_ops_total")
+        (pp_le (quantile prev cur hist 0.50))
+        (pp_le (quantile prev cur hist 0.99))
+        (v "wfs_universal_rt_wait_free_announce_occupancy")
+        (Obs.Units.si (v "wfs_universal_rt_wait_free_log_length"));
+    if v "wfs_consensus_rt_one_shot_retries_total" > 0. then
+      add "%s  one-shot retries %s  %s\n"
+        (bold "consensus")
+        (Obs.Units.si (v "wfs_consensus_rt_one_shot_retries_total"))
+        (rate "wfs_consensus_rt_one_shot_retries_total");
+    if v "wfs_log_universal_states_total" > 0. then
+      add "%s  %s states  %s   max log %s\n"
+        (bold "log-univ")
+        (Obs.Units.si (v "wfs_log_universal_states_total"))
+        (rate "wfs_log_universal_states_total")
+        (Obs.Units.si (v "wfs_log_universal_log_length"));
+    Buffer.contents buf
+end
+
+(* --- top --- *)
+
+let find_substring hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub hay i m = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* One-shot HTTP GET against the sampler's loopback endpoint, stdlib
+   [Unix] only; Connection: close makes EOF the response delimiter. *)
+let http_get_metrics port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        "GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+      in
+      let _ = Unix.write_substring fd req 0 (String.length req) in
+      let buf = Buffer.create 8192 in
+      let chunk = Bytes.create 8192 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+      in
+      drain ();
+      let s = Buffer.contents buf in
+      match find_substring s "\r\n\r\n" with
+      | Some i -> String.sub s (i + 4) (String.length s - i - 4)
+      | None -> s)
+
+let scrape source =
+  match
+    match source with
+    | `File path -> read_whole_file path
+    | `Port p -> http_get_metrics p
+  with
+  | text -> Ok { Live.at = Unix.gettimeofday (); samples = Obs.Export.parse text }
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | exception Obs.Export.Parse_error msg -> Error ("parse error: " ^ msg)
+
+(* Raw, non-echoing stdin so a bare 'q' quits without Enter. *)
+let with_raw_stdin ~interactive f =
+  if not interactive then f ()
+  else
+    match Unix.tcgetattr Unix.stdin with
+    | exception Unix.Unix_error _ -> f ()
+    | tio ->
+        let raw = { tio with Unix.c_icanon = false; c_echo = false } in
+        Unix.tcsetattr Unix.stdin Unix.TCSANOW raw;
+        Fun.protect
+          ~finally:(fun () -> Unix.tcsetattr Unix.stdin Unix.TCSANOW tio)
+          f
+
+(* Sleep [seconds], returning [true] early if the user pressed q. *)
+let wait_or_quit ~interactive seconds =
+  if not interactive then begin
+    Unix.sleepf seconds;
+    false
+  end
+  else
+    match Unix.select [ Unix.stdin ] [] [] seconds with
+    | [ _ ], _, _ -> (
+        let b = Bytes.create 1 in
+        match Unix.read Unix.stdin b 0 1 with
+        | 1 -> Bytes.get b 0 = 'q' || Bytes.get b 0 = 'Q'
+        | _ -> true (* stdin EOF: select would spin, so stop polling it *))
+    | _ -> false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let top_cmd =
+  let from_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from" ] ~docv:"FILE"
+          ~doc:
+            "Poll $(docv) each interval — the file a concurrent run is \
+             rewriting via --metrics-out.")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:
+            "Poll http://localhost:$(docv)/metrics each interval — the \
+             endpoint a concurrent run is serving via --metrics-port.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "i"; "interval" ] ~docv:"SECONDS" ~doc:"Refresh interval.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "n"; "count" ] ~docv:"N"
+          ~doc:
+            "Render $(docv) frames and exit (0 = run until q / Ctrl-C / \
+             the source disappears).")
+  in
+  let run from port interval count =
+    match (from, port) with
+    | None, None ->
+        Fmt.epr "wfs top needs a source: --from FILE or --port PORT@.";
+        2
+    | Some _, Some _ ->
+        Fmt.epr "--from and --port are mutually exclusive@.";
+        2
+    | _ when interval <= 0. ->
+        Fmt.epr "--interval must be positive@.";
+        2
+    | _ ->
+        let source, title =
+          match from with
+          | Some f -> (`File f, Fmt.str "wfs top — %s" f)
+          | None ->
+              let p = Option.get port in
+              (`Port p, Fmt.str "wfs top — localhost:%d/metrics" p)
+        in
+        let interactive = Unix.isatty Unix.stdin in
+        let ansi = Unix.isatty Unix.stdout in
+        with_raw_stdin ~interactive (fun () ->
+            let quit = ref false in
+            let code = ref 0 in
+            let frames = ref 0 in
+            let misses = ref 0 in
+            let prev = ref None in
+            while not !quit do
+              (match scrape source with
+              | Ok cur ->
+                  misses := 0;
+                  (* first frame renders against itself: totals, no rates *)
+                  let p = Option.value ~default:cur !prev in
+                  let page = Live.render ~ansi ~title ~prev:p ~cur in
+                  if ansi then print_string "\027[2J\027[H";
+                  print_string page;
+                  if interactive then print_string "\nq to quit\n";
+                  flush stdout;
+                  prev := Some cur;
+                  incr frames;
+                  if count > 0 && !frames >= count then quit := true
+              | Error msg ->
+                  incr misses;
+                  if !prev <> None || !misses >= 10 then begin
+                    (* the watched run ended (or never appeared) *)
+                    Fmt.epr "source gone: %s@." msg;
+                    if !prev = None then code := 1;
+                    quit := true
+                  end);
+              if not !quit then quit := wait_or_quit ~interactive interval
+            done;
+            !code)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal view of a concurrent run's telemetry: poll the \
+          OpenMetrics file or endpoint another wfs command is publishing \
+          (--metrics-out / --metrics-port) and render per-interval rates \
+          — states/s per shard, interner hit rate, help-round quantiles")
+    Term.(const run $ from_arg $ port_arg $ interval_arg $ count_arg)
+
 (* --- stats --- *)
 
 let stats_cmd =
@@ -564,12 +951,22 @@ let stats_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Also write a JSONL trace of the workload to $(docv).")
   in
-  let run trace_file =
+  let watch_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "watch" ] ~docv:"N"
+          ~doc:
+            "Re-render a humanized live summary every $(docv) seconds \
+             while the workload runs (same page as wfs top); 0 just \
+             prints the final snapshot.")
+  in
+  let run trace_file watch =
     (match trace_file with
     | Some path -> Obs.Trace.set_sink (Obs.Trace.to_file path)
     | None -> ());
     Obs.Metrics.reset ();
-    Obs.Metrics.with_hot (fun () ->
+    let workload () =
+      Obs.Metrics.with_hot (fun () ->
         (* a fixed workload touching every instrumented layer *)
         (* 1. simulator: CAS consensus at n = 3, all schedules *)
         (match (Registry.find "cas").Registry.build ~n:3 with
@@ -626,7 +1023,49 @@ let stats_cmd =
                  ~encode_res:(fun () -> Value.unit)
                  (fun () -> ()))
           done
-        done);
+        done)
+    in
+    if watch <= 0 then workload ()
+    else begin
+      (* run the workload on its own domain and re-render the live page
+         from the sampler ring until it finishes *)
+      let sampler = Obs.Sampler.start ~interval_ms:(watch * 1000) () in
+      let finished = Atomic.make false in
+      let worker =
+        Domain.spawn (fun () ->
+            Fun.protect
+              ~finally:(fun () -> Atomic.set finished true)
+              workload)
+      in
+      let ansi = Unix.isatty Unix.stdout in
+      let frame_of (snap : Obs.Sampler.snap) =
+        {
+          Live.at = float_of_int snap.Obs.Sampler.at_ns /. 1e9;
+          samples = Obs.Export.parse (Obs.Export.of_dump snap.Obs.Sampler.values);
+        }
+      in
+      let prev = ref None in
+      let last_render = ref 0. in
+      while not (Atomic.get finished) do
+        Unix.sleepf 0.1;
+        let now = Unix.gettimeofday () in
+        if now -. !last_render >= float_of_int watch then begin
+          last_render := now;
+          match Obs.Sampler.latest sampler with
+          | None -> ()
+          | Some snap ->
+              let cur = frame_of snap in
+              let p = Option.value ~default:cur !prev in
+              if ansi then Fmt.epr "\027[2J\027[H";
+              Fmt.epr "%s%!"
+                (Live.render ~ansi ~title:"wfs stats — fixed workload"
+                   ~prev:p ~cur);
+              prev := Some cur
+        end
+      done;
+      Domain.join worker;
+      Obs.Sampler.stop sampler
+    end;
     Obs.Trace.close ();
     Fmt.pr "%s@." (Obs.Metrics.snapshot_string ());
     0
@@ -635,8 +1074,9 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:
          "Run a fixed workload through the instrumented simulator and \
-          runtime, then dump the metrics snapshot as JSON")
-    Term.(const run $ trace_file)
+          runtime, then dump the metrics snapshot as JSON (--watch N \
+          additionally live-renders a humanized summary while it runs)")
+    Term.(const run $ trace_file $ watch_arg)
 
 (* --- zoo --- *)
 
@@ -719,7 +1159,7 @@ let main =
     [
       hierarchy_cmd; verify_cmd; replay_cmd; solve_cmd; universal_cmd;
       census_cmd; critical_cmd; fault_cmd;
-      randomized_cmd; stats_cmd; zoo_cmd; profile_cmd;
+      randomized_cmd; stats_cmd; top_cmd; zoo_cmd; profile_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -70,6 +70,9 @@ module Composed = Wfs_universal.Composed
 module Obs = struct
   module Json = Wfs_obs.Json
   module Metrics = Wfs_obs.Metrics
+  module Export = Wfs_obs.Export
+  module Sampler = Wfs_obs.Sampler
+  module Units = Wfs_obs.Units
   module Trace = Wfs_obs.Trace
   module Clock = Wfs_obs.Clock
   module Counterexample = Wfs_obs.Counterexample

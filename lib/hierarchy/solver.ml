@@ -88,6 +88,17 @@ module M = struct
   let view_intern_hits = Counter.make "solver.view_intern.hits"
   let view_intern_lookups = Counter.make "solver.view_intern.lookups"
   let view_arena_size = Gauge.make "solver.view_intern.arena_size"
+
+  (* σ-table memoization: a hit replays an already-chosen action, a miss
+     opens an existential choice point *)
+  let memo_hits = Counter.make "solver.memo.hits"
+  let memo_misses = Counter.make "solver.memo.misses"
+
+  (* the process-wide states-explored counter shared with the explorer
+     (same registry name, hence the same instrument): solver schedule
+     nodes are the states of its search tree, so census/hierarchy runs
+     report live progress through the same series *)
+  let states = Counter.make "explorer.states"
 end
 
 (* The strategy table σ maps (pid, local view) to the chosen action.
@@ -148,6 +159,25 @@ let legacy_sigma () =
 let solve_with_ops (type k) ~max_nodes ~prune_agreement (ops : k sigma_ops)
     inst =
   let nodes = ref 0 in
+  let memo_h = ref 0 and memo_m = ref 0 in
+  (* live flush, batched: all counters below are plain refs on the
+     search path; every 8192 nodes the deltas go to the registry (and
+     the running pool member's shard series), so a mid-run scrape sees
+     progress at a cost of one masked test per node *)
+  let nodes_flushed = ref 0 and memo_h_flushed = ref 0
+  and memo_m_flushed = ref 0 in
+  let live_flush () =
+    let d = !nodes - !nodes_flushed in
+    let open Wfs_obs.Metrics in
+    Counter.add M.nodes_total d;
+    Counter.add M.states d;
+    Pool.note_states d;
+    Counter.add M.memo_hits (!memo_h - !memo_h_flushed);
+    Counter.add M.memo_misses (!memo_m - !memo_m_flushed);
+    nodes_flushed := !nodes;
+    memo_h_flushed := !memo_h;
+    memo_m_flushed := !memo_m
+  in
   let initial =
     {
       views = Array.make inst.n (Value.list []);
@@ -177,6 +207,7 @@ let solve_with_ops (type k) ~max_nodes ~prune_agreement (ops : k sigma_ops)
      then the remaining obligations [k] hold. *)
   let rec schedules st (k : unit -> bool) : bool =
     incr nodes;
+    if !nodes land 8191 = 0 then live_flush ();
     if !nodes > max_nodes then raise Budget;
     if st.undecided = 0 then agreement_ok st && k ()
     else begin
@@ -191,8 +222,11 @@ let solve_with_ops (type k) ~max_nodes ~prune_agreement (ops : k sigma_ops)
     let view = st.views.(pid) in
     let skey = ops.sigma_key pid view in
     match ops.sigma_find skey with
-    | Some a -> apply st pid a k
+    | Some a ->
+        incr memo_h;
+        apply st pid a k
     | None ->
+        incr memo_m;
         let ops_allowed = st.steps.(pid) < inst.depth in
         let cands =
           (if ops_allowed then
@@ -263,7 +297,7 @@ let solve_with_ops (type k) ~max_nodes ~prune_agreement (ops : k sigma_ops)
   in
   let open Wfs_obs.Metrics in
   Counter.incr M.runs;
-  Counter.add M.nodes_total !nodes;
+  live_flush ();
   ops.sigma_flush_metrics ();
   (verdict, !nodes)
 

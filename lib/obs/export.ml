@@ -1,0 +1,274 @@
+(* OpenMetrics text exposition over [Metrics.dump], plus the inverse
+   parser that `wfs top` uses to turn scraped text back into samples.
+
+   Registry names map to metric families as [a.b.c] -> [wfs_a_b_c];
+   a canonical [Metrics.labeled] suffix ("name{k=v,...}") is split back
+   into OpenMetrics labels.  Counters expose a [_total] sample,
+   histograms expand into cumulative [_bucket{le=...}] samples ending
+   with [le="+Inf"] equal to [_count]. *)
+
+type sample = {
+  s_name : string;  (* full sample name, e.g. "wfs_explorer_states_total" *)
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+(* --- name/label encoding --- *)
+
+let sanitize_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let family_of_registry_name base = "wfs_" ^ sanitize_name base
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* Split a registry name into its base and the labels encoded by
+   [Metrics.labeled]: "pool.shard.states{shard=3}" ->
+   ("pool.shard.states", [("shard", "3")]). *)
+let split_labels name =
+  match String.index_opt name '{' with
+  | None -> (name, [])
+  | Some i when String.length name > 0 && name.[String.length name - 1] = '}'
+    ->
+      let base = String.sub name 0 i in
+      let inner = String.sub name (i + 1) (String.length name - i - 2) in
+      let labels =
+        if inner = "" then []
+        else
+          String.split_on_char ',' inner
+          |> List.map (fun kv ->
+                 match String.index_opt kv '=' with
+                 | Some j ->
+                     ( String.sub kv 0 j,
+                       String.sub kv (j + 1) (String.length kv - j - 1) )
+                 | None -> (kv, ""))
+      in
+      (base, labels)
+  | Some _ -> (name, [])
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      let buf = Buffer.create 32 in
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (sanitize_name k);
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (escape_label_value v);
+          Buffer.add_char buf '"')
+        labels;
+      Buffer.add_char buf '}';
+      Buffer.contents buf
+
+let render_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+(* --- exposition --- *)
+
+type family = {
+  f_name : string;
+  f_kind : string;  (* "counter" | "gauge" | "histogram" *)
+  mutable f_entries : (string * (string * string) list * Metrics.dumped) list;
+      (* reversed order of appearance *)
+}
+
+let kind_of = function
+  | Metrics.D_counter _ -> "counter"
+  | Metrics.D_gauge _ | Metrics.D_fgauge _ -> "gauge"
+  | Metrics.D_histogram _ -> "histogram"
+
+let emit_entry buf fam (_, labels, dumped) =
+  let lbl = render_labels labels in
+  match dumped with
+  | Metrics.D_counter n ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s_total%s %d\n" fam.f_name lbl n)
+  | Metrics.D_gauge n ->
+      Buffer.add_string buf (Printf.sprintf "%s%s %d\n" fam.f_name lbl n)
+  | Metrics.D_fgauge f ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %s\n" fam.f_name lbl (render_float f))
+  | Metrics.D_histogram { d_count; d_sum; d_buckets; _ } ->
+      (* cumulative buckets, [le] monotone; the final [+Inf] bucket
+         equals [_count] by construction *)
+      let cum = ref 0 in
+      List.iter
+        (fun (le, c) ->
+          cum := !cum + c;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" fam.f_name
+               (render_labels (labels @ [ ("le", string_of_int le) ]))
+               !cum))
+        d_buckets;
+      let total = max d_count !cum in
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket%s %d\n" fam.f_name
+           (render_labels (labels @ [ ("le", "+Inf") ]))
+           total);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count%s %d\n" fam.f_name lbl total);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum%s %d\n" fam.f_name lbl d_sum)
+
+let of_dump dump =
+  (* group the (already name-sorted) dump into families, preserving
+     first-appearance order so output is deterministic *)
+  let by_family = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (name, dumped) ->
+      let base, labels = split_labels name in
+      let f_name = family_of_registry_name base in
+      let fam =
+        match Hashtbl.find_opt by_family f_name with
+        | Some fam -> fam
+        | None ->
+            let fam = { f_name; f_kind = kind_of dumped; f_entries = [] } in
+            Hashtbl.add by_family f_name fam;
+            order := fam :: !order;
+            fam
+      in
+      (* a kind clash within one family would emit unparseable text;
+         keep the first kind and drop the stray entry *)
+      if kind_of dumped = fam.f_kind then
+        fam.f_entries <- (name, labels, dumped) :: fam.f_entries)
+    dump;
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun fam ->
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s %s\n" fam.f_name fam.f_kind);
+      List.iter (emit_entry buf fam) (List.rev fam.f_entries))
+    (List.rev !order);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let to_openmetrics ?registry () = of_dump (Metrics.dump ?registry ())
+
+(* --- parsing ---
+
+   Enough of the exposition grammar to round-trip our own output and
+   any well-formed scrape: comment lines skipped, label values with
+   escapes, one sample per line. *)
+
+exception Parse_error of string
+
+let unescape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  let n = String.length v in
+  let i = ref 0 in
+  while !i < n do
+    (if v.[!i] = '\\' && !i + 1 < n then begin
+       (match v.[!i + 1] with
+       | '\\' -> Buffer.add_char buf '\\'
+       | '"' -> Buffer.add_char buf '"'
+       | 'n' -> Buffer.add_char buf '\n'
+       | c ->
+           Buffer.add_char buf '\\';
+           Buffer.add_char buf c);
+       incr i
+     end
+     else Buffer.add_char buf v.[!i]);
+    incr i
+  done;
+  Buffer.contents buf
+
+let parse_labels line i0 =
+  (* [i0] points at '{'; returns labels and the index past '}' *)
+  let n = String.length line in
+  let labels = ref [] in
+  let i = ref (i0 + 1) in
+  let fail msg = raise (Parse_error (msg ^ ": " ^ line)) in
+  let rec loop () =
+    if !i >= n then fail "unterminated label set"
+    else if line.[!i] = '}' then incr i
+    else begin
+      let eq =
+        match String.index_from_opt line !i '=' with
+        | Some j when j < n -> j
+        | _ -> fail "missing '=' in label"
+      in
+      let key = String.trim (String.sub line !i (eq - !i)) in
+      if eq + 1 >= n || line.[eq + 1] <> '"' then fail "unquoted label value";
+      (* find the closing quote, tracking escape parity so a value
+         ending in an escaped backslash still terminates *)
+      let j = ref (eq + 2) in
+      let esc = ref false in
+      while !j < n && (!esc || line.[!j] <> '"') do
+        esc := (not !esc) && line.[!j] = '\\';
+        incr j
+      done;
+      if !j >= n then fail "unterminated label value";
+      let raw = String.sub line (eq + 2) (!j - eq - 2) in
+      labels := (key, unescape_label_value raw) :: !labels;
+      i := !j + 1;
+      if !i < n && line.[!i] = ',' then incr i;
+      loop ()
+    end
+  in
+  loop ();
+  (List.rev !labels, !i)
+
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else begin
+    let name_end =
+      let rec go i =
+        if i >= String.length line then i
+        else match line.[i] with '{' | ' ' | '\t' -> i | _ -> go (i + 1)
+      in
+      go 0
+    in
+    let s_name = String.sub line 0 name_end in
+    if s_name = "" then raise (Parse_error ("empty sample name: " ^ line));
+    let s_labels, rest_at =
+      if name_end < String.length line && line.[name_end] = '{' then
+        parse_labels line name_end
+      else ([], name_end)
+    in
+    let rest =
+      String.trim
+        (String.sub line rest_at (String.length line - rest_at))
+    in
+    (* a timestamp after the value is legal exposition; take field 1 *)
+    let value_str =
+      match String.index_opt rest ' ' with
+      | Some j -> String.sub rest 0 j
+      | None -> rest
+    in
+    let s_value =
+      match float_of_string_opt value_str with
+      | Some f -> f
+      | None -> raise (Parse_error ("bad sample value: " ^ line))
+    in
+    Some { s_name; s_labels; s_value }
+  end
+
+let parse text =
+  String.split_on_char '\n' text |> List.filter_map parse_line
+
+let find samples name labels =
+  List.find_opt
+    (fun s -> s.s_name = name && s.s_labels = labels)
+    samples
+  |> Option.map (fun s -> s.s_value)

@@ -1,0 +1,53 @@
+(** OpenMetrics/Prometheus text exposition of a {!Metrics} registry,
+    and the inverse parser used by [wfs top] to consume scrapes.
+
+    Registry names map to families as [a.b.c] -> [wfs_a_b_c]; the
+    canonical {!Metrics.labeled} suffix ([name{k=v,...}]) becomes
+    OpenMetrics labels.  Counters expose a [_total] sample; histograms
+    expand into cumulative [_bucket{le="..."}] samples whose final
+    [le="+Inf"] bucket equals [_count].  Output ends with [# EOF] and
+    is deterministic (families in sorted first-appearance order). *)
+
+(** One sample line: full sample name (e.g.
+    ["wfs_explorer_states_total"]), labels, value. *)
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+(** Serialize the registry (default: {!Metrics.default}). *)
+val to_openmetrics : ?registry:Metrics.registry -> unit -> string
+
+(** Serialize an already-taken {!Metrics.dump} — what the sampler ring
+    stores. *)
+val of_dump : (string * Metrics.dumped) list -> string
+
+exception Parse_error of string
+
+(** Parse exposition text into samples.  Comment ([#]) and blank lines
+    are skipped; raises {!Parse_error} on a malformed sample line. *)
+val parse : string -> sample list
+
+(** [find samples name labels] is the value of the sample with exactly
+    these labels, if present. *)
+val find : sample list -> string -> (string * string) list -> float option
+
+(** {1 Encoding helpers (exposed for tests)} *)
+
+(** Replace every character outside [[a-zA-Z0-9_:]] with ['_']. *)
+val sanitize_name : string -> string
+
+(** ["a.b.c"] -> ["wfs_a_b_c"]. *)
+val family_of_registry_name : string -> string
+
+(** Escape backslash, double-quote and newline for use inside a quoted
+    label value. *)
+val escape_label_value : string -> string
+
+(** Inverse of {!escape_label_value}. *)
+val unescape_label_value : string -> string
+
+(** Split a canonical {!Metrics.labeled} registry name back into base
+    name and labels. *)
+val split_labels : string -> string * (string * string) list

@@ -23,6 +23,27 @@ type registry = {
 let create () = { lock = Mutex.create (); table = Hashtbl.create 64 }
 let default = create ()
 
+(* Labelled series are plain registry names with a canonical suffix:
+   [labeled "pool.shard.states" [("shard", "3")]] is the single string
+   "pool.shard.states{shard=3}".  The registry itself is label-blind —
+   each label combination is its own instrument — and [Export] splits
+   the suffix back out when it builds OpenMetrics families. *)
+let labeled name = function
+  | [] -> name
+  | labels ->
+      let buf = Buffer.create (String.length name + 16) in
+      Buffer.add_string buf name;
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf k;
+          Buffer.add_char buf '=';
+          Buffer.add_string buf v)
+        labels;
+      Buffer.add_char buf '}';
+      Buffer.contents buf
+
 (* --- hot-path sampling flag --- *)
 
 (* A plain ref: hot paths read it with a single load; writers are rare
@@ -92,6 +113,7 @@ module Gauge = struct
       (function M_gauge g -> Some g | _ -> None)
 
   let set = Atomic.set
+  let add t n = ignore (Atomic.fetch_and_add t n)
   let set_max = atomic_set_max
   let value = Atomic.get
 end
@@ -161,40 +183,74 @@ module Histogram = struct
     !acc
 end
 
-(* --- snapshots --- *)
+(* --- snapshots ---
 
-let metric_json = function
-  | M_counter c -> Json.int (Atomic.get c)
-  | M_gauge g -> Json.int (Atomic.get g)
-  | M_fgauge g -> Json.float (Atomic.get g)
+   Two phases, so a slow consumer can never stall registration on a hot
+   path: the registry mutex is held only long enough to copy the
+   (name, instrument) list — a few hundred cons cells — and every value
+   is then read lock-free from its [Atomic.t].  The values of one dump
+   are therefore individually atomic but not mutually consistent (a
+   counter incremented between two reads lands in one and not the
+   other), which is the standard scrape semantics of every metrics
+   system and exactly what the sampler ring wants. *)
+
+type dumped =
+  | D_counter of int
+  | D_gauge of int
+  | D_fgauge of float
+  | D_histogram of {
+      d_count : int;
+      d_sum : int;
+      d_max : int;
+      d_buckets : (int * int) list;
+    }
+
+let read_metric = function
+  | M_counter c -> D_counter (Atomic.get c)
+  | M_gauge g -> D_gauge (Atomic.get g)
+  | M_fgauge g -> D_fgauge (Atomic.get g)
   | M_histogram h ->
-      let count = Atomic.get h.h_count in
-      let sum = Atomic.get h.h_sum in
+      D_histogram
+        {
+          d_count = Atomic.get h.h_count;
+          d_sum = Atomic.get h.h_sum;
+          d_max = Atomic.get h.h_max;
+          d_buckets = Histogram.buckets h;
+        }
+
+let dump ?registry () =
+  let registry = Option.value ~default registry in
+  Mutex.lock registry.lock;
+  let instruments =
+    Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry.table []
+  in
+  Mutex.unlock registry.lock;
+  (* atomics are read outside the lock: slow serialization downstream
+     never blocks [Counter.make] or a concurrent [dump] *)
+  List.map (fun (name, m) -> (name, read_metric m)) instruments
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let dumped_json = function
+  | D_counter n | D_gauge n -> Json.int n
+  | D_fgauge f -> Json.float f
+  | D_histogram { d_count; d_sum; d_max; d_buckets } ->
       Json.obj
         [
-          ("count", Json.int count);
-          ("sum", Json.int sum);
+          ("count", Json.int d_count);
+          ("sum", Json.int d_sum);
           ( "mean",
-            if count = 0 then Json.null
-            else Json.float (float_of_int sum /. float_of_int count) );
-          ("max", Json.int (Atomic.get h.h_max));
+            if d_count = 0 then Json.null
+            else Json.float (float_of_int d_sum /. float_of_int d_count) );
+          ("max", Json.int d_max);
           ( "buckets",
             Json.list
               (List.map
                  (fun (le, c) -> Json.list [ Json.int le; Json.int c ])
-                 (Histogram.buckets h)) );
+                 d_buckets) );
         ]
 
 let snapshot ?registry () =
-  let registry = Option.value ~default registry in
-  Mutex.lock registry.lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock registry.lock)
-    (fun () ->
-      Hashtbl.fold (fun name m acc -> (name, metric_json m) :: acc)
-        registry.table []
-      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-      |> Json.obj)
+  Json.obj (List.map (fun (name, d) -> (name, dumped_json d)) (dump ?registry ()))
 
 let snapshot_string ?registry () = Json.to_string_pretty (snapshot ?registry ())
 

@@ -22,6 +22,13 @@ val create : unit -> registry
 (** The process-wide registry every instrumentation point uses. *)
 val default : registry
 
+(** [labeled name labels] is the canonical registry name for a labelled
+    series: [labeled "pool.shard.states" [("shard", "3")]] is
+    ["pool.shard.states{shard=3}"].  Each label combination is its own
+    instrument; {!Export} splits the suffix back into OpenMetrics
+    labels.  Label values must not contain [',' '=' '}']. *)
+val labeled : string -> (string * string) list -> string
+
 (** {1 Hot-path sampling} *)
 
 (** Enable/disable hot-path sampling (default: off). *)
@@ -53,6 +60,7 @@ module Gauge : sig
 
   val make : ?registry:registry -> string -> t
   val set : t -> int -> unit
+  val add : t -> int -> unit
 
   (** [set_max g v] raises the gauge to [v] if larger (high-water
       mark). *)
@@ -88,9 +96,31 @@ end
 
 (** {1 Snapshots} *)
 
+(** One instrument's value as read at dump time.  Histogram buckets are
+    the non-empty [(inclusive upper bound, count)] pairs of
+    {!Histogram.buckets}. *)
+type dumped =
+  | D_counter of int
+  | D_gauge of int
+  | D_fgauge of float
+  | D_histogram of {
+      d_count : int;
+      d_sum : int;
+      d_max : int;
+      d_buckets : (int * int) list;
+    }
+
+(** Every instrument with its current value, sorted by name.  The
+    registry lock is held only while copying the instrument list; the
+    values themselves are read lock-free from their [Atomic.t]s, so a
+    slow consumer never stalls registration on a hot path.  Values are
+    individually atomic but not mutually consistent — standard scrape
+    semantics. *)
+val dump : ?registry:registry -> unit -> (string * dumped) list
+
 (** The registry as one JSON object, keys sorted: counters and gauges
     are numbers; histograms are objects with [count]/[sum]/[mean]/
-    [max]/[buckets] fields. *)
+    [max]/[buckets] fields.  Built on {!dump}. *)
 val snapshot : ?registry:registry -> unit -> Json.t
 
 val snapshot_string : ?registry:registry -> unit -> string

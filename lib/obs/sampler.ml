@@ -1,0 +1,186 @@
+(* Periodic registry sampling from a dedicated domain.
+
+   The sampler domain wakes every [interval_ms], takes a lock-free
+   [Metrics.dump] and publishes it by atomically swapping a fresh
+   immutable ring (newest-first list, capacity-truncated) into an
+   [Atomic.t].  Readers — `wfs top`, the HTTP endpoint, `wfs stats
+   --watch` — just [Atomic.get] the ring: no locks, no tearing, and a
+   reader holding an old ring keeps a consistent (if stale) view.
+
+   Sinks, both optional:
+   - a file sink rewrites [out_file] atomically (write tmp + rename)
+     with the OpenMetrics exposition of the newest snapshot;
+   - a minimal blocking HTTP server (stdlib [Unix] only) serves the
+     newest exposition at GET /metrics from its own domain. *)
+
+type snap = { at_ns : int; values : (string * Metrics.dumped) list }
+
+(* everything both domains and the API need; the domain handles live in
+   the outer [t] so [core] can be built before spawning *)
+type core = {
+  registry : Metrics.registry option;
+  interval_ms : int;
+  capacity : int;
+  ring : snap list Atomic.t;  (* newest first *)
+  stopping : bool Atomic.t;
+  out_file : string option;
+}
+
+type t = {
+  core : core;
+  sampler_domain : unit Domain.t;
+  http : (Unix.file_descr * unit Domain.t) option;
+}
+
+let take_snap registry =
+  { at_ns = Clock.now_ns (); values = Metrics.dump ?registry () }
+
+let push_snap core snap =
+  let rec truncate n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | s :: rest -> s :: truncate (n - 1) rest
+  in
+  (* single writer: a plain read-modify-set is race-free *)
+  let old = Atomic.get core.ring in
+  Atomic.set core.ring (snap :: truncate (core.capacity - 1) old)
+
+let write_file_atomically path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents);
+  (* rename is atomic on POSIX: readers see the old file or the new
+     one, never a partial write *)
+  Unix.rename tmp path
+
+let sink core snap =
+  match core.out_file with
+  | None -> ()
+  | Some path -> (
+      try write_file_atomically path (Export.of_dump snap.values)
+      with Sys_error _ | Unix.Unix_error _ -> ())
+
+let sample_once core =
+  let snap = take_snap core.registry in
+  push_snap core snap;
+  sink core snap
+
+let sampler_main core () =
+  (* sleep in short slices so [stop] takes effect promptly *)
+  let slice_s = 0.05 in
+  let slices =
+    max 1 (int_of_float (ceil (float_of_int core.interval_ms /. 50.0)))
+  in
+  while not (Atomic.get core.stopping) do
+    let k = ref 0 in
+    while (not (Atomic.get core.stopping)) && !k < slices do
+      Unix.sleepf slice_s;
+      incr k
+    done;
+    if not (Atomic.get core.stopping) then sample_once core
+  done
+
+(* --- HTTP endpoint --- *)
+
+let http_response core =
+  let body =
+    match Atomic.get core.ring with
+    | snap :: _ -> Export.of_dump snap.values
+    | [] -> Export.of_dump (take_snap core.registry).values
+  in
+  Printf.sprintf
+    "HTTP/1.1 200 OK\r\n\
+     Content-Type: application/openmetrics-text; version=1.0.0; \
+     charset=utf-8\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    (String.length body) body
+
+let serve_client core client =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* read (and ignore) the request line + headers; any GET gets the
+         metrics page, which is all this endpoint is for *)
+      let buf = Bytes.create 4096 in
+      (try ignore (Unix.read client buf 0 (Bytes.length buf))
+       with Unix.Unix_error _ -> ());
+      let resp = http_response core in
+      let n = String.length resp in
+      let sent = ref 0 in
+      try
+        while !sent < n do
+          sent :=
+            !sent + Unix.write_substring client resp !sent (n - !sent)
+        done
+      with Unix.Unix_error _ -> ())
+
+let http_main core listen_fd () =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept listen_fd with
+    | client, _ ->
+        if Atomic.get core.stopping then begin
+          (try Unix.close client with Unix.Unix_error _ -> ());
+          continue := false
+        end
+        else serve_client core client
+    | exception Unix.Unix_error _ ->
+        (* [stop] closed the listen socket *)
+        continue := false
+  done
+
+let listen_on port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 8;
+  fd
+
+(* --- lifecycle --- *)
+
+let start ?registry ?(interval_ms = 1000) ?(capacity = 120) ?out_file
+    ?port () =
+  if interval_ms <= 0 then invalid_arg "Sampler.start: interval_ms <= 0";
+  if capacity <= 0 then invalid_arg "Sampler.start: capacity <= 0";
+  let core =
+    {
+      registry;
+      interval_ms;
+      capacity;
+      ring = Atomic.make [];
+      stopping = Atomic.make false;
+      out_file;
+    }
+  in
+  (* seed the ring so the endpoint and `wfs top` have a baseline before
+     the first interval elapses *)
+  sample_once core;
+  let http =
+    Option.map
+      (fun p ->
+        let fd = listen_on p in
+        (fd, Domain.spawn (http_main core fd)))
+      port
+  in
+  { core; sampler_domain = Domain.spawn (sampler_main core); http }
+
+let ring t = Atomic.get t.core.ring
+
+let latest t =
+  match Atomic.get t.core.ring with s :: _ -> Some s | [] -> None
+
+let stop t =
+  Atomic.set t.core.stopping true;
+  (match t.http with
+  | Some (fd, _) -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  Domain.join t.sampler_domain;
+  (match t.http with Some (_, d) -> Domain.join d | None -> ());
+  (* final sample so short runs still leave complete end-of-run values
+     in the ring and the file sink *)
+  sample_once t.core

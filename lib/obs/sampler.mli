@@ -1,0 +1,41 @@
+(** Periodic registry sampling from a dedicated domain.
+
+    Every [interval_ms] the sampler takes a lock-free {!Metrics.dump}
+    and publishes it by atomically swapping a fresh immutable ring
+    (newest-first, capacity-truncated) into an [Atomic.t] — see DESIGN
+    §5.10 for the memory model.  Optional sinks: an atomically-rewritten
+    exposition file and a minimal blocking HTTP [/metrics] endpoint
+    (stdlib [Unix] only, loopback). *)
+
+(** A timestamped snapshot: {!Clock.now_ns} at sample time plus the
+    dumped instrument values. *)
+type snap = { at_ns : int; values : (string * Metrics.dumped) list }
+
+type t
+
+(** [start ()] spawns the sampler domain and seeds the ring with one
+    immediate snapshot.  [out_file] is rewritten atomically (tmp +
+    rename) with the OpenMetrics exposition each interval; [port]
+    additionally serves the newest exposition over HTTP on loopback
+    from a second domain.  Raises [Invalid_argument] on a non-positive
+    interval or capacity, and [Unix.Unix_error] if the port cannot be
+    bound. *)
+val start :
+  ?registry:Metrics.registry ->
+  ?interval_ms:int ->
+  ?capacity:int ->
+  ?out_file:string ->
+  ?port:int ->
+  unit ->
+  t
+
+(** All retained snapshots, newest first. *)
+val ring : t -> snap list
+
+val latest : t -> snap option
+
+(** Stop and join the sampler (and HTTP) domains, then take one final
+    snapshot so short runs still leave complete end-of-run values in
+    the ring and the file sink.  Idempotence is not required of
+    callers; call once. *)
+val stop : t -> unit

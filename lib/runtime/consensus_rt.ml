@@ -12,13 +12,23 @@
 module One_shot = struct
   type 'a t = 'a option Atomic.t
 
+  (* Hot-gated, like every runtime counter: one branch on a plain ref
+     when sampling is off.  A retry means the CAS lost to a concurrent
+     decider — consensus-round pressure in the universal construction. *)
+  let retries = Wfs_obs.Metrics.Counter.make "consensus_rt.one_shot.retries"
+
   let make () = Atomic.make None
 
   let rec decide t v =
     match Atomic.get t with
     | Some winner -> winner
     | None ->
-        if Atomic.compare_and_set t None (Some v) then v else decide t v
+        if Atomic.compare_and_set t None (Some v) then v
+        else begin
+          if Wfs_obs.Metrics.hot () then
+            Wfs_obs.Metrics.Counter.incr retries;
+          decide t v
+        end
 
   let peek t = Atomic.get t
 end

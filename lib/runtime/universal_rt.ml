@@ -58,8 +58,19 @@ module M = struct
   let lf_log_length = Gauge.make "universal_rt.lock_free.log_length"
   let wf_ops = Counter.make "universal_rt.wait_free.ops"
   let wf_help_rounds = Counter.make "universal_rt.wait_free.help_rounds"
+
+  (* per-operation distribution of help rounds: the p50/p99 `wfs top`
+     renders as the live health of the helping protocol *)
+  let wf_help_rounds_hist =
+    Histogram.make "universal_rt.wait_free.help_rounds_hist"
+
   let wf_apply_ns = Histogram.make "universal_rt.wait_free.apply_ns"
   let wf_log_length = Gauge.make "universal_rt.wait_free.log_length"
+
+  (* announce slots whose invocation is still unthreaded — the paper's
+     "announce-list pressure" *)
+  let wf_announce_occupancy =
+    Gauge.make "universal_rt.wait_free.announce_occupancy"
 end
 
 module Lock_free (Seq : SEQ) = struct
@@ -193,9 +204,15 @@ module Wait_free (Seq : SEQ) = struct
       in
       Wfs_obs.Metrics.Counter.incr M.wf_ops;
       Wfs_obs.Metrics.Counter.add M.wf_help_rounds rounds;
+      Wfs_obs.Metrics.Histogram.observe M.wf_help_rounds_hist rounds;
       Wfs_obs.Metrics.Histogram.observe M.wf_apply_ns dur;
       (* seq counts from the sentinel's 1, so seq - 1 ops are threaded *)
       Wfs_obs.Metrics.Gauge.set_max M.wf_log_length (seq - 1);
+      let pending = ref 0 in
+      for i = 0 to t.n - 1 do
+        if Atomic.get (Atomic.get t.announce.(i)).seq = 0 then incr pending
+      done;
+      Wfs_obs.Metrics.Gauge.set M.wf_announce_occupancy !pending;
       res
     end
 end

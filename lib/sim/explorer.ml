@@ -231,7 +231,12 @@ module M = struct
   open Wfs_obs.Metrics
 
   let runs = Counter.make "explorer.runs"
-  let states = Counter.make "explorer.states_visited"
+
+  (* "explorer.states" is the process-wide states-explored counter:
+     exposed as wfs_explorer_states_total.  The solver adds its schedule
+     nodes here too, so a scrape of any engine shows live progress. *)
+  let states = Counter.make "explorer.states"
+  let frontier = Gauge.make "explorer.frontier"
   let dedup_hits = Counter.make "explorer.dedup_hits"
   let dedup_lookups = Counter.make "explorer.dedup_lookups"
   let dedup_hit_rate = Fgauge.make "explorer.dedup_hit_rate"
@@ -246,10 +251,14 @@ module M = struct
   let intern_contention = Counter.make "explorer.intern.contention"
 end
 
-let flush_metrics ~states ~hits ~lookups ~deepest ~truncation ~cyclic ~intern =
+(* [states_flushed] is what live batched ticks already pushed to
+   [M.states] mid-run; only the remainder lands here, so live flushing
+   never double-counts. *)
+let flush_metrics ?(states_flushed = 0) ~states ~hits ~lookups ~deepest
+    ~truncation ~cyclic ~intern () =
   let open Wfs_obs.Metrics in
   Counter.incr M.runs;
-  Counter.add M.states states;
+  Counter.add M.states (states - states_flushed);
   Counter.add M.dedup_hits hits;
   Counter.add M.dedup_lookups lookups;
   Fgauge.set M.dedup_hit_rate
@@ -377,7 +386,8 @@ let explore_legacy ~max_states ~max_depth ~crashes config =
   in
   let states = Hashtbl.length colors in
   flush_metrics ~states ~hits:!hits ~lookups:!lookups ~deepest:!deepest
-    ~truncation:!truncation ~cyclic:!cyclic ~intern:None;
+    ~truncation:!truncation ~cyclic:!cyclic ~intern:None ();
+  Pool.note_states states;
   Wfs_obs.Metrics.Counter.add M.crash_edges !crash_seen;
   {
     states;
@@ -444,6 +454,7 @@ let explore_fast ~max_states ~max_depth ~symmetry ~crashes config =
   let lookups = ref 0 in
   let hits = ref 0 in
   let visited = ref 0 in
+  let live_flushed = ref 0 in
   let deepest = ref 0 in
   let fused = ref 0 in
   let crash_seen = ref 0 in
@@ -486,11 +497,17 @@ let explore_fast ~max_states ~max_depth ~symmetry ~crashes config =
           (if !truncation = None then truncation := Some Budget_depth)
         else begin
           incr visited;
-          (* masked heartbeat: one clock read per 1024 states, and only
-             when a reporter is armed (Stack.length is O(1)) *)
-          if !visited land 1023 = 0 && Wfs_obs.Progress.enabled () then
-            Wfs_obs.Progress.tick ~states:!visited
-              ~frontier:(Stack.length stack);
+          (* masked heartbeat: the batched live flush and the progress
+             tick share one modulo test per 1024 states *)
+          if !visited land 1023 = 0 then begin
+            live_flushed := !live_flushed + 1024;
+            Wfs_obs.Metrics.Counter.add M.states 1024;
+            Wfs_obs.Metrics.Gauge.set M.frontier (Stack.length stack);
+            Pool.note_states 1024;
+            if Wfs_obs.Progress.enabled () then
+              Wfs_obs.Progress.tick ~states:!visited
+                ~frontier:(Stack.length stack)
+          end;
           if is_terminal node then begin
             let decisions = Array.copy node.decided in
             Value.Tbl.replace terminals
@@ -573,8 +590,10 @@ let explore_fast ~max_states ~max_depth ~symmetry ~crashes config =
     end
   in
   let states = !visited in
-  flush_metrics ~states ~hits:!hits ~lookups:!lookups ~deepest:!deepest
-    ~truncation:!truncation ~cyclic:!cyclic ~intern:(Some tbl);
+  flush_metrics ~states_flushed:!live_flushed ~states ~hits:!hits
+    ~lookups:!lookups ~deepest:!deepest ~truncation:!truncation
+    ~cyclic:!cyclic ~intern:(Some tbl) ();
+  Pool.note_states (states - !live_flushed);
   Wfs_obs.Metrics.Counter.add M.fused_edges !fused;
   Wfs_obs.Metrics.Counter.add M.crash_edges !crash_seen;
   {
@@ -643,6 +662,8 @@ type prec = {
   mutable r_deepest : int;
   mutable r_crash : int;
   mutable r_truncation : truncation option;
+  mutable r_claimed : int;  (* fresh states this worker claimed *)
+  mutable r_claimed_flushed : int;  (* ...of which already flushed live *)
 }
 
 let prec_make () =
@@ -654,7 +675,21 @@ let prec_make () =
     r_deepest = 0;
     r_crash = 0;
     r_truncation = None;
+    r_claimed = 0;
+    r_claimed_flushed = 0;
   }
+
+(* Push this record's unreported claims to the global states counter and
+   the claiming domain's [pool.shard.states] series.  Called at batched
+   tick points and once at job end, so the sum over all records equals
+   the exact state count with nothing double-counted. *)
+let flush_claims rec_ =
+  let d = rec_.r_claimed - rec_.r_claimed_flushed in
+  if d > 0 then begin
+    Wfs_obs.Metrics.Counter.add M.states d;
+    Pool.note_states d;
+    rec_.r_claimed_flushed <- rec_.r_claimed
+  end
 
 let explore_par ~pool ~max_states ~max_depth ~symmetry ~crashes config =
   let n = Array.length config.procs in
@@ -680,6 +715,7 @@ let explore_par ~pool ~max_states ~max_depth ~symmetry ~crashes config =
          if rec_.r_truncation = None then rec_.r_truncation <- Some Budget_depth)
        else begin
          ignore (Atomic.fetch_and_add visited 1);
+         rec_.r_claimed <- rec_.r_claimed + 1;
          if is_terminal node then
            Value.Tbl.replace rec_.r_terminals (terminal_key node)
              {
@@ -740,6 +776,7 @@ let explore_par ~pool ~max_states ~max_depth ~symmetry ~crashes config =
         root_id)
   in
   let seeds = Array.of_seq (Queue.to_seq queue) in
+  flush_claims rec0;
   (* Phase 1 proper: one DFS job per seed. *)
   let recs =
     Pool.parallel_map pool
@@ -756,11 +793,16 @@ let explore_par ~pool ~max_states ~max_depth ~symmetry ~crashes config =
             while not (Stack.is_empty stack) do
               expand rec_ ~enqueue (Stack.pop stack);
               incr ticks;
-              if !ticks land 255 = 0 && Wfs_obs.Progress.enabled () then
-                Wfs_obs.Progress.tick
-                  ~states:(Atomic.get visited)
-                  ~frontier:(Stack.length stack)
+              if !ticks land 255 = 0 then begin
+                flush_claims rec_;
+                Wfs_obs.Metrics.Gauge.set M.frontier (Stack.length stack);
+                if Wfs_obs.Progress.enabled () then
+                  Wfs_obs.Progress.tick
+                    ~states:(Atomic.get visited)
+                    ~frontier:(Stack.length stack)
+              end
             done;
+            flush_claims rec_;
             rec_))
       (Array.mapi (fun i s -> (i, s)) seeds)
   in
@@ -879,8 +921,10 @@ let explore_par ~pool ~max_states ~max_depth ~symmetry ~crashes config =
   if Wfs_obs.Profile.enabled () then
     Wfs_obs.Profile.counter "explorer.intern.contention"
       [ ("contended", float_of_int contended) ];
-  flush_metrics ~states ~hits ~lookups ~deepest:!deepest ~truncation
-    ~cyclic:!cyclic ~intern:None;
+  (* every fresh claim went through a record's [flush_claims], so the
+     global counter already holds all [states] of this run *)
+  flush_metrics ~states_flushed:states ~states ~hits ~lookups
+    ~deepest:!deepest ~truncation ~cyclic:!cyclic ~intern:None ();
   let open Wfs_obs.Metrics in
   Counter.add M.intern_contention contended;
   Counter.add M.intern_hits hits;

@@ -104,16 +104,44 @@ module Sharded = struct
     mutable s_lookups : int;
     mutable s_hits : int;
     mutable s_contended : int;
+    (* live metric flushing, batched so the per-intern cost stays at
+       plain field updates: every 1024 lookups the deltas since the
+       last flush go to the global [intern.lookups]/[intern.hits]
+       counters *)
+    mutable s_lookups_flushed : int;
+    mutable s_hits_flushed : int;
+    s_contention_c : Wfs_obs.Metrics.Counter.t;  (* per-stripe series *)
   }
+
+  module SM = struct
+    open Wfs_obs.Metrics
+
+    let lookups = Counter.make "intern.lookups"
+    let hits = Counter.make "intern.hits"
+    let contention = Counter.make "intern.contention"
+
+    let stripe_contention i =
+      Counter.make (labeled "intern.stripe.contention" [ ("stripe", string_of_int i) ])
+  end
 
   (* [try_lock] first: the uncontended path costs the same lock, and
      the fallback both blocks and counts, making stripe contention
-     observable ([contention], explorer.intern.contention). *)
+     observable ([contention], explorer.intern.contention).  The
+     contended path is already paying a blocking lock, so the two
+     counter bumps there are free by comparison. *)
   let lock_stripe s =
     if not (Mutex.try_lock s.lock) then begin
       Mutex.lock s.lock;
-      s.s_contended <- s.s_contended + 1
+      s.s_contended <- s.s_contended + 1;
+      Wfs_obs.Metrics.Counter.incr SM.contention;
+      Wfs_obs.Metrics.Counter.incr s.s_contention_c
     end
+
+  let flush_stripe s =
+    Wfs_obs.Metrics.Counter.add SM.lookups (s.s_lookups - s.s_lookups_flushed);
+    Wfs_obs.Metrics.Counter.add SM.hits (s.s_hits - s.s_hits_flushed);
+    s.s_lookups_flushed <- s.s_lookups;
+    s.s_hits_flushed <- s.s_hits
 
   type nonrec t = { stripes : stripe array; next : int Atomic.t }
 
@@ -124,13 +152,16 @@ module Sharded = struct
     let per = max 16 (size_hint / stripes) in
     {
       stripes =
-        Array.init stripes (fun _ ->
+        Array.init stripes (fun i ->
             {
               lock = Mutex.create ();
               tbl = Value.Tbl.create per;
               s_lookups = 0;
               s_hits = 0;
               s_contended = 0;
+              s_lookups_flushed = 0;
+              s_hits_flushed = 0;
+              s_contention_c = SM.stripe_contention i;
             });
       next = Atomic.make 0;
     }
@@ -143,6 +174,7 @@ module Sharded = struct
     let s = stripe_of t v in
     lock_stripe s;
     s.s_lookups <- s.s_lookups + 1;
+    if s.s_lookups land 1023 = 0 then flush_stripe s;
     let r =
       match Value.Tbl.find_opt s.tbl v with
       | Some id ->
@@ -160,6 +192,7 @@ module Sharded = struct
     let s = stripe_of t v in
     lock_stripe s;
     s.s_lookups <- s.s_lookups + 1;
+    if s.s_lookups land 1023 = 0 then flush_stripe s;
     let r = Value.Tbl.find_opt s.tbl v in
     if r <> None then s.s_hits <- s.s_hits + 1;
     Mutex.unlock s.lock;

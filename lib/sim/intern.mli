@@ -51,7 +51,14 @@ val stats : t -> table_stats
     same key.  What is deterministic is the claim: for each key exactly
     one [intern] call across all domains returns [fresh = true].  The
     parallel explorer uses that claim bit as its visited set, and never
-    relies on id order. *)
+    relies on id order.
+
+    Live telemetry: every 1024 lookups a stripe flushes its deltas to
+    the global [intern.lookups]/[intern.hits] counters (amortized cost:
+    two atomic adds per thousand interns), and each [try_lock] miss
+    bumps [intern.contention] plus the per-stripe
+    [intern.stripe.contention{stripe=i}] series — mid-run scrapes can
+    pin contention on a specific stripe. *)
 module Sharded : sig
   type t
 

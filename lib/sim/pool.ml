@@ -24,6 +24,66 @@ module M = struct
   let domains = Gauge.make "pool.domains"
 end
 
+(* Per-member ("shard") series, labelled by member index.  These exist
+   so a live scrape can attribute load imbalance to a specific domain;
+   [stats] keeps serving the same numbers from the mrec slots for
+   in-process consumers. *)
+type shard_metrics = {
+  sm_jobs : Wfs_obs.Metrics.Counter.t;
+  sm_steals : Wfs_obs.Metrics.Counter.t;
+  sm_steal_failures : Wfs_obs.Metrics.Counter.t;
+  sm_busy_ns : Wfs_obs.Metrics.Gauge.t;
+  sm_idle_ns : Wfs_obs.Metrics.Gauge.t;
+  sm_job_ns : Wfs_obs.Metrics.Histogram.t;
+}
+
+let shard_label me = [ ("shard", string_of_int me) ]
+
+let make_shard_metrics me =
+  let open Wfs_obs.Metrics in
+  let name base = labeled base (shard_label me) in
+  {
+    sm_jobs = Counter.make (name "pool.shard.jobs");
+    sm_steals = Counter.make (name "pool.shard.steals");
+    sm_steal_failures = Counter.make (name "pool.shard.steal_failures");
+    sm_busy_ns = Gauge.make (name "pool.shard.busy_ns");
+    sm_idle_ns = Gauge.make (name "pool.shard.idle_ns");
+    sm_job_ns = Histogram.make (name "pool.shard.job_ns");
+  }
+
+(* Which pool member the current domain is: 0 for the leader (and for
+   any domain outside a pool), the worker index otherwise.  Work done
+   inside a job — solver nodes, explored states — attributes itself to
+   the right shard through this. *)
+let member_key = Domain.DLS.new_key (fun () -> 0)
+let self () = Domain.DLS.get member_key
+
+let max_members = 128
+
+(* "States claimed per shard": cumulative count of states/nodes the jobs
+   running on each member have processed, fed by [note_states] from the
+   engines' batched flush points.  Cached globally because callers
+   (solver, explorer) have no pool handle; the unsynchronized
+   option-array read/write is a benign race — [Gauge.make] is
+   idempotent, so a stale [None] just re-resolves the same gauge. *)
+let shard_states_cache : Wfs_obs.Metrics.Gauge.t option array =
+  Array.make max_members None
+
+let shard_states_gauge me =
+  let me = if me < 0 || me >= max_members then 0 else me in
+  match shard_states_cache.(me) with
+  | Some g -> g
+  | None ->
+      let g =
+        Wfs_obs.Metrics.Gauge.make
+          (Wfs_obs.Metrics.labeled "pool.shard.states" (shard_label me))
+      in
+      shard_states_cache.(me) <- Some g;
+      g
+
+let note_states n =
+  if n > 0 then Wfs_obs.Metrics.Gauge.add (shard_states_gauge (self ())) n
+
 (* Single-lock deque of job indices: the owner pushes/pops at the tail
    (LIFO, cache-friendly for its own block), thieves take from the head
    (FIFO, so they grab the work farthest from the owner's hot end).
@@ -98,6 +158,7 @@ type t = {
   mutable stop : bool;
   mutable workers : unit Domain.t list;
   mrecs : mrec array; (* one slot per member, leader = 0 *)
+  smetrics : shard_metrics array; (* labelled series, one per member *)
 }
 
 let stats t =
@@ -121,6 +182,7 @@ let in_job_key = Domain.DLS.new_key (fun () -> false)
 
 let run_job t b me i =
   let m = t.mrecs.(me) in
+  let sm = t.smetrics.(me) in
   let prof = Wfs_obs.Profile.enabled () in
   if prof then
     Wfs_obs.Profile.begin_ ~cat:"pool"
@@ -130,11 +192,15 @@ let run_job t b me i =
   Domain.DLS.set in_job_key true;
   (try b.run i with _ -> ());
   Domain.DLS.set in_job_key false;
-  m.m_busy <- m.m_busy + (Wfs_obs.Clock.now_ns () - t0);
+  let dt = Wfs_obs.Clock.now_ns () - t0 in
+  m.m_busy <- m.m_busy + dt;
   m.m_jobs <- m.m_jobs + 1;
   (* b.run swallows exceptions, so the span always closes *)
   if prof then Wfs_obs.Profile.end_ ();
   Wfs_obs.Metrics.Counter.incr M.jobs;
+  Wfs_obs.Metrics.Counter.incr sm.sm_jobs;
+  Wfs_obs.Metrics.Gauge.set sm.sm_busy_ns m.m_busy;
+  Wfs_obs.Metrics.Histogram.observe sm.sm_job_ns dt;
   if Atomic.fetch_and_add b.remaining (-1) = 1 then begin
     Mutex.lock t.lock;
     t.current <- None;
@@ -148,6 +214,7 @@ let run_job t b me i =
 let drain t b me =
   let k = Array.length b.deques in
   let m = t.mrecs.(me) in
+  let sm = t.smetrics.(me) in
   let steal_one () =
     let rec go off =
       if off >= k then None
@@ -156,6 +223,7 @@ let drain t b me =
         | Some _ as r ->
             m.m_steals <- m.m_steals + 1;
             Wfs_obs.Metrics.Counter.incr M.steals;
+            Wfs_obs.Metrics.Counter.incr sm.sm_steals;
             if Wfs_obs.Profile.enabled () then
               Wfs_obs.Profile.instant ~cat:"pool"
                 ~args:(fun () ->
@@ -165,6 +233,7 @@ let drain t b me =
         | None ->
             m.m_steal_failures <- m.m_steal_failures + 1;
             Wfs_obs.Metrics.Counter.incr M.steal_failures;
+            Wfs_obs.Metrics.Counter.incr sm.sm_steal_failures;
             go (off + 1)
     in
     go 1
@@ -184,6 +253,7 @@ let drain t b me =
   loop ()
 
 let worker_main t me =
+  Domain.DLS.set member_key me;
   (* one event per worker at startup: the trace gets a tid row for
      every member even if this worker never wins a job *)
   if Wfs_obs.Profile.enabled () then
@@ -210,6 +280,7 @@ let worker_main t me =
     | None -> ()
     | Some (e, b) ->
         m.m_idle <- m.m_idle + (Wfs_obs.Clock.now_ns () - w0);
+        Wfs_obs.Metrics.Gauge.set t.smetrics.(me).sm_idle_ns m.m_idle;
         if Wfs_obs.Profile.enabled () then
           Wfs_obs.Profile.complete ~cat:"pool" "pool.idle" ~t0_ns:w0;
         drain t b me;
@@ -235,9 +306,15 @@ let create ?domains () =
       mrecs =
         Array.init n (fun _ ->
             { m_jobs = 0; m_steals = 0; m_steal_failures = 0; m_busy = 0; m_idle = 0 });
+      smetrics = Array.init n make_shard_metrics;
     }
   in
   Wfs_obs.Metrics.Gauge.set_max M.domains n;
+  (* register the per-shard states series eagerly so a scrape shows one
+     series per member even before any engine claims states *)
+  for me = 0 to n - 1 do
+    ignore (shard_states_gauge me)
+  done;
   t.workers <- List.init (n - 1) (fun i -> Domain.spawn (fun () -> worker_main t (i + 1)));
   t
 
@@ -300,6 +377,7 @@ let parallel_map t f arr =
     (match t.current with Some (e, _) when e = epoch -> t.current <- None | _ -> ());
     Mutex.unlock t.lock;
     t.mrecs.(0).m_idle <- t.mrecs.(0).m_idle + (Wfs_obs.Clock.now_ns () - w0);
+    Wfs_obs.Metrics.Gauge.set t.smetrics.(0).sm_idle_ns t.mrecs.(0).m_idle;
     if prof then begin
       Wfs_obs.Profile.complete ~cat:"pool" "pool.wait" ~t0_ns:w0;
       Wfs_obs.Profile.end_ ()

@@ -18,7 +18,12 @@
 
     Each batch feeds the default [Wfs_obs.Metrics] registry:
     [pool.batches], [pool.jobs], [pool.steals] and the [pool.domains]
-    gauge. *)
+    gauge, plus per-member labelled series ([pool.shard.jobs{shard=i}],
+    [pool.shard.steals{shard=i}], [pool.shard.busy_ns{shard=i}],
+    [pool.shard.idle_ns{shard=i}], the [pool.shard.job_ns{shard=i}]
+    duration histogram and the [pool.shard.states{shard=i}] claimed
+    gauge) so a live scrape can attribute imbalance to a specific
+    domain. *)
 
 type t
 
@@ -70,3 +75,18 @@ val shutdown : t -> unit
 
 (** [with_pool ?domains f] — create, run [f], always shut down. *)
 val with_pool : ?domains:int -> (t -> 'a) -> 'a
+
+(** {1 Shard attribution}
+
+    Engines running inside pool jobs (the solver, the explorer) report
+    coarse progress through these so per-domain load shows up in live
+    telemetry. *)
+
+(** The pool member index of the calling domain: 0 for the leader and
+    for domains outside any pool, the worker index otherwise. *)
+val self : unit -> int
+
+(** [note_states n] adds [n] to the calling member's
+    [pool.shard.states{shard=...}] gauge.  Meant to be called from
+    batched flush points (every few thousand states), not per state. *)
+val note_states : int -> unit

@@ -81,18 +81,33 @@ type verification = {
   failure : string option;
 }
 
+(* Verification telemetry: states flushed live in batches of 1024 (plus
+   the remainder at the end), mirroring the explorer, so `wfs top` sees
+   a long-running verify move; [log_length] is the operational signal
+   of the log-based construction — the replay cost of the next op. *)
+module M = struct
+  open Wfs_obs.Metrics
+
+  let verify_runs = Counter.make "log_universal.verify.runs"
+  let states = Counter.make "log_universal.states"
+  let terminals = Counter.make "log_universal.terminals"
+  let log_length = Gauge.make "log_universal.log_length"
+end
+
 let verify ?(max_states = 2_000_000) ~target ~scripts () =
   let cfg = config ~target ~scripts in
   let n = Array.length scripts in
   let seen : (Value.t, unit) Hashtbl.t = Hashtbl.create 4096 in
   let on_stack : (Value.t, unit) Hashtbl.t = Hashtbl.create 1024 in
   let terminals = ref 0 in
+  let states_flushed = ref 0 in
   let failure = ref None in
   let cyclic = ref false in
   let truncated = ref false in
   let check_terminal (node : Explorer.node) =
     incr terminals;
     let final_log = Value.as_list (Env.get node.Explorer.env_state cfg.Explorer.env log_name) in
+    Wfs_obs.Metrics.Gauge.set_max M.log_length (List.length final_log);
     let expected = expected_responses ~target ~n final_log in
     Array.iteri
       (fun pid decided ->
@@ -119,6 +134,11 @@ let verify ?(max_states = 2_000_000) ~target ~scripts () =
       if Hashtbl.length seen >= max_states then truncated := true
       else begin
         Hashtbl.replace seen k ();
+        if Hashtbl.length seen land 1023 = 0 then begin
+          Wfs_obs.Metrics.Counter.add M.states 1024;
+          states_flushed := !states_flushed + 1024;
+          Wfs_sim.Pool.note_states 1024
+        end;
         Hashtbl.replace on_stack k ();
         if Explorer.is_terminal node then check_terminal node
         else
@@ -128,9 +148,14 @@ let verify ?(max_states = 2_000_000) ~target ~scripts () =
     end
   in
   dfs (Explorer.initial cfg);
+  let states = Hashtbl.length seen in
+  Wfs_obs.Metrics.Counter.incr M.verify_runs;
+  Wfs_obs.Metrics.Counter.add M.states (states - !states_flushed);
+  Wfs_sim.Pool.note_states (states - !states_flushed);
+  Wfs_obs.Metrics.Counter.add M.terminals !terminals;
   {
     ok = !failure = None && (not !cyclic) && not !truncated;
-    states = Hashtbl.length seen;
+    states;
     terminals = !terminals;
     wait_free = (not !cyclic) && not !truncated;
     failure = !failure;

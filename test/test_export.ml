@@ -1,0 +1,307 @@
+(* Tests for the OpenMetrics exposition (Wfs_obs.Export), the sampler
+   ring (Wfs_obs.Sampler), and the humanized units (Wfs_obs.Units).
+
+   Everything runs against private registries so the process-wide
+   default registry (exercised concurrently by other suites) never
+   perturbs a value under test. *)
+
+module Metrics = Wfs_obs.Metrics
+module Export = Wfs_obs.Export
+module Sampler = Wfs_obs.Sampler
+module Units = Wfs_obs.Units
+
+(* --- name and label encoding --- *)
+
+let test_name_mapping () =
+  Alcotest.(check string)
+    "dots become underscores" "wfs_explorer_states"
+    (Export.family_of_registry_name "explorer.states");
+  Alcotest.(check string)
+    "hostile characters sanitized" "wfs_pool_shard_job_ns_p99"
+    (Export.family_of_registry_name "pool.shard/job-ns p99");
+  Alcotest.(check string)
+    "colons survive (OpenMetrics allows them)" "wfs_a:b"
+    (Export.family_of_registry_name "a:b")
+
+let test_label_escaping () =
+  let cases =
+    [ "plain"; "with \"quotes\""; "back\\slash"; "new\nline"; "\\"; "a\\" ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check string)
+        (Printf.sprintf "round trip %S" s)
+        s
+        (Export.unescape_label_value (Export.escape_label_value s)))
+    cases;
+  Alcotest.(check string)
+    "escape is exposition-safe" "a\\\\b\\\"c\\nd"
+    (Export.escape_label_value "a\\b\"c\nd")
+
+let test_split_labels () =
+  Alcotest.(check (pair string (list (pair string string))))
+    "labeled name splits" ("pool.shard.states", [ ("shard", "3") ])
+    (Export.split_labels "pool.shard.states{shard=3}");
+  Alcotest.(check (pair string (list (pair string string))))
+    "multiple labels" ("x", [ ("a", "1"); ("b", "2") ])
+    (Export.split_labels "x{a=1,b=2}");
+  Alcotest.(check (pair string (list (pair string string))))
+    "unlabeled name untouched" ("explorer.states", [])
+    (Export.split_labels "explorer.states")
+
+(* --- exposition shape --- *)
+
+let test_counter_total_suffix_and_eof () =
+  let r = Metrics.create () in
+  Metrics.Counter.add (Metrics.Counter.make ~registry:r "a.count") 7;
+  Metrics.Gauge.set (Metrics.Gauge.make ~registry:r "a.level") 3;
+  let text = Export.to_openmetrics ~registry:r () in
+  let has needle =
+    let n = String.length text and m = String.length needle in
+    let rec go i =
+      i + m <= n && (String.sub text i m = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "TYPE counter line" true
+    (has "# TYPE wfs_a_count counter\n");
+  Alcotest.(check bool) "counter sample gets _total" true
+    (has "wfs_a_count_total 7\n");
+  Alcotest.(check bool) "gauge sample has no suffix" true
+    (has "wfs_a_level 3\n");
+  Alcotest.(check bool) "ends with # EOF" true
+    (String.length text >= 6
+    && String.sub text (String.length text - 6) 6 = "# EOF\n")
+
+let test_deterministic_ordering () =
+  (* same instruments registered in opposite orders must serialize
+     identically: the dump is name-sorted, families appear in sorted
+     first-appearance order *)
+  let build names =
+    let r = Metrics.create () in
+    List.iter
+      (fun n -> Metrics.Counter.add (Metrics.Counter.make ~registry:r n) 1)
+      names;
+    Export.to_openmetrics ~registry:r ()
+  in
+  let names = [ "z.last"; "a.first"; "m.mid{shard=1}"; "m.mid{shard=0}" ] in
+  Alcotest.(check string)
+    "registration order invisible"
+    (build names)
+    (build (List.rev names))
+
+let test_kind_clash_dropped () =
+  (* "a.b" and "a_b" collide on the family name; the first kind wins and
+     the stray entry is dropped so the exposition stays parseable *)
+  let r = Metrics.create () in
+  Metrics.Counter.add (Metrics.Counter.make ~registry:r "a.b") 5;
+  Metrics.Gauge.set (Metrics.Gauge.make ~registry:r "a_b") 9;
+  let text = Export.to_openmetrics ~registry:r () in
+  let samples = Export.parse text in
+  Alcotest.(check (option (float 0.0)))
+    "winning kind present" (Some 5.0)
+    (Export.find samples "wfs_a_b_total" []);
+  Alcotest.(check int) "stray entry dropped" 1 (List.length samples)
+
+(* --- histogram expansion --- *)
+
+let test_histogram_cumulative_buckets () =
+  let r = Metrics.create () in
+  let h = Metrics.Histogram.make ~registry:r "lat" in
+  List.iter (Metrics.Histogram.observe h) [ 1; 1; 3; 100; 5_000 ];
+  let samples = Export.parse (Export.to_openmetrics ~registry:r ()) in
+  let buckets =
+    List.filter_map
+      (fun s ->
+        if s.Export.s_name = "wfs_lat_bucket" then
+          match List.assoc_opt "le" s.Export.s_labels with
+          | Some "+Inf" -> Some (infinity, s.Export.s_value)
+          | Some le -> Some (float_of_string le, s.Export.s_value)
+          | None -> None
+        else None)
+      samples
+  in
+  Alcotest.(check bool) "has buckets" true (List.length buckets >= 2);
+  (* le strictly increasing, cumulative counts non-decreasing *)
+  let rec monotone = function
+    | (le1, c1) :: ((le2, c2) :: _ as rest) ->
+        le1 < le2 && c1 <= c2 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "le and counts monotone" true (monotone buckets);
+  let count = Export.find samples "wfs_lat_count" [] in
+  let inf = List.assoc_opt infinity (List.map (fun (a, b) -> (a, b)) buckets) in
+  Alcotest.(check (option (float 0.0))) "+Inf bucket equals _count" count inf;
+  Alcotest.(check (option (float 0.0)))
+    "count is the number of observations" (Some 5.0) count;
+  Alcotest.(check (option (float 0.0)))
+    "sum matches" (Some (float_of_int (1 + 1 + 3 + 100 + 5_000)))
+    (Export.find samples "wfs_lat_sum" [])
+
+let test_empty_histogram () =
+  let r = Metrics.create () in
+  ignore (Metrics.Histogram.make ~registry:r "lat");
+  let samples = Export.parse (Export.to_openmetrics ~registry:r ()) in
+  Alcotest.(check (option (float 0.0)))
+    "+Inf bucket present at zero" (Some 0.0)
+    (Export.find samples "wfs_lat_bucket" [ ("le", "+Inf") ]);
+  Alcotest.(check (option (float 0.0)))
+    "zero count" (Some 0.0)
+    (Export.find samples "wfs_lat_count" [])
+
+(* --- round trip vs the JSON snapshot --- *)
+
+let test_round_trip_matches_snapshot () =
+  let r = Metrics.create () in
+  Metrics.Counter.add (Metrics.Counter.make ~registry:r "c.plain") 42;
+  Metrics.Counter.add
+    (Metrics.Counter.make ~registry:r
+       (Metrics.labeled "c.sharded" [ ("shard", "7") ]))
+    13;
+  Metrics.Gauge.set (Metrics.Gauge.make ~registry:r "g") (-4);
+  Metrics.Fgauge.set (Metrics.Fgauge.make ~registry:r "f") 0.375;
+  let h = Metrics.Histogram.make ~registry:r "h" in
+  List.iter (Metrics.Histogram.observe h) [ 2; 9 ];
+  let samples = Export.parse (Export.to_openmetrics ~registry:r ()) in
+  (* every dumped value is recoverable from the parsed exposition *)
+  List.iter
+    (fun (name, dumped) ->
+      let base, labels = Export.split_labels name in
+      let fam = Export.family_of_registry_name base in
+      match dumped with
+      | Metrics.D_counter n ->
+          Alcotest.(check (option (float 0.0)))
+            name
+            (Some (float_of_int n))
+            (Export.find samples (fam ^ "_total") labels)
+      | Metrics.D_gauge n ->
+          Alcotest.(check (option (float 0.0)))
+            name
+            (Some (float_of_int n))
+            (Export.find samples fam labels)
+      | Metrics.D_fgauge f ->
+          Alcotest.(check (option (float 1e-12)))
+            name (Some f)
+            (Export.find samples fam labels)
+      | Metrics.D_histogram { d_count; d_sum; _ } ->
+          Alcotest.(check (option (float 0.0)))
+            (name ^ " count")
+            (Some (float_of_int d_count))
+            (Export.find samples (fam ^ "_count") labels);
+          Alcotest.(check (option (float 0.0)))
+            (name ^ " sum")
+            (Some (float_of_int d_sum))
+            (Export.find samples (fam ^ "_sum") labels))
+    (Metrics.dump ~registry:r ())
+
+let prop_label_value_survives_exposition =
+  QCheck2.Test.make ~name:"arbitrary label values survive render+parse"
+    ~count:200
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 20))
+    (fun s ->
+      (* values are arbitrary bytes; newline leans on the \n escape,
+         everything else must pass through the quoted value untouched *)
+      let text =
+        "# TYPE wfs_m counter\nwfs_m_total{k=\""
+        ^ Export.escape_label_value s
+        ^ "\"} 3\n# EOF\n"
+      in
+      Export.find (Export.parse text) "wfs_m_total" [ ("k", s) ] = Some 3.0)
+
+let prop_counter_value_round_trips =
+  QCheck2.Test.make ~name:"counter values round-trip exactly" ~count:200
+    QCheck2.Gen.(int_range 0 max_int)
+    (fun n ->
+      let r = Metrics.create () in
+      Metrics.Counter.add (Metrics.Counter.make ~registry:r "n") n;
+      let samples = Export.parse (Export.to_openmetrics ~registry:r ()) in
+      match Export.find samples "wfs_n_total" [] with
+      | Some f -> Float.to_int f = n || float_of_int n = f
+      | None -> false)
+
+(* --- sampler ring --- *)
+
+let test_sampler_ring_and_file_sink () =
+  let r = Metrics.create () in
+  let c = Metrics.Counter.make ~registry:r "ticks" in
+  let out = Filename.temp_file "wfs_metrics" ".prom" in
+  let s =
+    Sampler.start ~registry:r ~interval_ms:5 ~capacity:3 ~out_file:out ()
+  in
+  for _ = 1 to 10 do
+    Metrics.Counter.add c 10;
+    Unix.sleepf 0.005
+  done;
+  Sampler.stop s;
+  let ring = Sampler.ring s in
+  Alcotest.(check bool) "ring non-empty" true (ring <> []);
+  Alcotest.(check bool) "capacity respected" true (List.length ring <= 3);
+  let rec newest_first = function
+    | a :: (b :: _ as rest) ->
+        a.Sampler.at_ns >= b.Sampler.at_ns && newest_first rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "newest first" true (newest_first ring);
+  (* stop takes a final sample, so the newest snap has the final value *)
+  (match Sampler.latest s with
+  | Some snap ->
+      Alcotest.(check bool) "final value sampled" true
+        (List.assoc_opt "ticks" snap.Sampler.values
+        = Some (Metrics.D_counter 100))
+  | None -> Alcotest.fail "no snapshot");
+  (* the file sink holds a complete, parseable exposition of the end *)
+  let ic = open_in_bin out in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  Alcotest.(check (option (float 0.0)))
+    "file sink has final value" (Some 100.0)
+    (Export.find (Export.parse text) "wfs_ticks_total" [])
+
+(* --- humanized units --- *)
+
+let test_units () =
+  Alcotest.(check string) "millions" "12.3M" (Units.si 12_300_000.);
+  Alcotest.(check string) "hundreds of k" "123k" (Units.si 123_400.);
+  Alcotest.(check string) "small integers bare" "999" (Units.si 999.);
+  Alcotest.(check string) "giga" "1.2G" (Units.si 1_200_000_000.);
+  Alcotest.(check string) "rate suffix" "2.5k/s" (Units.rate 2_500.);
+  Alcotest.(check string) "nanoseconds" "842ns" (Units.ns 842);
+  Alcotest.(check string) "microseconds" "1.5us" (Units.ns 1_500);
+  Alcotest.(check string) "milliseconds" "12.0ms" (Units.ns 12_000_000);
+  Alcotest.(check string) "seconds" "1.25s" (Units.ns 1_250_000_000);
+  Alcotest.(check string) "percent" "12.3%" (Units.percent 0.123)
+
+let suite =
+  [
+    ( "obs.export",
+      [
+        Alcotest.test_case "registry name -> family mapping" `Quick
+          test_name_mapping;
+        Alcotest.test_case "label value escaping round trip" `Quick
+          test_label_escaping;
+        Alcotest.test_case "labeled registry names split" `Quick
+          test_split_labels;
+        Alcotest.test_case "counter _total suffix and # EOF" `Quick
+          test_counter_total_suffix_and_eof;
+        Alcotest.test_case "deterministic ordering" `Quick
+          test_deterministic_ordering;
+        Alcotest.test_case "family kind clash drops the stray" `Quick
+          test_kind_clash_dropped;
+        Alcotest.test_case "histogram buckets cumulative, +Inf = count"
+          `Quick test_histogram_cumulative_buckets;
+        Alcotest.test_case "empty histogram still well-formed" `Quick
+          test_empty_histogram;
+        Alcotest.test_case "parse recovers every dumped value" `Quick
+          test_round_trip_matches_snapshot;
+        QCheck_alcotest.to_alcotest prop_label_value_survives_exposition;
+        QCheck_alcotest.to_alcotest prop_counter_value_round_trips;
+      ] );
+    ( "obs.sampler",
+      [
+        Alcotest.test_case "ring capacity, order, final sample, file sink"
+          `Quick test_sampler_ring_and_file_sink;
+      ] );
+    ( "obs.units",
+      [ Alcotest.test_case "humanized magnitudes" `Quick test_units ] );
+  ]

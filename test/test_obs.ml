@@ -307,8 +307,8 @@ let test_explorer_metrics_feed () =
   Metrics.reset ();
   let stats = Explorer.explore (tas_config ()) in
   Alcotest.(check int)
-    "states_visited matches stats" stats.Explorer.states
-    (counter "explorer.states_visited");
+    "states matches stats" stats.Explorer.states
+    (counter "explorer.states");
   Alcotest.(check int) "one run recorded" 1 (counter "explorer.runs");
   Alcotest.(check bool) "dedup hits seen" true (counter "explorer.dedup_hits" > 0);
   Alcotest.(check bool)
