@@ -100,10 +100,13 @@ let write_results path sections_run =
   let json =
     Obs.Json.obj
       [
-        (* /4 adds shard_states / shard_imbalance / stripe_contention to
+        (* /5 switches the perf estimators from min-of-k to median-of-k,
+           adds solver_nodes / explorer_states accounting to the perf
+           and perf-par series, and adds the por/* reduction series; /4
+           added shard_states / shard_imbalance / stripe_contention to
            the perf-par series; /3 added section_timings; /2 the
            provenance stamps; /1 fields unchanged. *)
-        ("schema", Obs.Json.str "wfs-bench/4");
+        ("schema", Obs.Json.str "wfs-bench/5");
         ("generated_unix_time", Obs.Json.float (Unix.time ()));
         ("domains_used", Obs.Json.int (Domain.recommended_domain_count ()));
         ("git_rev", Obs.Json.str (git_rev ()));
@@ -161,6 +164,24 @@ let time_once f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
+
+(* Median of [reps] wall-clock samples of [f].  The median resists
+   outliers in both directions — a page-cache-warm fluke as much as a
+   noisy neighbour — so the PR-over-PR series only moves when the
+   workload does.  (The minimum, used through wfs-bench/4, tracks the
+   fastest co-scheduling ever observed instead.) *)
+let median_time ~reps f =
+  let samples =
+    Array.init reps (fun _ ->
+        Gc.minor ();
+        snd (time_once f))
+  in
+  Array.sort Float.compare samples;
+  if reps land 1 = 1 then samples.(reps / 2)
+  else (samples.((reps / 2) - 1) +. samples.(reps / 2)) /. 2.
+
+let counter_now name =
+  Option.value ~default:0 (Obs.Metrics.counter_value name)
 
 (* ---------- F1.1: the hierarchy table ---------- *)
 
@@ -645,29 +666,27 @@ let perf () =
     | None -> 5
   in
   let time_pair name ~iters ~legacy ~fresh =
-    (* Warm both paths once, then keep the minimum over [reps] samples:
-       the minimum is the least noise-contaminated estimate on a shared
-       machine.  Each sample runs the workload [iters] times so the
+    (* Warm both paths once, then keep the median over [reps] samples.
+       Each sample runs the workload [iters] times so the
        sub-millisecond workloads are measurable with gettimeofday. *)
     ignore (legacy ());
     ignore (fresh ());
-    let best f =
-      let t = ref infinity in
-      for _ = 1 to reps do
-        Gc.minor ();
-        let (), dt =
-          time_once (fun () ->
-              for _ = 1 to iters do
-                ignore (f ())
-              done)
-        in
-        let per_call = dt /. float_of_int iters in
-        if per_call < !t then t := per_call
-      done;
-      !t
+    let sample f =
+      median_time ~reps (fun () ->
+          for _ = 1 to iters do
+            ignore (f ())
+          done)
+      /. float_of_int iters
     in
-    let t_old = best legacy in
-    let t_new = best fresh in
+    let t_old = sample legacy in
+    (* search-size accounting for the new path: counter deltas across
+       the timed samples, normalized back to one call, so the json
+       carries work alongside seconds *)
+    let n0 = counter_now "solver.nodes" and s0 = counter_now "explorer.states" in
+    let t_new = sample fresh in
+    let calls = reps * iters in
+    let per_call d = (counter_now d - (if d = "solver.nodes" then n0 else s0)) / calls in
+    let nodes = per_call "solver.nodes" and states = per_call "explorer.states" in
     let speedup = t_old /. t_new in
     record_series ("perf/" ^ name)
       (Obs.Json.obj
@@ -677,6 +696,8 @@ let perf () =
            ("speedup", Obs.Json.float speedup);
            ("reps", Obs.Json.int reps);
            ("iters_per_rep", Obs.Json.int iters);
+           ("solver_nodes", Obs.Json.int nodes);
+           ("explorer_states", Obs.Json.int states);
          ]);
     Fmt.pr "  %-34s legacy %9.2f ms   new %9.2f ms   speedup %5.2fx@." name
       (t_old *. 1e3) (t_new *. 1e3) speedup
@@ -757,15 +778,7 @@ let perf_par () =
     | Some s -> ( try max 10_000 (int_of_string s) with Failure _ -> 1_000_000)
     | None -> 1_000_000
   in
-  let best f =
-    let t = ref infinity in
-    for _ = 1 to reps do
-      Gc.minor ();
-      let (), dt = time_once f in
-      if dt < !t then t := dt
-    done;
-    !t
-  in
+  let best f = median_time ~reps f in
   (* Load-balance accounting around the timed reps: per-shard states
      claimed (from the pool.shard.states series the engines feed) and
      interner stripe try_lock contention, as before/after deltas. *)
@@ -794,7 +807,12 @@ let perf_par () =
             let run () = work pool in
             run () (* warm *);
             let states0 = shard_states j and cont0 = contention () in
+            let nodes0 = counter_now "solver.nodes" in
+            let explored0 = counter_now "explorer.states" in
             let t = best run in
+            let per_rep c0 name = (counter_now name - c0) / reps in
+            let nodes = per_rep nodes0 "solver.nodes" in
+            let explored = per_rep explored0 "explorer.states" in
             let deltas =
               List.map2 (fun b a -> a - b) states0 (shard_states j)
             in
@@ -821,6 +839,8 @@ let perf_par () =
                    ("shard_states", Obs.Json.list (List.map Obs.Json.int deltas));
                    ("shard_imbalance", Obs.Json.float imbalance);
                    ("stripe_contention", Obs.Json.int (contention () - cont0));
+                   ("solver_nodes", Obs.Json.int nodes);
+                   ("explorer_states", Obs.Json.int explored);
                  ]);
             Fmt.pr
               "  %-28s j=%d  %8.3f s   speedup %5.2fx   imbalance %.2f@."
@@ -838,6 +858,120 @@ let perf_par () =
   let aq5 = Aug_queue_consensus.protocol ~n:5 () in
   curve "explore-aug-queue-n5" (fun pool ->
       ignore (Protocol.verify ?pool aq5))
+
+(* ---------- PERF-POR: partial-order reduction, same verdicts ---------- *)
+
+let perf_por () =
+  section
+    "PERF-POR  partial-order reduction: search-size before/after at \
+     identical verdicts (solver sleep-set cutoffs + explorer sleep sets)";
+  let budget =
+    match Sys.getenv_opt "WFS_POR_BUDGET" with
+    | Some s -> ( try max 10_000 (int_of_string s) with Failure _ -> 2_000_000)
+    | None -> 2_000_000
+  in
+  (* The acceptance workload: the full solver census, unreduced vs
+     reduced, at the same node budget.  Verdicts, winning inits and the
+     printed table must match row for row; only node counts change. *)
+  let off, t_off = time_once (fun () -> Census.run ~max_nodes:budget ~por:false ()) in
+  let on_, t_on = time_once (fun () -> Census.run ~max_nodes:budget ~por:true ()) in
+  let outcome o = Fmt.str "%a" Census.pp_outcome o in
+  let total_off = ref 0 and total_on = ref 0 in
+  let all_match = ref true in
+  List.iter2
+    (fun (a : Census.measurement) (b : Census.measurement) ->
+      let (o2a, n2a) = a.Census.two_proc and (o3a, n3a) = a.Census.three_proc in
+      let (o2b, n2b) = b.Census.two_proc and (o3b, n3b) = b.Census.three_proc in
+      let verdicts_match =
+        outcome o2a = outcome o2b && outcome o3a = outcome o3b
+        && Option.equal Value.equal a.Census.winning_init2 b.Census.winning_init2
+        && Option.equal Value.equal a.Census.winning_init3 b.Census.winning_init3
+      in
+      (* At small budgets the unreduced search can hit the node cap
+         where the reduced one concludes — a budget-boundary artifact,
+         not a soundness difference (per-verdict results are identical
+         whenever both searches complete).  Only an uncapped mismatch
+         is alarming. *)
+      let budget_capped =
+        List.exists (fun o -> o = Census.Budget) [ o2a; o3a; o2b; o3b ]
+      in
+      if not (verdicts_match || budget_capped) then all_match := false;
+      total_off := !total_off + n2a + n3a;
+      total_on := !total_on + n2b + n3b;
+      let reduction =
+        if n2b + n3b > 0 then float_of_int (n2a + n3a) /. float_of_int (n2b + n3b)
+        else 1.
+      in
+      record_series ("por/census/" ^ a.Census.object_name)
+        (Obs.Json.obj
+           [
+             ("outcome2", Obs.Json.str (outcome o2b));
+             ("outcome3", Obs.Json.str (outcome o3b));
+             ("nodes2_nopor", Obs.Json.int n2a);
+             ("nodes2_por", Obs.Json.int n2b);
+             ("nodes3_nopor", Obs.Json.int n3a);
+             ("nodes3_por", Obs.Json.int n3b);
+             ("reduction", Obs.Json.float reduction);
+             ("verdicts_match", Obs.Json.bool verdicts_match);
+             ("budget_capped", Obs.Json.bool budget_capped);
+           ]);
+      Fmt.pr "  %-22s %-11s nodes %10d -> %10d  (%5.2fx)%s@."
+        a.Census.object_name
+        (outcome o2b ^ "/" ^ outcome o3b)
+        (n2a + n3a) (n2b + n3b) reduction
+        (if verdicts_match then ""
+         else if budget_capped then "  (budget-capped; not comparable)"
+         else "  VERDICT MISMATCH"))
+    off on_;
+  let total_reduction =
+    if !total_on > 0 then float_of_int !total_off /. float_of_int !total_on
+    else 1.
+  in
+  record_series "por/census-total"
+    (Obs.Json.obj
+       [
+         ("budget", Obs.Json.int budget);
+         ("nodes_nopor", Obs.Json.int !total_off);
+         ("nodes_por", Obs.Json.int !total_on);
+         ("reduction", Obs.Json.float total_reduction);
+         ("seconds_nopor", Obs.Json.float t_off);
+         ("seconds_por", Obs.Json.float t_on);
+         ("verdicts_match", Obs.Json.bool !all_match);
+       ]);
+  Fmt.pr "  census total: %d -> %d solver nodes (%.2fx), %.1fs -> %.1fs, \
+          verdicts %s@."
+    !total_off !total_on total_reduction t_off t_on
+    (if !all_match then "identical (where both searches complete)"
+     else "MISMATCH");
+  (* Explorer side: sleep-set pruning on the protocol verifications.
+     [explorer.por.pruned] counts edges never generated; all states are
+     still visited, so the stats structs stay byte-identical (the
+     engine.por suite asserts that — here we record the rates). *)
+  let pruned () =
+    Option.value ~default:0 (Obs.Metrics.counter_value "explorer.por.pruned")
+  in
+  let explore name protocol =
+    let r_off, t0 = time_once (fun () -> Protocol.verify ~por:false protocol) in
+    let p0 = pruned () in
+    let r_on, t1 = time_once (fun () -> Protocol.verify protocol) in
+    let edges_pruned = pruned () - p0 in
+    let same = r_off.Protocol.states = r_on.Protocol.states in
+    record_series ("por/explore/" ^ name)
+      (Obs.Json.obj
+         [
+           ("states", Obs.Json.int r_on.Protocol.states);
+           ("edges_pruned", Obs.Json.int edges_pruned);
+           ("seconds_nopor", Obs.Json.float t0);
+           ("seconds_por", Obs.Json.float t1);
+           ("states_match", Obs.Json.bool same);
+         ]);
+    Fmt.pr "  explore %-22s states %8d  pruned edges %8d  %.2fs -> %.2fs%s@."
+      name r_on.Protocol.states edges_pruned t0 t1
+      (if same then "" else "  STATE-COUNT MISMATCH")
+  in
+  explore "cas-n3" (Cas_consensus.protocol ~n:3 ());
+  explore "mem-swap-n3" (Swap_consensus.protocol ~n:3 ());
+  explore "aug-queue-n4" (Aug_queue_consensus.protocol ~n:4 ())
 
 (* ---------- EXT-2: Lamport 1P/1C queue (§3.3) ---------- *)
 
@@ -1106,6 +1240,7 @@ let sections : (string * (unit -> unit)) list =
     ("fault", fault_bench);
     ("perf", perf);
     ("perf-par", perf_par);
+    ("perf-por", perf_por);
     ("profile", profile_overhead);
   ]
 

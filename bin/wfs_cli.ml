@@ -44,6 +44,17 @@ let jobs_arg =
            1 = sequential engines, byte-identical to previous releases; \
            0 = one domain per core.")
 
+let no_por_arg =
+  Arg.(
+    value & flag
+    & info [ "no-por" ]
+        ~doc:
+          "Disable the sleep-set partial-order reductions in the \
+           explorer and solver. Verdicts, tables and counterexamples \
+           are identical either way; with the flag the unreduced \
+           searches of previous releases are reproduced byte for byte \
+           (differential runs, search-size comparisons).")
+
 (* Returns [None] for invalid [j] so callers can exit 2 uniformly. *)
 let with_jobs j f =
   if j < 0 then None
@@ -155,12 +166,12 @@ let obs_setup ~progress ~profile ?metrics_out ?metrics_port ~label
 let hierarchy_full_arg =
   Arg.(value & flag & info [ "full" ] ~doc:"Include the expensive solver instances (minutes).")
 
-let hierarchy_run ~progress ~profile ?metrics_out ?metrics_port full j =
+let hierarchy_run ~progress ~profile ?metrics_out ?metrics_port full no_por j =
   obs_setup ~progress ~profile ?metrics_out ?metrics_port ~label:"hierarchy"
     (fun () ->
       match
         with_jobs j (fun pool ->
-            let table = Table.generate ?pool ~full () in
+            let table = Table.generate ?pool ~full ~por:(not no_por) () in
             Fmt.pr "%a@." Table.pp table;
             if Table.consistent table then begin
               Fmt.pr "@.All rows consistent with Figure 1-1.@.";
@@ -175,14 +186,14 @@ let hierarchy_run ~progress ~profile ?metrics_out ?metrics_port full j =
       | None -> bad_jobs j)
 
 let hierarchy_cmd =
-  let run full j progress profile metrics_out metrics_port =
-    hierarchy_run ~progress ~profile ?metrics_out ?metrics_port full j
+  let run full no_por j progress profile metrics_out metrics_port =
+    hierarchy_run ~progress ~profile ?metrics_out ?metrics_port full no_por j
   in
   Cmd.v
     (Cmd.info "hierarchy" ~doc:"Regenerate the Figure 1-1 hierarchy table")
     Term.(
-      const run $ hierarchy_full_arg $ jobs_arg $ progress_arg $ profile_arg
-      $ metrics_out_arg $ metrics_port_arg)
+      const run $ hierarchy_full_arg $ no_por_arg $ jobs_arg $ progress_arg
+      $ profile_arg $ metrics_out_arg $ metrics_port_arg)
 
 (* --- verify --- *)
 
@@ -216,7 +227,7 @@ let verify_crashes_arg =
            semantics.")
 
 let verify_run ~progress ~profile ?metrics_out ?metrics_port key n max_states
-    max_depth out crashes j =
+    max_depth out crashes no_por j =
   if crashes < 0 || crashes >= n then begin
     Fmt.epr "--crashes must be in [0, n-1] (got %d with n = %d)@." crashes n;
     2
@@ -236,8 +247,8 @@ let verify_run ~progress ~profile ?metrics_out ?metrics_port key n max_states
             match
               with_jobs j (fun pool ->
                   let report =
-                    Protocol.verify ~max_states ~max_depth ~crashes ?pool
-                      protocol
+                    Protocol.verify ~max_states ~max_depth ~crashes
+                      ~por:(not no_por) ?pool protocol
                   in
                   Fmt.pr "%s (%s), n = %d:@.%a@." protocol.Protocol.name
                     protocol.Protocol.theorem n Protocol.pp_report report;
@@ -281,10 +292,10 @@ let verify_cmd =
             "On violation, export the counterexample schedule to $(docv) \
              as replayable JSON (see the replay subcommand).")
   in
-  let run key n max_states max_depth out crashes j progress profile
+  let run key n max_states max_depth out crashes no_por j progress profile
       metrics_out metrics_port =
     verify_run ~progress ~profile ?metrics_out ?metrics_port key n max_states
-      max_depth out crashes j
+      max_depth out crashes no_por j
   in
   Cmd.v
     (Cmd.info "verify"
@@ -293,8 +304,9 @@ let verify_cmd =
           optionally under a crash-stop adversary (--crashes)")
     Term.(
       const run $ verify_key_arg $ verify_n_arg $ verify_max_states_arg
-      $ verify_max_depth_arg $ out $ verify_crashes_arg $ jobs_arg
-      $ progress_arg $ profile_arg $ metrics_out_arg $ metrics_port_arg)
+      $ verify_max_depth_arg $ out $ verify_crashes_arg $ no_por_arg
+      $ jobs_arg $ progress_arg $ profile_arg $ metrics_out_arg
+      $ metrics_port_arg)
 
 (* --- replay --- *)
 
@@ -458,7 +470,7 @@ let census_max_depth_arg =
            instances; defaults are 2 and 1).")
 
 let census_run ~progress ~profile ?metrics_out ?metrics_port budget max_states
-    max_depth j =
+    max_depth no_por j =
   let max_nodes =
     match max_states with Some s -> min s budget | None -> budget
   in
@@ -472,7 +484,9 @@ let census_run ~progress ~profile ?metrics_out ?metrics_port budget max_states
               "solver-only census (bounded: n=2 within %d op(s), n=3 within %d \
                op(s),@.over initializations reachable in ≤ 2 operations):@.@."
               depth2 depth3;
-            let results = Census.run ~depth2 ~depth3 ~max_nodes ?pool () in
+            let results =
+              Census.run ~depth2 ~depth3 ~max_nodes ~por:(not no_por) ?pool ()
+            in
             Fmt.pr "%a@." Census.pp results;
             let budget_hit =
               List.exists
@@ -493,10 +507,10 @@ let census_run ~progress ~profile ?metrics_out ?metrics_port budget max_states
       | None -> bad_jobs j)
 
 let census_cmd =
-  let run budget max_states max_depth j progress profile metrics_out
+  let run budget max_states max_depth no_por j progress profile metrics_out
       metrics_port =
     census_run ~progress ~profile ?metrics_out ?metrics_port budget max_states
-      max_depth j
+      max_depth no_por j
   in
   Cmd.v
     (Cmd.info "census"
@@ -505,8 +519,8 @@ let census_cmd =
           solver alone")
     Term.(
       const run $ census_budget_arg $ census_max_states_arg
-      $ census_max_depth_arg $ jobs_arg $ progress_arg $ profile_arg
-      $ metrics_out_arg $ metrics_port_arg)
+      $ census_max_depth_arg $ no_por_arg $ jobs_arg $ progress_arg
+      $ profile_arg $ metrics_out_arg $ metrics_port_arg)
 
 (* --- critical --- *)
 
@@ -697,11 +711,16 @@ module Live = struct
     add "%s  %s\n\n" (bold title)
       (dim (Printf.sprintf "interval %.1fs" dt));
     (* exploration: states/sec is the headline number of every engine *)
-    add "%s  %s states  %s   frontier %s\n"
+    add "%s  %s states  %s   frontier %s%s\n"
       (bold "explore ")
       (Obs.Units.si (v "wfs_explorer_states_total"))
       (rate "wfs_explorer_states_total")
-      (Obs.Units.si (v "wfs_explorer_frontier"));
+      (Obs.Units.si (v "wfs_explorer_frontier"))
+      (let p = v "wfs_explorer_por_pruned_total" in
+       if p > 0. then
+         Printf.sprintf "   por-pruned %s  %s" (Obs.Units.si p)
+           (rate "wfs_explorer_por_pruned_total")
+       else "");
     (* per-shard load: one row per pool member with any series *)
     (match shards cur with
     | [] -> ()
@@ -730,7 +749,7 @@ module Live = struct
            (ratio (d "wfs_intern_hits_total") (d "wfs_intern_lookups_total")))
         (rate "wfs_intern_contention_total");
     if v "wfs_solver_nodes_total" > 0. then
-      add "%s  %s nodes  %s   memo hit %s\n"
+      add "%s  %s nodes  %s   memo hit %s%s\n"
         (bold "solver  ")
         (Obs.Units.si (v "wfs_solver_nodes_total"))
         (rate "wfs_solver_nodes_total")
@@ -738,7 +757,12 @@ module Live = struct
            (ratio
               (d "wfs_solver_memo_hits_total")
               (d "wfs_solver_memo_hits_total"
-              +. d "wfs_solver_memo_misses_total")));
+              +. d "wfs_solver_memo_misses_total")))
+        (let c = v "wfs_solver_cutoff_sleep_total" in
+         if c > 0. then
+           Printf.sprintf "   sleep cut %s  %s" (Obs.Units.si c)
+             (rate "wfs_solver_cutoff_sleep_total")
+         else "");
     let hist = "wfs_universal_rt_wait_free_help_rounds_hist" in
     if v (hist ^ "_count") > 0. then
       add "%s  %s ops  %s   help rounds p50 %s p99 %s   announce %.0f   log %s\n"
@@ -1112,7 +1136,7 @@ let profile_cmd =
   let verify =
     let run key n max_states max_depth crashes j progress out =
       verify_run ~progress ~profile:(Some out) key n max_states max_depth None
-        crashes j
+        crashes false j
     in
     Cmd.v
       (Cmd.info "verify" ~doc:"Profile an exhaustive protocol verification")
@@ -1123,7 +1147,8 @@ let profile_cmd =
   in
   let census =
     let run budget max_states max_depth j progress out =
-      census_run ~progress ~profile:(Some out) budget max_states max_depth j
+      census_run ~progress ~profile:(Some out) budget max_states max_depth
+        false j
     in
     Cmd.v
       (Cmd.info "census" ~doc:"Profile the solver census over the zoo")
@@ -1133,7 +1158,7 @@ let profile_cmd =
   in
   let hierarchy =
     let run full j progress out =
-      hierarchy_run ~progress ~profile:(Some out) full j
+      hierarchy_run ~progress ~profile:(Some out) full false j
     in
     Cmd.v
       (Cmd.info "hierarchy"

@@ -78,8 +78,8 @@ let candidate_inits ?(max_candidates = 16) (spec : Object_spec.t) =
 
 (* Solve for one process count, trying each candidate initialization
    until one admits a protocol. *)
-let solve_any_init ~n ~depth ~max_nodes ~intern_views (spec : Object_spec.t)
-    inits =
+let solve_any_init ~n ~depth ~max_nodes ~intern_views ~por
+    (spec : Object_spec.t) inits =
   Wfs_obs.Profile.span ~cat:"census"
     ~args:(fun () ->
       [
@@ -95,7 +95,7 @@ let solve_any_init ~n ~depth ~max_nodes ~intern_views (spec : Object_spec.t)
     | init :: rest -> (
         let spec' = { spec with Object_spec.init } in
         let verdict, nodes =
-          Solver.solve_with_stats ~max_nodes ~intern_views
+          Solver.solve_with_stats ~max_nodes ~intern_views ~por
             (Solver.of_spec ~n ~depth spec')
         in
         let total_nodes = total_nodes + nodes in
@@ -122,13 +122,14 @@ let assemble ~depth2 ~depth3 (spec : Object_spec.t) inits
   }
 
 let measure ?(depth2 = 2) ?(depth3 = 1) ?(max_nodes = 20_000_000)
-    ?(max_candidates = 16) ?(intern_views = true) (spec : Object_spec.t) =
+    ?(max_candidates = 16) ?(intern_views = true) ?(por = true)
+    (spec : Object_spec.t) =
   let inits = candidate_inits ~max_candidates spec in
   let two =
-    solve_any_init ~n:2 ~depth:depth2 ~max_nodes ~intern_views spec inits
+    solve_any_init ~n:2 ~depth:depth2 ~max_nodes ~intern_views ~por spec inits
   in
   let three =
-    solve_any_init ~n:3 ~depth:depth3 ~max_nodes ~intern_views spec inits
+    solve_any_init ~n:3 ~depth:depth3 ~max_nodes ~intern_views ~por spec inits
   in
   assemble ~depth2 ~depth3 spec inits two three
 
@@ -140,11 +141,24 @@ let measure ?(depth2 = 2) ?(depth3 = 1) ?(max_nodes = 20_000_000)
 
    With [pool], the (object, n) solver instances — two per zoo entry —
    become independent pool jobs; every instance allocates its own
-   solver tables, so jobs share nothing.  Measurements are reassembled
-   in zoo order from per-instance results, making the census output
-   byte-identical to the sequential one. *)
+   solver tables, so jobs share nothing.  Jobs are issued to the pool
+   heaviest-first — instance cost grows steeply with the process count
+   and the branching factor (menu × candidate initializations), and a
+   heavy job dispatched last leaves every other domain idle behind it —
+   then results are inverse-permuted so measurements are reassembled in
+   zoo order, making the census output byte-identical to the sequential
+   one. *)
+
+(* A cheap static cost proxy for scheduling only: the game tree
+   branches on roughly (menu + decide) moves per ply over n·depth
+   plies, once per candidate initialization.  Only the relative order
+   matters. *)
+let job_weight (spec, inits, n, depth) =
+  let branch = float_of_int (List.length spec.Object_spec.menu + 1) in
+  float_of_int (List.length inits) *. (branch ** float_of_int (n * depth))
+
 let run ?(depth2 = 2) ?(depth3 = 1) ?(max_nodes = 20_000_000)
-    ?(intern_views = true) ?pool () =
+    ?(intern_views = true) ?(por = true) ?pool () =
   let specs = Zoo.all () in
   match pool with
   | Some p when Wfs_sim.Pool.size p > 1 ->
@@ -156,12 +170,22 @@ let run ?(depth2 = 2) ?(depth3 = 1) ?(max_nodes = 20_000_000)
                [ (spec, inits, 2, depth2); (spec, inits, 3, depth3) ])
              specs)
       in
-      let halves =
+      let order = Array.init (Array.length jobs) (fun i -> i) in
+      Array.sort
+        (fun i j ->
+          match compare (job_weight jobs.(j)) (job_weight jobs.(i)) with
+          | 0 -> compare i j
+          | c -> c)
+        order;
+      let results =
         Wfs_sim.Pool.parallel_map p
-          (fun (spec, inits, n, depth) ->
-            solve_any_init ~n ~depth ~max_nodes ~intern_views spec inits)
-          jobs
+          (fun i ->
+            let spec, inits, n, depth = jobs.(i) in
+            solve_any_init ~n ~depth ~max_nodes ~intern_views ~por spec inits)
+          order
       in
+      let halves = Array.make (Array.length jobs) results.(0) in
+      Array.iteri (fun k i -> halves.(i) <- results.(k)) order;
       List.mapi
         (fun i spec ->
           let spec', inits, _, _ = jobs.(2 * i) in
@@ -171,7 +195,8 @@ let run ?(depth2 = 2) ?(depth3 = 1) ?(max_nodes = 20_000_000)
         specs
   | _ ->
       List.map
-        (fun spec -> measure ~depth2 ~depth3 ~max_nodes ~intern_views spec)
+        (fun spec ->
+          measure ~depth2 ~depth3 ~max_nodes ~intern_views ~por spec)
         specs
 
 let pp_outcome ppf = function

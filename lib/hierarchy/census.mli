@@ -32,18 +32,23 @@ val candidate_inits : ?max_candidates:int -> Object_spec.t -> Value.t list
 
 (** [intern_views] (default true) is forwarded to
     {!Solver.solve_with_stats} — identical verdicts either way; the
-    PERF bench section measures the difference. *)
+    PERF bench section measures the difference.  [por] (default true)
+    likewise forwards the solver's sleep-set cutoffs: verdicts and
+    winning initializations are identical either way, only the
+    per-verdict node counts shrink ([por:false] reproduces the
+    unreduced counts). *)
 val measure :
   ?depth2:int -> ?depth3:int -> ?max_nodes:int -> ?max_candidates:int ->
-  ?intern_views:bool -> Object_spec.t -> measurement
+  ?intern_views:bool -> ?por:bool -> Object_spec.t -> measurement
 
 (** [pool] shards the census across a domain pool: each (object, n)
-    solver instance is an independent job, and measurements are
-    reassembled in zoo order — the output is byte-identical to the
-    sequential census. *)
+    solver instance is an independent job, issued heaviest-first so a
+    big instance never straggles behind an otherwise-drained batch, and
+    measurements are reassembled in zoo order — the output is
+    byte-identical to the sequential census. *)
 val run :
   ?depth2:int -> ?depth3:int -> ?max_nodes:int -> ?intern_views:bool ->
-  ?pool:Wfs_sim.Pool.t -> unit -> measurement list
+  ?por:bool -> ?pool:Wfs_sim.Pool.t -> unit -> measurement list
 
 val pp_outcome : outcome Fmt.t
 val pp_measurement : measurement Fmt.t

@@ -49,9 +49,17 @@ type verdict =
 (* Persistent game state.  Each scheduler branch must be explored from
    the same state, while the partial strategy is shared globally across
    branches — so the state is copied on update and passed explicitly,
-   and only the strategy table is mutated (with undo on backtrack). *)
-type state = {
+   and only the strategy table is mutated (with undo on backtrack).
+
+   ['k] is the σ-key type of the strategy-table backend: each process's
+   key for its current view is computed once, when the view is built,
+   and carried in [skeys] — σ lookups (the memo probe in [step], the
+   dominance peeks of the sleep-set reduction) then skip re-hashing the
+   view.  Keys are pure functions of (pid, view), so the caching is
+   semantically invisible. *)
+type 'k state = {
   views : Value.t array;  (* response history per process, latest first *)
+  skeys : 'k array;  (* σ-key of each process's current view *)
   steps : int array;  (* operations taken per process *)
   decisions : int array;  (* decision per process, -1 if undecided *)
   env_state : Env.state;
@@ -93,6 +101,11 @@ module M = struct
      opens an existential choice point *)
   let memo_hits = Counter.make "solver.memo.hits"
   let memo_misses = Counter.make "solver.memo.misses"
+
+  (* game-tree pruning: scheduler branches skipped because they are
+     independence-dominated by an already-explored sibling (sleep
+     sets over the forall player's choices) *)
+  let cutoff_sleep = Counter.make "solver.cutoff.sleep"
 
   (* the process-wide states-explored counter shared with the explorer
      (same registry name, hence the same instrument): solver schedule
@@ -156,16 +169,17 @@ let legacy_sigma () =
     sigma_flush_metrics = ignore;
   }
 
-let solve_with_ops (type k) ~max_nodes ~prune_agreement (ops : k sigma_ops)
-    inst =
+let solve_with_ops (type k) ~max_nodes ~prune_agreement ~indep
+    (ops : k sigma_ops) inst =
   let nodes = ref 0 in
   let memo_h = ref 0 and memo_m = ref 0 in
+  let sleep_cut = ref 0 in
   (* live flush, batched: all counters below are plain refs on the
      search path; every 8192 nodes the deltas go to the registry (and
      the running pool member's shard series), so a mid-run scrape sees
      progress at a cost of one masked test per node *)
   let nodes_flushed = ref 0 and memo_h_flushed = ref 0
-  and memo_m_flushed = ref 0 in
+  and memo_m_flushed = ref 0 and sleep_cut_flushed = ref 0 in
   let live_flush () =
     let d = !nodes - !nodes_flushed in
     let open Wfs_obs.Metrics in
@@ -174,13 +188,16 @@ let solve_with_ops (type k) ~max_nodes ~prune_agreement (ops : k sigma_ops)
     Pool.note_states d;
     Counter.add M.memo_hits (!memo_h - !memo_h_flushed);
     Counter.add M.memo_misses (!memo_m - !memo_m_flushed);
+    Counter.add M.cutoff_sleep (!sleep_cut - !sleep_cut_flushed);
     nodes_flushed := !nodes;
     memo_h_flushed := !memo_h;
-    memo_m_flushed := !memo_m
+    memo_m_flushed := !memo_m;
+    sleep_cut_flushed := !sleep_cut
   in
   let initial =
     {
       views = Array.make inst.n (Value.list []);
+      skeys = Array.init inst.n (fun pid -> ops.sigma_key pid (Value.list []));
       steps = Array.make inst.n 0;
       decisions = Array.make inst.n (-1);
       env_state = Env.init inst.env;
@@ -202,29 +219,91 @@ let solve_with_ops (type k) ~max_nodes ~prune_agreement (ops : k sigma_ops)
     in
     go 0
   in
-  (* [schedules st k]: every schedule from [st] succeeds under the
+  (* [schedules st sleep k]: every schedule from [st] succeeds under the
      current strategy (extending it existentially where unassigned), and
-     then the remaining obligations [k] hold. *)
-  let rec schedules st (k : unit -> bool) : bool =
+     then the remaining obligations [k] hold.
+
+     [sleep] is a bitmask of undecided processes whose next branch is
+     *dominated*: the process's σ-assigned action is independent of
+     every move taken since the ancestor node at which its branch was
+     explored, so any schedule moving it here is a transposition of an
+     already-verified sibling schedule — same joint states, same views,
+     same σ lookups, same game value.  Skipping it is the sleep-set
+     reduction over the universal player's choices; with [indep = None]
+     the mask is always 0 and the search is the original one, node for
+     node. *)
+  let rec schedules st sleep (k : unit -> bool) : bool =
     incr nodes;
     if !nodes land 8191 = 0 then live_flush ();
     if !nodes > max_nodes then raise Budget;
     if st.undecided = 0 then agreement_ok st && k ()
-    else begin
+    else
       let rec obligations pid =
         if pid >= inst.n then k ()
         else if st.decisions.(pid) >= 0 then obligations (pid + 1)
-        else step st pid (fun () -> obligations (pid + 1))
+        else if sleep land (1 lsl pid) <> 0 then begin
+          incr sleep_cut;
+          obligations (pid + 1)
+        end
+        else step st sleep pid (fun () -> obligations (pid + 1))
       in
       obligations 0
-    end
-  and step st pid k =
-    let view = st.views.(pid) in
-    let skey = ops.sigma_key pid view in
+  (* the σ-assigned action of [pid] at its current view, if any — used
+     only to decide dominance, so it must not perturb the memo-hit
+     accounting *)
+  and peek st pid = ops.sigma_find st.skeys.(pid)
+  (* May the actions [aq] (by [q]) and [a] (by [pid]) be transposed at
+     [st]?  Do/Do pairs consult the semantic diamond; a Decide naming a
+     process that has not yet stepped is dependent on that process's
+     moves, because transposing them flips the decide's validity.
+     [stepped] bits only grow along a schedule, so independence here is
+     stable at every descendant — the monotonicity sleep sets need. *)
+  and indep_action st q aq pid a =
+    let unstepped j = st.stepped land (1 lsl j) = 0 in
+    let decide_indep decider j mover =
+      not (j <> decider && j = mover && unstepped j)
+    in
+    match (aq, a) with
+    | Do (o1, op1), Do (o2, op2) -> (
+        match indep with
+        | Some ind ->
+            Independence.independent_at ind st.env_state o1 op1 o2 op2
+        | None -> false)
+    | Decide j, Do _ -> decide_indep q j pid
+    | Do _, Decide j -> decide_indep pid j q
+    | Decide j, Decide j' -> decide_indep q j pid && decide_indep pid j' q
+  (* Sleep mask for the subtree entered by [pid] doing [a]: an
+     undecided [q] is dominated there when its branch was already
+     covered at this node (explored as an earlier sibling, or itself
+     asleep on arrival), its next action is σ-determined, and that
+     action is independent of [a].  σ entries consulted here were
+     necessarily set at or above this node's choice points, so they
+     survive for the lifetime of the subtree. *)
+  and child_sleep st sleep pid a =
+    match indep with
+    | None -> 0
+    | Some _ ->
+      begin
+      let m = ref 0 in
+      for q = 0 to inst.n - 1 do
+        if
+          q <> pid
+          && st.decisions.(q) < 0
+          && (sleep land (1 lsl q) <> 0 || q < pid)
+        then
+          match peek st q with
+          | Some aq when indep_action st q aq pid a ->
+              m := !m lor (1 lsl q)
+          | _ -> ()
+      done;
+      !m
+      end
+  and step st sleep pid k =
+    let skey = st.skeys.(pid) in
     match ops.sigma_find skey with
     | Some a ->
         incr memo_h;
-        apply st pid a k
+        apply st sleep pid a k
     | None ->
         incr memo_m;
         let ops_allowed = st.steps.(pid) < inst.depth in
@@ -237,11 +316,11 @@ let solve_with_ops (type k) ~max_nodes ~prune_agreement (ops : k sigma_ops)
         List.exists
           (fun a ->
             ops.sigma_set skey a;
-            let ok = apply st pid a k in
+            let ok = apply st sleep pid a k in
             if not ok then ops.sigma_remove skey;
             ok)
           cands
-  and apply st pid a k =
+  and apply st sleep pid a k =
     match a with
     | Decide j ->
         (* validity: j must have stepped, or be the decider *)
@@ -261,6 +340,7 @@ let solve_with_ops (type k) ~max_nodes ~prune_agreement (ops : k sigma_ops)
               undecided = st.undecided - 1;
               stepped = st.stepped lor (1 lsl pid);
             }
+            (child_sleep st sleep pid a)
             k
     | Do (obj, op) ->
         if st.steps.(pid) >= inst.depth then false
@@ -268,22 +348,25 @@ let solve_with_ops (type k) ~max_nodes ~prune_agreement (ops : k sigma_ops)
           match Env.apply inst.env st.env_state obj op with
           | exception Object_spec.Unknown_operation _ -> false
           | env_state, res ->
+              let view' =
+                Value.list (res :: Value.as_list st.views.(pid))
+              in
               schedules
                 {
-                  views =
-                    set st.views pid
-                      (Value.list (res :: Value.as_list st.views.(pid)));
+                  views = set st.views pid view';
+                  skeys = set st.skeys pid (ops.sigma_key pid view');
                   steps = set st.steps pid (st.steps.(pid) + 1);
                   decisions = st.decisions;
                   env_state;
                   stepped = st.stepped lor (1 lsl pid);
                   undecided = st.undecided;
                 }
+                (child_sleep st sleep pid a)
                 k
         end
   in
   let verdict =
-    match schedules initial (fun () -> true) with
+    match schedules initial 0 (fun () -> true) with
     | true ->
         Solvable
           (List.sort
@@ -302,17 +385,27 @@ let solve_with_ops (type k) ~max_nodes ~prune_agreement (ops : k sigma_ops)
   (verdict, !nodes)
 
 let solve_with_stats ?(max_nodes = 20_000_000) ?(prune_agreement = true)
-    ?(intern_views = true) inst =
+    ?(intern_views = true) ?(por = true) inst =
   Wfs_obs.Profile.span ~cat:"solver"
     ~args:(fun () -> [ ("n", Wfs_obs.Json.int inst.n) ])
     "solver.solve"
     (fun () ->
+      let indep =
+        if por then
+          Some
+            (Wfs_obs.Profile.span ~cat:"solver" "solver.independence"
+               (fun () -> Independence.of_env inst.env))
+        else None
+      in
       if intern_views then
-        solve_with_ops ~max_nodes ~prune_agreement (interned_sigma inst.n) inst
-      else solve_with_ops ~max_nodes ~prune_agreement (legacy_sigma ()) inst)
+        solve_with_ops ~max_nodes ~prune_agreement ~indep
+          (interned_sigma inst.n) inst
+      else
+        solve_with_ops ~max_nodes ~prune_agreement ~indep (legacy_sigma ())
+          inst)
 
-let solve ?max_nodes ?prune_agreement ?intern_views inst =
-  fst (solve_with_stats ?max_nodes ?prune_agreement ?intern_views inst)
+let solve ?max_nodes ?prune_agreement ?intern_views ?por inst =
+  fst (solve_with_stats ?max_nodes ?prune_agreement ?intern_views ?por inst)
 
 let pp_action ppf = function
   | Do (obj, op) -> Fmt.pf ppf "%s.%a" obj Op.pp op

@@ -45,7 +45,17 @@ val of_spec :
     strategies, faster lookups on deep views; [false] is the reference
     path used by differential tests and the PERF benchmarks.
 
-    Each run feeds [solver.runs], [solver.nodes] and (interned path)
+    [por] (default true) enables sleep-set pruning of scheduler
+    branches dominated under the semantic independence relation
+    ({!Wfs_sim.Independence}): a schedule moving a slept process is a
+    transposition of an already-verified sibling schedule, so the game
+    value is unchanged — identical verdicts and synthesized strategies,
+    far fewer nodes.  Node counts differ from the unreduced search, so
+    [Out_of_budget] instances may become conclusive; [por:false]
+    reproduces the historical search node for node.
+
+    Each run feeds [solver.runs], [solver.nodes],
+    [solver.cutoff.sleep] and (interned path)
     [solver.view_intern.hits] / [solver.view_intern.lookups] /
     [solver.view_intern.arena_size] in the default [Wfs_obs.Metrics]
     registry. *)
@@ -53,6 +63,7 @@ val solve :
   ?max_nodes:int ->
   ?prune_agreement:bool ->
   ?intern_views:bool ->
+  ?por:bool ->
   instance ->
   verdict
 
@@ -61,6 +72,7 @@ val solve_with_stats :
   ?max_nodes:int ->
   ?prune_agreement:bool ->
   ?intern_views:bool ->
+  ?por:bool ->
   instance ->
   verdict * int
 

@@ -29,17 +29,17 @@ type t = row list
 
 (* --- evidence builders --- *)
 
-let verify_protocol ?(max_states = 2_000_000) ?pool (p : Protocol.t) =
-  let report = Protocol.verify ~max_states ?pool p in
+let verify_protocol ?(max_states = 2_000_000) ?pool ?por (p : Protocol.t) =
+  let report = Protocol.verify ~max_states ?pool ?por p in
   if Protocol.passed report then
     Protocol_verified
       { n = p.Protocol.processes; states = report.Protocol.states;
         protocol = p.Protocol.name }
   else Protocol_failed { n = p.Protocol.processes; protocol = p.Protocol.name }
 
-let run_solver ?(max_nodes = 20_000_000) ~n ~depth spec =
+let run_solver ?(max_nodes = 20_000_000) ?por ~n ~depth spec =
   let outcome =
-    match Solver.solve ~max_nodes (Solver.of_spec ~n ~depth spec) with
+    match Solver.solve ~max_nodes ?por (Solver.of_spec ~n ~depth spec) with
     | Solver.Solvable _ -> `Solvable
     | Solver.Unsolvable -> `Unsolvable
     | Solver.Out_of_budget _ -> `Budget
@@ -84,36 +84,47 @@ let classify_cas () =
    verification, classification or solver run.  Sequentially the thunks
    are forced in place; with [pool] they flatten into one registry-wide
    job array (each verification is an independent job with its own
-   explorer/solver state) and the rows are reassembled in plan order,
-   so the table is byte-identical either way. *)
-let plan ~full : (string * string * (unit -> evidence list) list) list =
+   explorer/solver state), issued heaviest-first by a static cost rank
+   so the big verifications never straggle behind a drained batch, and
+   the rows are reassembled in plan order — the table is byte-identical
+   either way. *)
+let plan ~full ~por :
+    (string * string * (int * (unit -> evidence list)) list) list =
+  let run_solver ?max_nodes ~n ~depth spec =
+    run_solver ?max_nodes ~por ~n ~depth spec
+  in
   (* One thunk per (protocol, n) of a registry key, skipping sizes the
-     registry cannot build. *)
+     registry cannot build.  The weight is a scheduling rank only —
+     verification cost climbs steeply with n. *)
   let reg key ns =
     List.map
-      (fun n () ->
-        let entry = Registry.find key in
-        match entry.Registry.build ~n with
-        | Some p -> [ verify_protocol p ]
-        | None -> [])
+      (fun n ->
+        ( 1 lsl (3 * n),
+          fun () ->
+            let entry = Registry.find key in
+            match entry.Registry.build ~n with
+            | Some p -> [ verify_protocol ~por p ]
+            | None -> [] ))
       ns
   in
-  let one th () = [ th () ] in
+  let one ?(w = 1) th = (w, fun () -> [ th () ]) in
   let when_full thunks = if full then thunks else [] in
   [
     ( "atomic read/write registers",
       "1",
       [
         one (fun () -> Classified (classify_registers ()));
-        one (fun () -> run_solver ~n:2 ~depth:2 (binary_register ()));
-        one (fun () -> run_solver ~n:3 ~depth:1 (Registers.test_and_set ()));
+        one ~w:4 (fun () -> run_solver ~n:2 ~depth:2 (binary_register ()));
+        one ~w:64 (fun () ->
+            run_solver ~n:3 ~depth:1 (Registers.test_and_set ()));
       ]
       @ when_full
           [
-            one (fun () -> run_solver ~n:2 ~depth:3 (binary_register ()));
-            one (fun () ->
+            one ~w:512 (fun () ->
+                run_solver ~n:2 ~depth:3 (binary_register ()));
+            one ~w:50_000 (fun () ->
                 run_solver ~n:3 ~depth:2 (Registers.test_and_set ()));
-            one (fun () ->
+            one ~w:100_000 (fun () ->
                 run_solver ~max_nodes:60_000_000 ~n:3 ~depth:2
                   (two_item_queue ()));
           ] );
@@ -126,7 +137,8 @@ let plan ~full : (string * string * (unit -> evidence list) list) list =
                 (Interference.classify ~family:"test-and-set"
                    ~domain:int_domain
                    [ Registers.read_op; Registers.test_and_set_op ]));
-          one (fun () -> run_solver ~n:3 ~depth:1 (Registers.test_and_set ()));
+          one ~w:64 (fun () ->
+              run_solver ~n:3 ~depth:1 (Registers.test_and_set ()));
         ] );
     ( "swap (read-modify-write)",
       "2",
@@ -144,10 +156,10 @@ let plan ~full : (string * string * (unit -> evidence list) list) list =
     ( "FIFO queue",
       "2",
       reg "queue" [ 2 ]
-      @ [ one (fun () -> run_solver ~n:3 ~depth:1 (two_item_queue ())) ]
+      @ [ one ~w:128 (fun () -> run_solver ~n:3 ~depth:1 (two_item_queue ())) ]
       @ when_full
           [
-            one (fun () ->
+            one ~w:100_000 (fun () ->
                 run_solver ~max_nodes:60_000_000 ~n:3 ~depth:2
                   (two_item_queue ()));
           ] );
@@ -157,7 +169,7 @@ let plan ~full : (string * string * (unit -> evidence list) list) list =
     ( "FIFO message channels",
       "1 (point-to-point, DDS)",
       [
-        one (fun () ->
+        one ~w:16 (fun () ->
             run_solver ~n:2 ~depth:2
               (Channels.fifo_point_to_point ~name:"ch" ~processes:2
                  ~messages:[ Value.pid 0; Value.pid 1 ]
@@ -181,8 +193,8 @@ let plan ~full : (string * string * (unit -> evidence list) list) list =
       reg "ordered-broadcast" [ 2; 3 ] );
   ]
 
-let generate ?pool ?(full = false) () : t =
-  let rows = plan ~full in
+let generate ?pool ?(full = false) ?(por = true) () : t =
+  let rows = plan ~full ~por in
   let force_evidence family th =
     Wfs_obs.Profile.span ~cat:"table"
       ~args:(fun () -> [ ("family", Wfs_obs.Json.str family) ])
@@ -193,14 +205,25 @@ let generate ?pool ?(full = false) () : t =
       let jobs =
         Array.of_list
           (List.concat_map
-             (fun (family, _, ts) -> List.map (fun th -> (family, th)) ts)
+             (fun (family, _, ts) ->
+               List.map (fun (w, th) -> (family, w, th)) ts)
              rows)
       in
-      let results =
+      let order = Array.init (Array.length jobs) (fun i -> i) in
+      Array.sort
+        (fun i j ->
+          let _, wi, _ = jobs.(i) and _, wj, _ = jobs.(j) in
+          match compare wj wi with 0 -> compare i j | c -> c)
+        order;
+      let permuted =
         Wfs_sim.Pool.parallel_map p
-          (fun (family, th) -> force_evidence family th)
-          jobs
+          (fun i ->
+            let family, _, th = jobs.(i) in
+            force_evidence family th)
+          order
       in
+      let results = Array.make (Array.length jobs) [] in
+      Array.iteri (fun k i -> results.(i) <- permuted.(k)) order;
       let idx = ref 0 in
       List.map
         (fun (object_family, paper_level, ts) ->
@@ -221,7 +244,7 @@ let generate ?pool ?(full = false) () : t =
             object_family;
             paper_level;
             evidence =
-              List.concat_map (fun t -> force_evidence object_family t) ts;
+              List.concat_map (fun (_, t) -> force_evidence object_family t) ts;
           })
         rows
 

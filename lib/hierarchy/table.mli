@@ -19,19 +19,23 @@ type row = {
 type t = row list
 
 (** Verify one protocol over all schedules and package the verdict as
-    table evidence; [pool] forwards to {!Wfs_consensus.Protocol.verify}
-    for an intra-exploration parallel run. *)
+    table evidence; [pool] and [por] forward to
+    {!Wfs_consensus.Protocol.verify} (intra-exploration parallel run;
+    sleep-set reduction, on by default, identical report either way). *)
 val verify_protocol :
-  ?max_states:int -> ?pool:Wfs_sim.Pool.t -> Wfs_consensus.Protocol.t ->
-  evidence
+  ?max_states:int -> ?pool:Wfs_sim.Pool.t -> ?por:bool ->
+  Wfs_consensus.Protocol.t -> evidence
 
 (** Build the table; [full] adds the expensive solver instances
     (Theorem 11's queue impossibility at n = 3, deeper register
-    bounds).  [pool] shards the registry-wide evidence plan — one job
-    per protocol verification, classification or solver run — across a
-    domain pool, reassembling rows in plan order: the table is
+    bounds).  [por] (default true) forwards the sleep-set reductions to
+    every explorer and solver run — all evidence is identical either
+    way, [por:false] reproduces the unreduced searches.  [pool] shards
+    the registry-wide evidence plan — one job per protocol
+    verification, classification or solver run, issued heaviest-first —
+    across a domain pool, reassembling rows in plan order: the table is
     byte-identical to a sequential [generate]. *)
-val generate : ?pool:Wfs_sim.Pool.t -> ?full:bool -> unit -> t
+val generate : ?pool:Wfs_sim.Pool.t -> ?full:bool -> ?por:bool -> unit -> t
 
 (** Every piece of evidence agrees with the paper's claimed level. *)
 val consistent : t -> bool

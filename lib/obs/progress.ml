@@ -37,16 +37,26 @@ let emit ~states ~frontier ~now ~final =
   let t0 = Atomic.get started in
   let elapsed = float_of_int (now - t0) /. 1e9 in
   let rate = if elapsed > 0. then float_of_int states /. elapsed else 0. in
+  (* sleep-set reduction progress, read from the (batch-flushed) shared
+     counters — approximate mid-run, exact on the final line *)
+  let pruned =
+    Option.value ~default:0 (Metrics.counter_value "explorer.por.pruned")
+    + Option.value ~default:0 (Metrics.counter_value "solver.cutoff.sleep")
+  in
   Mutex.lock emit_lock;
-  Fmt.epr "[wfs %s] states=%d%s %s states/s elapsed=%.1fs%s%s@."
+  Fmt.epr "[wfs %s] states=%d%s %s states/s%s elapsed=%.1fs%s%s@."
     !label states
     (if final then "" else Fmt.str " frontier~%d" frontier)
-    (rate_str rate) elapsed
+    (rate_str rate)
+    (if pruned > 0 then Fmt.str " pruned~%d" pruned else "")
+    elapsed
     (if !crash_budget > 0 then Fmt.str " crashes<=%d" !crash_budget else "")
     (if final then " done" else "");
   Mutex.unlock emit_lock;
   Profile.counter "progress.states" [ ("states", float_of_int states) ];
-  Profile.counter "progress.rate" [ ("states_per_s", rate) ]
+  Profile.counter "progress.rate" [ ("states_per_s", rate) ];
+  if pruned > 0 then
+    Profile.counter "progress.pruned" [ ("edges", float_of_int pruned) ]
 
 let tick ~states ~frontier =
   if !on then begin

@@ -222,6 +222,162 @@ let invalid_report acc =
   |> List.sort (fun (p, v) (q, w) ->
          match Int.compare p q with 0 -> Value.compare v w | c -> c)
 
+(* --- partial-order reduction: sleep sets over pending actions ---
+
+   Each live process has exactly one pending step action (its program is
+   deterministic), plus — under a crash budget — a pending crash.  A
+   sleep mask travels down the DFS: bit [q] says q's pending step, and
+   bit [q + crash_shift] says q's pending crash, were already explored
+   at an ancestor node and every move taken since is independent of
+   them, so any schedule moving q here is an adjacent-transposition
+   rearrangement of an already-explored schedule reaching the same
+   states with the same observations.
+
+   Pruning a slept edge must not change any output:
+
+   - [states], [terminals], [stuck]: sleep sets alone (no persistent
+     sets) visit every reachable state — only redundant *edges* are
+     skipped — so state-derived outputs are untouched.
+   - [cyclic]: only *monotone* edges are pruned — decides, crashes, and
+     first steps, each of which strictly grows a component of the state
+     ([decided] slots, [crashed] mask, [stepped] mask) that no
+     transition shrinks.  No cycle can contain a monotone edge, so the
+     reduced graph keeps every cycle of the full graph, and a DFS that
+     visits all states finds one iff the full graph has one.
+   - [step_bounds]: every root-to-terminal path has a surviving
+     rearrangement with the same per-process action multiset, so the
+     per-process longest-path maxima are unchanged.
+   - [invalid_decisions]: noted for every *generated* edge, before the
+     pruning decision, so the noted set is the unreduced one.
+
+   Independence is checked conditionally, at the state where the
+   transposition would occur ([Independence.independent_at]): when the
+   mask bit for q survives the expansion of each node along the path,
+   each adjacent swap in the rearrangement chain has been checked at
+   exactly the state where that pair executes.  A crash or a decide
+   touches only its own process's slot of the joint state and no
+   environment, so either commutes with any move of another process;
+   Do/Do pairs consult the semantic diamond.
+
+   The slept process has not moved since its branch was explored (a
+   move would have cleared the bit), so its pending action — and, for
+   invokes, the fact that the operation dispatches without
+   [Unknown_operation] — is the one already seen at the ancestor;
+   skipping [Env.apply] for it cannot lose a [stuck] verdict.
+
+   Masks are a function of the arrival path; in the parallel engine the
+   claiming arrival's mask is the one used, which is race-dependent —
+   but every output above is preserved under *any* valid sleep pruning,
+   so verdicts stay schedule- and [-j]-independent (the pruned-edge
+   counter, like intern contention, is not). *)
+
+let crash_shift = 16
+
+(* Successors of [node] under arrival sleep mask [arrival], in the
+   incumbent canonical order (crash edges first, then steps, pid
+   ascending), as [(pid_code, successor, child_mask)] with crash edges
+   coded [-2 - pid].  Slept monotone edges are skipped entirely — no
+   [Env.apply], no interning; [on_pruned] counts them.  [note_invalid]
+   fires for every generated decide edge failing validity, pruned or
+   not; [on_crash] counts kept crash edges. *)
+let successors_with_sleep ~crashes ~ind ~note_invalid ~on_crash ~on_pruned
+    config node arrival =
+  let n = Array.length config.procs in
+  let live pid =
+    node.decided.(pid) = None && node.crashed land (1 lsl pid) = 0
+  in
+  let acts = Array.make n None in
+  for pid = 0 to n - 1 do
+    if live pid then
+      acts.(pid) <- Some (Process.action config.procs.(pid) node.locals.(pid))
+  done;
+  (* may the pending steps [aq] and [a] be transposed at this state? *)
+  let indep_step aq a =
+    match (aq, a) with
+    | ( Process.Invoke { obj = o1; op = op1; _ },
+        Process.Invoke { obj = o2; op = op2; _ } ) ->
+        Independence.independent_at ind node.env_state o1 op1 o2 op2
+    | _ -> true
+  in
+  let crash_budget = crashes > popcount node.crashed in
+  let earlier_steps = ref 0 and earlier_crashes = ref 0 in
+  (* sleep mask for the subtree entered by [pid] doing [a]
+     ([None] = crashing): q's pending action sleeps there when its
+     branch is covered at this node — slept on arrival or explored as
+     an earlier sibling — and it is independent of [a]. *)
+  let child_mask pid a =
+    let m = ref 0 in
+    for q = 0 to n - 1 do
+      if q <> pid && live q then begin
+        (match acts.(q) with
+        | Some aq
+          when (arrival land (1 lsl q) <> 0
+               || !earlier_steps land (1 lsl q) <> 0)
+               && (match a with None -> true | Some a -> indep_step aq a) ->
+            m := !m lor (1 lsl q)
+        | _ -> ());
+        if
+          crash_budget
+          && (arrival land (1 lsl (q + crash_shift)) <> 0
+             || !earlier_crashes land (1 lsl q) <> 0)
+        then m := !m lor (1 lsl (q + crash_shift))
+      end
+    done;
+    !m
+  in
+  let kept = ref [] in
+  if crash_budget then
+    for pid = 0 to n - 1 do
+      if live pid then
+        if arrival land (1 lsl (pid + crash_shift)) <> 0 then on_pruned ()
+        else begin
+          on_crash ();
+          let succ = { node with crashed = node.crashed lor (1 lsl pid) } in
+          kept := (-2 - pid, succ, child_mask pid None) :: !kept;
+          earlier_crashes := !earlier_crashes lor (1 lsl pid)
+        end
+    done;
+  for pid = 0 to n - 1 do
+    match acts.(pid) with
+    | None -> ()
+    | Some a ->
+        (match a with
+        | Process.Decide v when not (decision_valid node ~pid v) ->
+            note_invalid pid v
+        | _ -> ());
+        let slept = arrival land (1 lsl pid) <> 0 in
+        let monotone =
+          match a with
+          | Process.Decide _ -> true
+          | Process.Invoke _ -> node.stepped land (1 lsl pid) = 0
+        in
+        if slept && monotone then on_pruned ()
+        else begin
+          let succ =
+            match a with
+            | Process.Decide v ->
+                let decided = Array.copy node.decided in
+                decided.(pid) <- Some v;
+                { node with decided; stepped = node.stepped lor (1 lsl pid) }
+            | Process.Invoke { obj; op; next } ->
+                let env_state, res =
+                  Env.apply config.env node.env_state obj op
+                in
+                let locals = Array.copy node.locals in
+                locals.(pid) <- next res;
+                {
+                  node with
+                  locals;
+                  env_state;
+                  stepped = node.stepped lor (1 lsl pid);
+                }
+          in
+          kept := (pid, succ, child_mask pid (Some a)) :: !kept;
+          earlier_steps := !earlier_steps lor (1 lsl pid)
+        end
+  done;
+  List.rev !kept
+
 type color = Gray | Black
 
 (* Metric names: ROADMAP's measurement substrate.  Totals accumulate in
@@ -249,6 +405,11 @@ module M = struct
   let fused_edges = Counter.make "explorer.fused_dp.edges"
   let crash_edges = Counter.make "explorer.crash_edges"
   let intern_contention = Counter.make "explorer.intern.contention"
+
+  (* edges skipped by the sleep-set reduction: each was a redundant
+     interleaving of an already-explored schedule (no [Env.apply], no
+     intern lookup spent on it) *)
+  let por_pruned = Counter.make "explorer.por.pruned"
 end
 
 (* [states_flushed] is what live batched ticks already pushed to
@@ -415,6 +576,7 @@ type frame = {
   f_id : int;  (* interned id of the node *)
   f_pids : int array;  (* successor pids, in legacy DFS order *)
   f_nodes : node array;  (* successor nodes, computed exactly once *)
+  f_masks : int array;  (* per-successor arrival sleep masks ([||] = none) *)
   mutable f_next : int;  (* next successor index to explore *)
   mutable f_pending : int;  (* pid of the in-flight successor *)
   f_best : int array;  (* running per-process longest-path maxima *)
@@ -424,7 +586,7 @@ let white = '\000'
 let gray = '\001'
 let black = '\002'
 
-let explore_fast ~max_states ~max_depth ~symmetry ~crashes config =
+let explore_fast ~max_states ~max_depth ~symmetry ~crashes ~indep config =
   let n = Array.length config.procs in
   let encode = if symmetry then canonical_key else key in
   let size_hint = max 16 (min max_states 8192) in
@@ -458,6 +620,7 @@ let explore_fast ~max_states ~max_depth ~symmetry ~crashes config =
   let deepest = ref 0 in
   let fused = ref 0 in
   let crash_seen = ref 0 in
+  let por_cut = ref 0 in
   let stack : frame Stack.t = Stack.create () in
   let combine f pid child =
     incr fused;
@@ -467,11 +630,33 @@ let explore_fast ~max_states ~max_depth ~symmetry ~crashes config =
       if v > best.(p) then best.(p) <- v
     done
   in
-  (* Enter [node] (reached from [parent] by a step of [via_pid]).  Hits
-     on finished nodes fold their bounds straight into the parent;
-     fresh nodes either settle immediately (terminal / stuck) or push a
-     frame. *)
-  let visit parent via_pid node depth =
+  (* successors as [(pid_code, succ, child_mask)] with all edge-level
+     noting done — the sleep-set path and the unreduced path produce
+     the same shape, the latter with empty masks *)
+  let expand_node node arrival =
+    match indep with
+    | Some ind ->
+        successors_with_sleep ~crashes ~ind
+          ~note_invalid:(invalid_note invalid)
+          ~on_crash:(fun () -> incr crash_seen)
+          ~on_pruned:(fun () -> incr por_cut)
+          config node arrival
+    | None ->
+        List.map
+          (fun (pid, edge, succ) ->
+            (match edge with
+            | Decide_edge v when not (decision_valid node ~pid v) ->
+                invalid_note invalid pid v
+            | Crash_edge -> incr crash_seen
+            | Decide_edge _ | Op_edge -> ());
+            ((match edge with Crash_edge -> -2 - pid | _ -> pid), succ, 0))
+          (successors_with_edges ~crashes config node)
+  in
+  (* Enter [node] (reached from [parent] by a step of [via_pid], with
+     arrival sleep mask [arrival]).  Hits on finished nodes fold their
+     bounds straight into the parent; fresh nodes either settle
+     immediately (terminal / stuck) or push a frame. *)
+  let visit parent via_pid node arrival depth =
     if depth > !deepest then deepest := depth;
     incr lookups;
     let id = Intern.intern tbl (encode node) in
@@ -525,35 +710,38 @@ let explore_fast ~max_states ~max_depth ~symmetry ~crashes config =
             finish_leaf ()
           end
           else begin
-            match successors_with_edges ~crashes config node with
+            let pruned0 = !por_cut in
+            match expand_node node arrival with
             | exception Object_spec.Unknown_operation { obj; op } ->
                 stuck :=
                   Some (-1, Fmt.str "unknown operation %a on %s" Op.pp op obj);
                 finish_leaf ()
             | [] ->
-                stuck := Some (-1, "no successor");
-                finish_leaf ()
+                (* all successors slept away: a legitimate leaf, its
+                   outcomes covered through the representative paths *)
+                if !por_cut > pruned0 then finish_leaf ()
+                else begin
+                  stuck := Some (-1, "no successor");
+                  finish_leaf ()
+                end
             | succs ->
                 Bytes.set !colors id gray;
                 let m = List.length succs in
                 let pids = Array.make m (-1) in
                 let nodes = Array.make m node in
+                let masks = Array.make m 0 in
                 List.iteri
-                  (fun i (pid, edge, succ) ->
-                    (match edge with
-                    | Decide_edge v when not (decision_valid node ~pid v) ->
-                        invalid_note invalid pid v
-                    | Crash_edge -> incr crash_seen
-                    | Decide_edge _ | Op_edge -> ());
-                    pids.(i) <-
-                      (match edge with Crash_edge -> -2 - pid | _ -> pid);
-                    nodes.(i) <- succ)
+                  (fun i (code, succ, mask) ->
+                    pids.(i) <- code;
+                    nodes.(i) <- succ;
+                    masks.(i) <- mask)
                   succs;
                 Stack.push
                   {
                     f_id = id;
                     f_pids = pids;
                     f_nodes = nodes;
+                    f_masks = masks;
                     f_next = 0;
                     f_pending = -1;
                     f_best = Array.make n 0;
@@ -562,14 +750,15 @@ let explore_fast ~max_states ~max_depth ~symmetry ~crashes config =
           end
         end
   in
-  visit None (-1) (initial config) 0;
+  visit None (-1) (initial config) 0 0;
   while not (Stack.is_empty stack) do
     let f = Stack.top stack in
     if f.f_next < Array.length f.f_pids then begin
       let i = f.f_next in
       f.f_next <- i + 1;
       f.f_pending <- f.f_pids.(i);
-      visit (Some f) f.f_pids.(i) f.f_nodes.(i) (Stack.length stack)
+      visit (Some f) f.f_pids.(i) f.f_nodes.(i) f.f_masks.(i)
+        (Stack.length stack)
     end
     else begin
       ignore (Stack.pop stack);
@@ -596,6 +785,7 @@ let explore_fast ~max_states ~max_depth ~symmetry ~crashes config =
   Pool.note_states (states - !live_flushed);
   Wfs_obs.Metrics.Counter.add M.fused_edges !fused;
   Wfs_obs.Metrics.Counter.add M.crash_edges !crash_seen;
+  Wfs_obs.Metrics.Counter.add M.por_pruned !por_cut;
   {
     states;
     terminals = Value.Tbl.fold (fun _ d acc -> d :: acc) terminals [];
@@ -664,6 +854,7 @@ type prec = {
   mutable r_truncation : truncation option;
   mutable r_claimed : int;  (* fresh states this worker claimed *)
   mutable r_claimed_flushed : int;  (* ...of which already flushed live *)
+  mutable r_pruned : int;  (* edges skipped by the sleep-set reduction *)
 }
 
 let prec_make () =
@@ -677,6 +868,7 @@ let prec_make () =
     r_truncation = None;
     r_claimed = 0;
     r_claimed_flushed = 0;
+    r_pruned = 0;
   }
 
 (* Push this record's unreported claims to the global states counter and
@@ -691,7 +883,8 @@ let flush_claims rec_ =
     rec_.r_claimed_flushed <- rec_.r_claimed
   end
 
-let explore_par ~pool ~max_states ~max_depth ~symmetry ~crashes config =
+let explore_par ~pool ~max_states ~max_depth ~symmetry ~crashes ~indep config
+    =
   let n = Array.length config.procs in
   let workers = Pool.size pool in
   let encode = if symmetry then canonical_key else key in
@@ -704,10 +897,12 @@ let explore_par ~pool ~max_states ~max_depth ~symmetry ~crashes config =
      either record it as a terminal or hand it to [enqueue] for
      expansion.  Always returns the id so the caller can record the
      edge — edges to already-claimed nodes are what phase 2's cycle
-     detection feeds on. *)
-  let consider rec_ ~enqueue node depth =
+     detection feeds on.  [mask] is the arrival sleep mask; the
+     claiming arrival's mask is the one the eventual expansion uses
+     (any valid mask preserves every verdict — see the sleep-set
+     notes above). *)
+  let consider_claimed rec_ ~enqueue node mask depth (id, fresh) =
     if depth > rec_.r_deepest then rec_.r_deepest <- depth;
-    let id, fresh = Intern.Sharded.intern stbl (encode node) in
     (if fresh then
        if Atomic.get visited >= max_states then (
          if rec_.r_truncation = None then rec_.r_truncation <- Some Budget_states)
@@ -723,47 +918,87 @@ let explore_par ~pool ~max_states ~max_depth ~symmetry ~crashes config =
                who_stepped = node.stepped;
                who_crashed = node.crashed;
              }
-         else enqueue (node, id, depth)
+         else enqueue (node, id, mask, depth)
        end);
     id
   in
-  let expand rec_ ~enqueue (node, id, depth) =
-    match successors_with_edges ~crashes config node with
+  let consider rec_ ~enqueue node mask depth =
+    consider_claimed rec_ ~enqueue node mask depth
+      (Intern.Sharded.intern stbl (encode node))
+  in
+  let expand rec_ ~enqueue (node, id, mask, depth) =
+    let expansion =
+      match indep with
+      | Some ind ->
+          successors_with_sleep ~crashes ~ind
+            ~note_invalid:(invalid_note rec_.r_invalid)
+            ~on_crash:(fun () -> rec_.r_crash <- rec_.r_crash + 1)
+            ~on_pruned:(fun () -> rec_.r_pruned <- rec_.r_pruned + 1)
+            config node mask
+      | None ->
+          List.map
+            (fun (pid, edge, succ) ->
+              (match edge with
+              | Decide_edge v when not (decision_valid node ~pid v) ->
+                  invalid_note rec_.r_invalid pid v
+              | Crash_edge -> rec_.r_crash <- rec_.r_crash + 1
+              | Decide_edge _ | Op_edge -> ());
+              ((match edge with Crash_edge -> -2 - pid | _ -> pid), succ, 0))
+            (successors_with_edges ~crashes config node)
+    in
+    match expansion with
     | exception Object_spec.Unknown_operation { obj; op } ->
         if rec_.r_stuck = None then
           rec_.r_stuck <-
             Some (-1, Fmt.str "unknown operation %a on %s" Op.pp op obj)
-    | [] -> if rec_.r_stuck = None then rec_.r_stuck <- Some (-1, "no successor")
+    | [] ->
+        (* with reduction on, an all-pruned node is a covered leaf,
+           not a stuck state *)
+        (match indep with
+        | None ->
+            if rec_.r_stuck = None then
+              rec_.r_stuck <- Some (-1, "no successor")
+        | Some _ -> ())
     | succs ->
+        (* claim all successors in one batched pass over the interner's
+           stripes — one lock round-trip per stripe instead of one per
+           edge *)
         let m = List.length succs in
         let pids = Array.make m (-1) in
         let dsts = Array.make m (-1) in
+        let nodes = Array.make m node in
+        let masks = Array.make m 0 in
         List.iteri
-          (fun i (pid, edge, succ) ->
-            (match edge with
-            | Decide_edge v when not (decision_valid node ~pid v) ->
-                invalid_note rec_.r_invalid pid v
-            | Crash_edge -> rec_.r_crash <- rec_.r_crash + 1
-            | Decide_edge _ | Op_edge -> ());
-            pids.(i) <- (match edge with Crash_edge -> -2 - pid | _ -> pid);
-            dsts.(i) <- consider rec_ ~enqueue succ (depth + 1))
+          (fun i (code, succ, cmask) ->
+            pids.(i) <- code;
+            nodes.(i) <- succ;
+            masks.(i) <- cmask)
           succs;
+        let claims = Intern.Sharded.intern_batch stbl (Array.map encode nodes) in
+        for i = 0 to m - 1 do
+          dsts.(i) <-
+            consider_claimed rec_ ~enqueue nodes.(i) masks.(i) (depth + 1)
+              claims.(i)
+        done;
         rec_.r_edges <- (id, pids, dsts) :: rec_.r_edges
   in
   (* Seed BFS: expand breadth-first until the frontier is wide enough to
-     feed every worker several seeds (imbalance insurance — one seed's
-     subtree can dwarf another's; work stealing smooths the rest).  The
-     expansion cap keeps a stubbornly narrow frontier from dragging the
-     whole exploration into this sequential phase. *)
+     feed every worker a couple of seeds.  Seeds are deliberately few
+     and fat — per-seed job overhead (record allocation, profile spans,
+     queue churn) was measurable against small explorations at low
+     worker counts, and work stealing smooths the residual imbalance
+     between fat subtrees.  The expansion cap keeps a stubbornly narrow
+     frontier from dragging the whole exploration into this sequential
+     phase. *)
   let rec0 = prec_make () in
   let root = initial config in
-  let queue : (node * int * int) Queue.t = Queue.create () in
+  let queue : (node * int * int * int) Queue.t = Queue.create () in
   let root_id =
     Wfs_obs.Profile.span ~cat:"explore" "explore.seeds" (fun () ->
         let root_id =
-          consider rec0 ~enqueue:(fun x -> Queue.add x queue) root 0
+          consider rec0 ~enqueue:(fun x -> Queue.add x queue) root 0 0
         in
-        let target = 4 * workers in
+        let target = 2 * workers in
         let budget = ref (8 * target) in
         while
           (not (Queue.is_empty queue))
@@ -823,6 +1058,7 @@ let explore_par ~pool ~max_states ~max_depth ~symmetry ~crashes config =
   let stuck = ref None in
   let deepest = ref 0 in
   let crash_seen = ref 0 in
+  let pruned = ref 0 in
   let states_trunc = ref false in
   let depth_trunc = ref false in
   List.iter
@@ -837,6 +1073,7 @@ let explore_par ~pool ~max_states ~max_depth ~symmetry ~crashes config =
       if !stuck = None then stuck := r.r_stuck;
       if r.r_deepest > !deepest then deepest := r.r_deepest;
       crash_seen := !crash_seen + r.r_crash;
+      pruned := !pruned + r.r_pruned;
       (match r.r_truncation with
       | Some Budget_states -> states_trunc := true
       | Some Budget_depth -> depth_trunc := true
@@ -885,6 +1122,7 @@ let explore_par ~pool ~max_states ~max_depth ~symmetry ~crashes config =
               f_id = id;
               f_pids = adj_pids.(id);
               f_nodes = [||];
+              f_masks = [||];
               f_next = 0;
               f_pending = -1;
               f_best = Array.make n 0;
@@ -932,6 +1170,7 @@ let explore_par ~pool ~max_states ~max_depth ~symmetry ~crashes config =
   Gauge.set_max M.arena_size sz;
   Counter.add M.fused_edges !fused;
   Counter.add M.crash_edges !crash_seen;
+  Counter.add M.por_pruned !pruned;
   Counter.incr MP.runs;
   Counter.add MP.seeds (Array.length seeds);
   Gauge.set_max MP.domains workers;
@@ -954,19 +1193,37 @@ let explore_par ~pool ~max_states ~max_depth ~symmetry ~crashes config =
   }
 
 let explore ?(max_states = 2_000_000) ?(max_depth = 10_000)
-    ?(symmetry = false) ?(legacy = false) ?(crashes = 0) ?pool config =
+    ?(symmetry = false) ?(legacy = false) ?(crashes = 0) ?(por = true) ?pool
+    config =
   if crashes < 0 then invalid_arg "Explorer.explore: crashes < 0";
+  (* The reduction composes with crashes and the parallel engine;
+     [legacy] is the reference engine and stays unreduced, and
+     [symmetry] already collapses orbits whose interaction with
+     path-dependent sleep masks is not covered by the soundness
+     argument, so each disables it.  Masks pack step and crash bits
+     into one int, which caps the process count. *)
+  let indep =
+    if por && (not legacy) && (not symmetry)
+       && Array.length config.procs <= crash_shift
+    then
+      Some
+        (Wfs_obs.Profile.span ~cat:"explore" "explore.independence"
+           (fun () -> Independence.of_env config.env))
+    else None
+  in
   match pool with
   | Some p when (not legacy) && Pool.size p > 1 ->
       Wfs_obs.Profile.span ~cat:"explore" "explore.par" (fun () ->
-          explore_par ~pool:p ~max_states ~max_depth ~symmetry ~crashes config)
+          explore_par ~pool:p ~max_states ~max_depth ~symmetry ~crashes ~indep
+            config)
   | _ ->
       if legacy then
         Wfs_obs.Profile.span ~cat:"explore" "explore.legacy" (fun () ->
             explore_legacy ~max_states ~max_depth ~crashes config)
       else
         Wfs_obs.Profile.span ~cat:"explore" "explore.dfs" (fun () ->
-            explore_fast ~max_states ~max_depth ~symmetry ~crashes config)
+            explore_fast ~max_states ~max_depth ~symmetry ~crashes ~indep
+              config)
 
 let wait_free stats =
   (not stats.cyclic) && (not stats.truncated) && stats.stuck = None

@@ -108,6 +108,27 @@ val decision_valid : node -> pid:int -> Value.t -> bool
     tests and the [PERF] old-vs-new benchmarks; [symmetry] is ignored
     under [legacy].
 
+    [por] (default true) prunes redundant interleavings with sleep
+    sets over the semantic independence relation ({!Independence},
+    computed once per call from the environment's sequential
+    semantics): an edge whose action was already explored at an
+    ancestor node, with every move since independent of it, is an
+    adjacent-transposition rearrangement of an explored schedule and
+    is skipped without deriving its successor.  Only monotone edges —
+    decides, crashes, and first steps, which no cycle can contain —
+    are pruned, and invalid decides are noted for every generated
+    edge before the pruning decision, so [states], [terminals],
+    [cyclic], [stuck], [invalid_decisions] and [step_bounds] are all
+    exactly those of the unreduced search (the reduction removes
+    *edges*, never states); only the per-edge work shrinks.  Skipped
+    edges feed [explorer.por.pruned].  The reduction composes with
+    [crashes] and [pool]; it is disabled automatically under [legacy]
+    (the unreduced reference engine), under [symmetry] (orbit
+    collapsing and path-dependent sleep masks are separate
+    reductions), and for more than 16 processes.  [por:false]
+    reproduces the unreduced edge traversal of previous releases,
+    byte for byte.
+
     [crashes] (default 0) is the crash-stop adversary's budget: the
     exploration additionally quantifies over every point at which up to
     [crashes] processes halt permanently (Herlihy's failure model —
@@ -150,6 +171,7 @@ val explore :
   ?symmetry:bool ->
   ?legacy:bool ->
   ?crashes:int ->
+  ?por:bool ->
   ?pool:Pool.t ->
   config ->
   stats

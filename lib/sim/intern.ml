@@ -188,6 +188,50 @@ module Sharded = struct
     Mutex.unlock s.lock;
     r
 
+  (* Claim a whole successor batch in one pass: keys are grouped by
+     stripe so each stripe's lock is taken at most once per call
+     instead of once per key — on a hot parallel exploration the lock
+     round-trips are the dominant shared cost, and one expansion's
+     successors arrive together anyway.  [out.(i)] corresponds to
+     [keys.(i)] with the same (id, fresh) meaning as [intern]; within
+     a batch, keys are processed in ascending position per stripe, so
+     duplicates resolve exactly as repeated [intern] calls would.  The
+     batch is small (one node's successors), so the quadratic
+     stripe-grouping scan stays cheaper than sorting. *)
+  let intern_batch t keys =
+    let m = Array.length keys in
+    let out = Array.make m (0, false) in
+    let nstripes = Array.length t.stripes in
+    let sidx =
+      Array.map
+        (fun v -> Value.hash_full v land max_int mod nstripes)
+        keys
+    in
+    for i = 0 to m - 1 do
+      let si = sidx.(i) in
+      if si >= 0 then begin
+        let s = t.stripes.(si) in
+        lock_stripe s;
+        for j = i to m - 1 do
+          if sidx.(j) = si then begin
+            sidx.(j) <- -1;
+            s.s_lookups <- s.s_lookups + 1;
+            if s.s_lookups land 1023 = 0 then flush_stripe s;
+            match Value.Tbl.find_opt s.tbl keys.(j) with
+            | Some id ->
+                s.s_hits <- s.s_hits + 1;
+                out.(j) <- (id, false)
+            | None ->
+                let id = Atomic.fetch_and_add t.next 1 in
+                Value.Tbl.replace s.tbl keys.(j) id;
+                out.(j) <- (id, true)
+          end
+        done;
+        Mutex.unlock s.lock
+      end
+    done;
+    out
+
   let find_opt t v =
     let s = stripe_of t v in
     lock_stripe s;

@@ -72,6 +72,13 @@ module Sharded : sig
       the first intern of [v] across all domains. *)
   val intern : t -> Value.t -> int * bool
 
+  (** [intern_batch t keys] claims every key of one expansion in a
+      single pass, taking each stripe's lock at most once per call
+      instead of once per key; [(intern_batch t keys).(i)] has the same
+      (id, fresh) meaning as [intern t keys.(i)], with within-batch
+      duplicates resolving exactly as repeated [intern] calls would. *)
+  val intern_batch : t -> Value.t array -> (int * bool) array
+
   val find_opt : t -> Value.t -> int option
 
   (** Distinct keys interned so far (= the next fresh id). *)
