@@ -100,13 +100,16 @@ let write_results path sections_run =
   let json =
     Obs.Json.obj
       [
-        (* /5 switches the perf estimators from min-of-k to median-of-k,
-           adds solver_nodes / explorer_states accounting to the perf
-           and perf-par series, and adds the por/* reduction series; /4
+        (* /6 adds the universal-service/* series (batched vs
+           un-batched wait-free, plus the closed-loop load harness) and
+           the profile/wait-free-metrics overhead pair; /5 switches the
+           perf estimators from min-of-k to median-of-k, adds
+           solver_nodes / explorer_states accounting to the perf and
+           perf-par series, and adds the por/* reduction series; /4
            added shard_states / shard_imbalance / stripe_contention to
            the perf-par series; /3 added section_timings; /2 the
            provenance stamps; /1 fields unchanged. *)
-        ("schema", Obs.Json.str "wfs-bench/5");
+        ("schema", Obs.Json.str "wfs-bench/6");
         ("generated_unix_time", Obs.Json.float (Unix.time ()));
         ("domains_used", Obs.Json.int (Domain.recommended_domain_count ()));
         ("git_rev", Obs.Json.str (git_rev ()));
@@ -412,7 +415,7 @@ let universal_throughput () =
   measure "universal lock-free (this paper, from CAS)"
     (fun x -> ignore (QU.apply qu (Enq x)))
     (fun () -> QU.apply qu Deq);
-  let qw = QW.create ~n:domains in
+  let qw = QW.create ~n:domains () in
   let pids = Atomic.make 0 in
   let pid_key = Domain.DLS.new_key (fun () -> Atomic.fetch_and_add pids 1 mod domains) in
   measure "universal wait-free (announce + helping)"
@@ -429,6 +432,144 @@ let universal_throughput () =
       match Runtime.Baselines.Michael_scott_queue.dequeue ms with
       | Some x -> Deqd x
       | None -> Empty)
+
+(* ---------- U1-SVC: universal object service ---------- *)
+
+(* The acceptance pair for operation batching: the batched construction
+   (one consensus round threads every announced invocation) must be at
+   least as fast as the per-op un-batched one on the same workload, and
+   the closed-loop load harness behind [wfs load] must pass its
+   differential check with truncation active. *)
+let universal_service () =
+  section "U1-SVC  universal object service: batched vs un-batched wait-free";
+  let domains = 4 in
+  let per_domain = 10_000 in
+  let total = domains * per_domain in
+  let reps =
+    match Sys.getenv_opt "WFS_PERF_REPS" with
+    | Some s -> ( try max 1 (int_of_string s) with Failure _ -> 5)
+    | None -> 5
+  in
+  let hist name =
+    match List.assoc_opt name (Obs.Metrics.dump ()) with
+    | Some (Obs.Metrics.D_histogram { d_count; d_sum; _ }) -> (d_count, d_sum)
+    | _ -> (0, 0)
+  in
+  let module C = Runtime.Seq_objects.Counter in
+  let module WB = Runtime.Universal.Wait_free (C) in
+  let module WU = Runtime.Universal.Wait_free_unbatched (C) in
+  let module LF = Runtime.Universal.Lock_free (C) in
+  (* Each rep times the three constructions back to back over fresh
+     objects, metrics cold (this compares the constructions, not their
+     instrumentation), and each construction's figure is the median of
+     its reps.  Interleaving the reps — rather than timing all reps of
+     one construction, then all of the next — exposes every
+     construction to the same slow drift of the box (frequency
+     scaling, background load), which otherwise dominates the
+     batched/unbatched ratio on a shared single-core machine. *)
+  let time_rep apply =
+    let t0 = Obs.Clock.now_ns () in
+    ignore
+      (Runtime.Primitives.run_domains domains (fun pid ->
+           for _ = 1 to per_domain do
+             apply ~pid
+           done));
+    float_of_int (Obs.Clock.now_ns () - t0) *. 1e-9
+  in
+  let names = [| "batched-wait-free"; "unbatched-wait-free"; "lock-free" |] in
+  let fresh i =
+    match i with
+    | 0 ->
+        let w = WB.create ~n:domains () in
+        fun ~pid -> ignore (WB.apply w ~pid C.Incr)
+    | 1 ->
+        let w = WU.create ~n:domains in
+        fun ~pid -> ignore (WU.apply w ~pid C.Incr)
+    | _ ->
+        let w = LF.create () in
+        fun ~pid:_ -> ignore (LF.apply w C.Incr)
+  in
+  let times = Array.make_matrix 3 reps infinity in
+  for rep = 0 to reps - 1 do
+    for i = 0 to 2 do
+      times.(i).(rep) <- time_rep (fresh i)
+    done
+  done;
+  let median a =
+    let a = Array.copy a in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let rate_of i =
+    let dt = median times.(i) in
+    let rate = float_of_int total /. dt /. 1000.0 in
+    Fmt.pr
+      "  %-42s %9.0f ops/ms   (%d ops in %.3fs, median of %d interleaved)@."
+      names.(i) rate total dt reps;
+    record_series
+      ("universal-service/" ^ names.(i))
+      (Obs.Json.obj
+         [
+           ("ops_per_ms", Obs.Json.float rate);
+           ("ops", Obs.Json.int total);
+           ("seconds", Obs.Json.float dt);
+           ("reps", Obs.Json.int reps);
+         ]);
+    rate
+  in
+  let batched_rate = rate_of 0 in
+  let unbatched_rate = rate_of 1 in
+  ignore (rate_of 2);
+  let speedup =
+    if unbatched_rate > 0. then batched_rate /. unbatched_rate else 1.0
+  in
+  (* batch-size / truncation telemetry from a short metrics-hot pass *)
+  let wb = WB.create ~n:domains () in
+  Obs.Metrics.with_hot (fun () ->
+      let nodes0, riders0 = hist "universal_rt.wait_free.batch_size" in
+      ignore
+        (Runtime.Primitives.run_domains domains (fun pid ->
+             for _ = 1 to 2_000 do
+               ignore (WB.apply wb ~pid C.Incr)
+             done));
+      let nodes1, riders1 = hist "universal_rt.wait_free.batch_size" in
+      let nodes = nodes1 - nodes0 in
+      let avg_batch =
+        if nodes = 0 then 1.0
+        else float_of_int (riders1 - riders0) /. float_of_int nodes
+      in
+      Fmt.pr
+        "  batched speedup %.2fx   avg batch %.2f   retained %d (window %d)@."
+        speedup avg_batch (WB.retained wb) (WB.window wb);
+      record_series "universal-service/summary"
+        (Obs.Json.obj
+           [
+             ("batched_speedup", Obs.Json.float speedup);
+             ("avg_batch", Obs.Json.float avg_batch);
+             ("retained", Obs.Json.int (WB.retained wb));
+             ("window", Obs.Json.int (WB.window wb));
+             ("watermark", Obs.Json.int (WB.watermark wb));
+           ]));
+  (* The full service path: closed-loop clients through the registry
+     handle, differentially checked against the sequential fold. *)
+  let r =
+    Runtime.Service.Load.run ~seed:1 ~clients:domains
+      ~ops_per_client:per_domain ()
+  in
+  Fmt.pr "  %a@." Runtime.Service.Load.pp_report r;
+  record_series "universal-service/load-harness"
+    (Obs.Json.obj
+       [
+         ("ops_per_ms", Obs.Json.float (r.Runtime.Service.Load.throughput /. 1000.));
+         ("ops", Obs.Json.int r.Runtime.Service.Load.total_ops);
+         ("lat_p50_ns", Obs.Json.int r.Runtime.Service.Load.lat_p50_ns);
+         ("lat_p99_ns", Obs.Json.int r.Runtime.Service.Load.lat_p99_ns);
+         ("max_retained", Obs.Json.int r.Runtime.Service.Load.max_retained);
+         ("watermark", Obs.Json.int r.Runtime.Service.Load.final_watermark);
+         ( "differential_ok",
+           Obs.Json.bool (r.Runtime.Service.Load.differential_ok = Some true) );
+         ("passed", Obs.Json.bool (Runtime.Service.Load.passed r));
+       ])
 
 (* ---------- T7 scaling series ---------- *)
 
@@ -1213,7 +1354,70 @@ let profile_overhead () =
          ("reps", Obs.Json.int reps);
        ]);
   Fmt.pr "  %-34s bare %8.2f ns   span %8.2f ns   delta %+6.2f ns@."
-    "disabled-span" (bare *. 1e9) (spanned *. 1e9) delta_ns
+    "disabled-span" (bare *. 1e9) (spanned *. 1e9) delta_ns;
+  (* Metrics-hot tax on the wait-free apply path (target <=5%): the
+     batched construction's per-op instrumentation — the ops counter,
+     help-round and batch-size histograms, log-length gauge — measured
+     cold vs hot on the same single-domain workload. *)
+  let module WC = Runtime.Universal.Wait_free (Runtime.Seq_objects.Counter) in
+  (* ~10ms per timed window: small enough to keep the section quick,
+     large enough that a scheduler blip on the shared box doesn't
+     swallow the few-percent signal *)
+  let wf_ops = 100_000 in
+  let wf_run () =
+    let w = WC.create ~n:1 () in
+    for _ = 1 to wf_ops do
+      ignore (WC.apply w ~pid:0 Runtime.Seq_objects.Counter.Incr)
+    done
+  in
+  let was_hot = Obs.Metrics.hot () in
+  (* interleaved min-of-reps — each rep times metrics-off and
+     metrics-on back to back, so both sides face the same machine
+     drift; sequential off-block-then-on-block measurement let a slow
+     phase of the shared box masquerade as tens of percent of
+     (anti-)overhead *)
+  Obs.Metrics.set_hot false;
+  wf_run ();
+  Obs.Metrics.set_hot true;
+  wf_run ();
+  let off = ref infinity and on_ = ref infinity in
+  let timed hot =
+    Obs.Metrics.set_hot hot;
+    Gc.minor ();
+    let (), dt = time_once wf_run in
+    let cell = if hot then on_ else off in
+    if dt < !cell then cell := dt
+  in
+  (* alternate the within-pair order rep to rep: the second run of a
+     pair tends to be faster (warmer caches), and a fixed order would
+     book that as (anti-)overhead *)
+  for rep = 1 to reps do
+    if rep land 1 = 0 then begin
+      timed false;
+      timed true
+    end
+    else begin
+      timed true;
+      timed false
+    end
+  done;
+  Obs.Metrics.set_hot was_hot;
+  let off = !off and on_ = !on_ in
+  let pct = if off > 0. then (on_ -. off) /. off *. 100. else 0. in
+  record_series "profile/wait-free-metrics"
+    (Obs.Json.obj
+       [
+         ("off_ns_per_op", Obs.Json.float (off /. float_of_int wf_ops *. 1e9));
+         ("on_ns_per_op", Obs.Json.float (on_ /. float_of_int wf_ops *. 1e9));
+         ("overhead_pct", Obs.Json.float pct);
+         ("ops", Obs.Json.int wf_ops);
+         ("reps", Obs.Json.int reps);
+       ]);
+  Fmt.pr "  %-34s off %9.1f ns/op on %9.1f ns/op overhead %+5.1f%%@."
+    "wait-free-apply-metrics"
+    (off /. float_of_int wf_ops *. 1e9)
+    (on_ /. float_of_int wf_ops *. 1e9)
+    pct
 
 (* ---------- entry point ----------
 
@@ -1230,6 +1434,7 @@ let sections : (string * (unit -> unit)) list =
     ("primitives", primitive_benches);
     ("fac", fac_benches);
     ("universal-throughput", universal_throughput);
+    ("universal-service", universal_service);
     ("consensus-scaling", consensus_scaling);
     ("replay-cost", replay_cost_series);
     ("fac-rounds", fac_rounds_series);

@@ -12,6 +12,10 @@
      critical    find a critical (bivalent) state of a protocol
      fault       crash-stop stress on real domains (halt k, survivors
                  must complete, recorded history must linearize)
+     load        closed-loop load generator for the universal object
+                 service (differential / linearizability checked)
+     serve       hold the universal object service under sustained
+                 load, exporting live metrics for wfs top
      randomized  check the randomized register-consensus extension
      stats       run a fixed workload and dump the metrics snapshot
                  (--watch N live-renders a humanized summary meanwhile)
@@ -134,7 +138,13 @@ let obs_setup ~progress ~profile ?metrics_out ?metrics_port ~label
   | Ok sampler -> (
       if progress then Obs.Progress.start ~crashes label;
       (match profile with Some _ -> Obs.Profile.enable () | None -> ());
+      (* a live sampler implies the hot-path counters should record:
+         without this the runtime's gated universal_rt/service metrics
+         export as zeros *)
+      let was_hot = Obs.Metrics.hot () in
+      if sampler <> None then Obs.Metrics.set_hot true;
       let finish () =
+        Obs.Metrics.set_hot was_hot;
         if progress then Obs.Progress.finish ();
         (match profile with
         | Some path ->
@@ -605,6 +615,134 @@ let fault_cmd =
           operations left pending) still linearizes")
     Term.(const run $ n $ halts $ ops)
 
+(* --- universal object service: load & serve --- *)
+
+let service_object_arg =
+  Arg.(
+    value & opt string "counter"
+    & info [ "object" ] ~docv:"NAME"
+        ~doc:"Served object: counter, fifo-queue or kv-map.")
+
+let service_window_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "window" ]
+        ~doc:
+          "Log positions between state snapshots — the §4.1 truncation \
+           window bounding retained memory and replay cost.")
+
+let service_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~doc:"Per-client operation-stream seed (runs replay).")
+
+let service_spec name =
+  List.find_opt
+    (fun s -> s.Object_spec.name = name)
+    (Runtime.Service.default_specs ())
+
+let load_cmd =
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Client domains.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 250_000
+      & info [ "ops" ]
+          ~doc:"Operations per client (each client runs a closed loop).")
+  in
+  let halts =
+    Arg.(
+      value & opt int 0
+      & info [ "halts" ]
+          ~doc:
+            "Clients to halt mid-operation; crash runs record the history \
+             and check it for linearizability, so --ops must stay small.")
+  in
+  let run clients ops object_name window seed halts progress profile
+      metrics_out metrics_port =
+    obs_setup ~progress ~profile ?metrics_out ?metrics_port ~label:"load"
+      (fun () ->
+        match service_spec object_name with
+        | None ->
+            Fmt.epr "unknown object %S (try fifo-queue, counter, kv-map)@."
+              object_name;
+            2
+        | Some spec -> (
+            match
+              Runtime.Service.Load.run ~seed ~window ~halts ~spec ~clients
+                ~ops_per_client:ops ()
+            with
+            | exception Invalid_argument msg ->
+                Fmt.epr "%s@." msg;
+                2
+            | r ->
+                Fmt.pr "%a@." Runtime.Service.Load.pp_report r;
+                if Runtime.Service.Load.passed r then 0 else 1))
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Closed-loop load generator for the universal object service: \
+          drive one object from many client domains through the batched + \
+          truncating wait-free construction, then prove the run correct — \
+          differentially against the sequential specification (crash-free) \
+          or with the linearizability checker (--halts).  Reports \
+          throughput, latency quantiles and truncation telemetry; watch it \
+          live with --metrics-port and wfs top.")
+    Term.(
+      const run $ clients $ ops $ service_object_arg $ service_window_arg
+      $ service_seed_arg $ halts $ progress_arg $ profile_arg
+      $ metrics_out_arg $ metrics_port_arg)
+
+let serve_cmd =
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Client domains.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 10.
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"How long to keep the service under load before exiting.")
+  in
+  let run clients duration window seed progress profile metrics_out
+      metrics_port =
+    obs_setup ~progress ~profile ?metrics_out ?metrics_port ~label:"serve"
+      (fun () ->
+        if clients <= 0 || duration <= 0. then begin
+          Fmt.epr "serve: clients and duration must be positive@.";
+          2
+        end
+        else begin
+          let r =
+            Runtime.Service.serve ~seed ~window ~clients ~duration_s:duration
+              ()
+          in
+          Fmt.pr "served %s operations in %.1fs (%s ops/s)@."
+            (Obs.Units.si_int r.Runtime.Service.served_ops)
+            (float_of_int r.Runtime.Service.serve_duration_ns *. 1e-9)
+            (Obs.Units.rate
+               (float_of_int r.Runtime.Service.served_ops
+               /. (float_of_int r.Runtime.Service.serve_duration_ns *. 1e-9)));
+          List.iter
+            (fun (name, len) ->
+              Fmt.pr "  %-12s %s ops threaded@." name (Obs.Units.si_int len))
+            r.Runtime.Service.per_object;
+          0
+        end)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the universal object service under sustained load: every \
+          registry object (queue, counter, kv-map) lifted wait-free and \
+          driven round-robin by client domains until the deadline.  Meant \
+          to be watched live: --metrics-port P exposes OpenMetrics for \
+          wfs top, --metrics-out F appends a scrapeable file sink.")
+    Term.(
+      const run $ clients $ duration $ service_window_arg $ service_seed_arg
+      $ progress_arg $ profile_arg $ metrics_out_arg $ metrics_port_arg)
+
 (* --- randomized --- *)
 
 let randomized_cmd =
@@ -1020,7 +1158,7 @@ let stats_cmd =
                  ignore (QU.apply qu Deq)
                done));
         let module QW = Runtime.Universal.Wait_free (Runtime.Seq_objects.Queue_of_int) in
-        let qw = QW.create ~n:2 in
+        let qw = QW.create ~n:2 () in
         ignore
           (Runtime.Primitives.run_domains 2 (fun pid ->
                for i = 0 to 499 do
@@ -1183,7 +1321,7 @@ let main =
           constructions of Herlihy (PODC 1988), executable")
     [
       hierarchy_cmd; verify_cmd; replay_cmd; solve_cmd; universal_cmd;
-      census_cmd; critical_cmd; fault_cmd;
+      census_cmd; critical_cmd; fault_cmd; load_cmd; serve_cmd;
       randomized_cmd; stats_cmd; top_cmd; zoo_cmd; profile_cmd;
     ]
 

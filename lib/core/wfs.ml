@@ -92,4 +92,5 @@ module Runtime = struct
   module Randomized = Wfs_runtime.Randomized_rt
   module Recorder = Wfs_runtime.Recorder
   module Fault = Wfs_runtime.Fault
+  module Service = Wfs_runtime.Service
 end

@@ -188,7 +188,7 @@ let stress_queue ?(ops_per_proc = 7) ~n ~halts () =
     create ~n
       (List.init halts (fun h -> Halt { pid = h; boundary = (2 * h) + 1 }))
   in
-  let q = WQ.create ~n in
+  let q = WQ.create ~n () in
   let recorder = Recorder.create ~capacity:(4 * n * ops_per_proc) in
   let run pid =
     let completed = ref 0 in

@@ -58,3 +58,46 @@ let counter ?(name = "counter") ?(init = 0) () =
 let incr = Op.nullary "incr"
 let decr = Op.nullary "decr"
 let read = Op.nullary "read"
+
+(* A key→value map — the "map" shape of the universal object service
+   (registers generalized to a keyed store; Corollary 10 still applies:
+   registers alone cannot implement it wait-free for n ≥ 2 because it
+   embeds the counter via put/get on one key).  The state is an
+   association list kept sorted by key so equal abstract maps have
+   equal representations.  [put]/[del] return the displaced value (⊥
+   when the key was absent) so concurrent writers are observably
+   ordered. *)
+
+let put k v = Op.make "put" (Value.pair k v)
+let get k = Op.make "get" k
+let del k = Op.make "del" k
+
+let kv_map ?(name = "kv-map") ?(initial = [])
+    ?(keys = [ Value.str "a"; Value.str "b" ])
+    ?(values = [ Value.int 0; Value.int 1; Value.int 2 ]) () =
+  let canonical kvs =
+    List.sort (fun (a, _) (b, _) -> Value.compare a b) kvs
+  in
+  let encode kvs = Value.list (List.map (fun (k, v) -> Value.pair k v) kvs) in
+  let decode state = List.map Value.as_pair (Value.as_list state) in
+  let apply state op =
+    let kvs = decode state in
+    let lookup k = List.assoc_opt k kvs |> Value.of_option in
+    match Op.name op with
+    | "put" ->
+        let k, v = Value.as_pair (Op.arg op) in
+        let displaced = lookup k in
+        let kvs = canonical ((k, v) :: List.remove_assoc k kvs) in
+        (encode kvs, displaced)
+    | "get" -> (state, lookup (Op.arg op))
+    | "del" ->
+        let k = Op.arg op in
+        (encode (List.remove_assoc k kvs), lookup k)
+    | _ -> raise (Object_spec.Unknown_operation { obj = name; op })
+  in
+  let menu =
+    List.concat_map
+      (fun k -> get k :: del k :: List.map (fun v -> put k v) values)
+      keys
+  in
+  Object_spec.make ~name ~init:(encode (canonical initial)) ~apply ~menu

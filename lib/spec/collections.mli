@@ -31,3 +31,18 @@ val set :
 
 (** Shared counter whose [incr]/[decr] return the new value. *)
 val counter : ?name:string -> ?init:int -> unit -> Object_spec.t
+
+val put : Value.t -> Value.t -> Op.t
+val get : Value.t -> Op.t
+val del : Value.t -> Op.t
+
+(** Key→value map whose state is a key-sorted association list; [put]
+    and [del] return the displaced value (⊥ for an absent key).  The
+    third default object of the universal object service. *)
+val kv_map :
+  ?name:string ->
+  ?initial:(Value.t * Value.t) list ->
+  ?keys:Value.t list ->
+  ?values:Value.t list ->
+  unit ->
+  Object_spec.t
