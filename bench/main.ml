@@ -100,7 +100,8 @@ let write_results path sections_run =
   let json =
     Obs.Json.obj
       [
-        (* /6 adds the universal-service/* series (batched vs
+        (* /7 adds the tt/* series (transposition + no-good census
+           grid); /6 adds the universal-service/* series (batched vs
            un-batched wait-free, plus the closed-loop load harness) and
            the profile/wait-free-metrics overhead pair; /5 switches the
            perf estimators from min-of-k to median-of-k, adds
@@ -109,7 +110,7 @@ let write_results path sections_run =
            added shard_states / shard_imbalance / stripe_contention to
            the perf-par series; /3 added section_timings; /2 the
            provenance stamps; /1 fields unchanged. *)
-        ("schema", Obs.Json.str "wfs-bench/6");
+        ("schema", Obs.Json.str "wfs-bench/7");
         ("generated_unix_time", Obs.Json.float (Unix.time ()));
         ("domains_used", Obs.Json.int (Domain.recommended_domain_count ()));
         ("git_rev", Obs.Json.str (git_rev ()));
@@ -1114,6 +1115,148 @@ let perf_por () =
   explore "mem-swap-n3" (Swap_consensus.protocol ~n:3 ());
   explore "aug-queue-n4" (Aug_queue_consensus.protocol ~n:4 ())
 
+(* ---------- PERF-TT: transposition caching + no-good learning ---------- *)
+
+let perf_tt () =
+  section
+    "PERF-TT  transposition table + σ-footprint no-good learning: census \
+     node counts across the {por, tt} grid at identical verdicts";
+  let budget =
+    match Sys.getenv_opt "WFS_TT_BUDGET" with
+    | Some s -> ( try max 10_000 (int_of_string s) with Failure _ -> 2_000_000)
+    | None -> 2_000_000
+  in
+  let tt_counters () =
+    ( counter_now "solver.tt.hits",
+      counter_now "solver.tt.misses",
+      counter_now "solver.tt.footprint_rejects",
+      counter_now "solver.tt.backjumps" )
+  in
+  let run ~por ~tt =
+    let h0, m0, r0, b0 = tt_counters () in
+    let ms, dt =
+      time_once (fun () -> Census.run ~max_nodes:budget ~por ~tt ())
+    in
+    let h1, m1, r1, b1 = tt_counters () in
+    (ms, dt, (h1 - h0, m1 - m0, r1 - r0, b1 - b0))
+  in
+  let total ms =
+    List.fold_left
+      (fun acc (m : Census.measurement) ->
+        acc + snd m.Census.two_proc + snd m.Census.three_proc)
+      0 ms
+  in
+  let outcome o = Fmt.str "%a" Census.pp_outcome o in
+  (* Verdict identity vs the chronological baseline, with the same
+     budget-boundary caveat as PERF-POR: a search that concludes under
+     the cap where a bigger one ran out is a budget artifact, not a
+     soundness difference. *)
+  let verdicts_vs_baseline base ms =
+    List.for_all2
+      (fun (a : Census.measurement) (b : Census.measurement) ->
+        let o2a, _ = a.Census.two_proc and o3a, _ = a.Census.three_proc in
+        let o2b, _ = b.Census.two_proc and o3b, _ = b.Census.three_proc in
+        let same =
+          outcome o2a = outcome o2b
+          && outcome o3a = outcome o3b
+          && Option.equal Value.equal a.Census.winning_init2
+               b.Census.winning_init2
+          && Option.equal Value.equal a.Census.winning_init3
+               b.Census.winning_init3
+        in
+        let capped =
+          List.exists (fun o -> o = Census.Budget) [ o2a; o3a; o2b; o3b ]
+        in
+        same || capped)
+      base ms
+  in
+  let base, t_base, _ = run ~por:false ~tt:false in
+  let n_base = total base in
+  let grid =
+    List.map
+      (fun (name, por, tt) ->
+        let ms, dt, deltas = run ~por ~tt in
+        (name, ms, dt, deltas))
+      [ ("por", true, false); ("tt", false, true); ("por+tt", true, true) ]
+  in
+  Fmt.pr "  %-10s %12s %8s %9s  verdicts@." "combo" "nodes" "sec"
+    "reduction";
+  Fmt.pr "  %-10s %12d %8.1f %8.2fx  -@." "baseline" n_base t_base 1.0;
+  record_series "tt/census/baseline"
+    (Obs.Json.obj
+       [
+         ("nodes", Obs.Json.int n_base);
+         ("seconds", Obs.Json.float t_base);
+       ]);
+  let all_match = ref true in
+  List.iter
+    (fun (name, ms, dt, (h, m, r, b)) ->
+      let n = total ms in
+      let ok = verdicts_vs_baseline base ms in
+      if not ok then all_match := false;
+      let reduction =
+        if n > 0 then float_of_int n_base /. float_of_int n else 1.
+      in
+      let hit_rate =
+        if h + m > 0 then float_of_int h /. float_of_int (h + m) else 0.
+      in
+      record_series ("tt/census/" ^ name)
+        (Obs.Json.obj
+           [
+             ("nodes", Obs.Json.int n);
+             ("seconds", Obs.Json.float dt);
+             ("reduction", Obs.Json.float reduction);
+             ("verdicts_match", Obs.Json.bool ok);
+             ("tt_hits", Obs.Json.int h);
+             ("tt_misses", Obs.Json.int m);
+             ("tt_hit_rate", Obs.Json.float hit_rate);
+             ("tt_footprint_rejects", Obs.Json.int r);
+             ("tt_backjumps", Obs.Json.int b);
+           ]);
+      Fmt.pr "  %-10s %12d %8.1f %8.2fx  %s%s@." name n dt reduction
+        (if ok then "identical (where both searches complete)"
+         else "MISMATCH")
+        (if h + m > 0 then
+           Fmt.str "  [tt hit %.1f%%, rejects %d, backjumps %d]"
+             (hit_rate *. 100.) r b
+         else ""))
+    grid;
+  (* Per-object breakdown of the headline comparison (por vs por+tt):
+     this is where the dominant conclusive rows — n-assignment n=3
+     above all — show the learning paying off. *)
+  (match
+     ( List.find_opt (fun (n, _, _, _) -> n = "por") grid,
+       List.find_opt (fun (n, _, _, _) -> n = "por+tt") grid )
+   with
+  | Some (_, por_ms, _, _), Some (_, both_ms, _, _) ->
+      List.iter2
+        (fun (a : Census.measurement) (b : Census.measurement) ->
+          let na = snd a.Census.two_proc + snd a.Census.three_proc in
+          let nb = snd b.Census.two_proc + snd b.Census.three_proc in
+          let reduction =
+            if nb > 0 then float_of_int na /. float_of_int nb else 1.
+          in
+          record_series ("tt/census-row/" ^ a.Census.object_name)
+            (Obs.Json.obj
+               [
+                 ("nodes_por", Obs.Json.int na);
+                 ("nodes_por_tt", Obs.Json.int nb);
+                 ("reduction", Obs.Json.float reduction);
+               ]);
+          Fmt.pr "  row %-22s nodes %10d -> %10d  (%5.2fx)@."
+            a.Census.object_name na nb reduction)
+        por_ms both_ms
+  | _ -> ());
+  record_series "tt/census-grid"
+    (Obs.Json.obj
+       [
+         ("budget", Obs.Json.int budget);
+         ("verdicts_match", Obs.Json.bool !all_match);
+       ]);
+  Fmt.pr "  verdicts across the grid: %s@."
+    (if !all_match then "identical (where both searches complete)"
+     else "MISMATCH")
+
 (* ---------- EXT-2: Lamport 1P/1C queue (§3.3) ---------- *)
 
 let lamport_queue_bench () =
@@ -1251,8 +1394,9 @@ let fault_bench () =
      profile/overhead          Protocol.verify aug-queue n=4, profiling
                                off vs enabled (coarse spans: shards,
                                solver verdicts)
-     profile/recorder-op       recorder-dense loop — one rt.op span per
-                               operation, the fine-grained worst case
+     profile/recorder-op       recorder-dense loop — rt.op spans at the
+                               recorder's 1-in-64 sampling rate, the
+                               fine-grained worst case
      profile/disabled-span-ns  Profile.span around a trivial thunk vs
                                the bare thunk, per call, profiler off
 
@@ -1308,9 +1452,11 @@ let profile_overhead () =
        ]);
   Fmt.pr "  %-34s off %9.2f ms   on %9.2f ms   overhead %+5.1f%%@."
     "verify-aug-queue-n4" (off *. 1e3) (on_ *. 1e3) pct;
-  (* Recorder-dense workload: every operation opens and closes an rt.op
-     span, so this is the per-span enabled cost in its least flattering
-     setting (ops that do almost nothing). *)
+  (* Recorder-dense workload: with profiling enabled the recorder opens
+     an rt.op span for 1 op in 64 (sampled — a span per op multiplied
+     sub-microsecond ops several-fold), so this measures the amortized
+     enabled cost in its least flattering setting (ops that do almost
+     nothing). *)
   let ops = 20_000 in
   let off, on_, pct, _ =
     measure_pair "recorder-op" ~iters:1 (fun () ->
@@ -1446,6 +1592,7 @@ let sections : (string * (unit -> unit)) list =
     ("perf", perf);
     ("perf-par", perf_par);
     ("perf-por", perf_por);
+    ("perf-tt", perf_tt);
     ("profile", profile_overhead);
   ]
 

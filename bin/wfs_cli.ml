@@ -59,6 +59,18 @@ let no_por_arg =
            searches of previous releases are reproduced byte for byte \
            (differential runs, search-size comparisons).")
 
+let no_tt_arg =
+  Arg.(
+    value & flag
+    & info [ "no-tt" ]
+        ~doc:
+          "Disable the solver's transposition table and no-good \
+           learning (footprint-validated subgame caching and \
+           backjumping). Verdicts and synthesized strategies are \
+           identical either way; together with $(b,--no-por) the \
+           historical search is reproduced node for node \
+           (differential runs, search-size comparisons).")
+
 (* Returns [None] for invalid [j] so callers can exit 2 uniformly. *)
 let with_jobs j f =
   if j < 0 then None
@@ -176,12 +188,15 @@ let obs_setup ~progress ~profile ?metrics_out ?metrics_port ~label
 let hierarchy_full_arg =
   Arg.(value & flag & info [ "full" ] ~doc:"Include the expensive solver instances (minutes).")
 
-let hierarchy_run ~progress ~profile ?metrics_out ?metrics_port full no_por j =
+let hierarchy_run ~progress ~profile ?metrics_out ?metrics_port full no_por
+    no_tt j =
   obs_setup ~progress ~profile ?metrics_out ?metrics_port ~label:"hierarchy"
     (fun () ->
       match
         with_jobs j (fun pool ->
-            let table = Table.generate ?pool ~full ~por:(not no_por) () in
+            let table =
+              Table.generate ?pool ~full ~por:(not no_por) ~tt:(not no_tt) ()
+            in
             Fmt.pr "%a@." Table.pp table;
             if Table.consistent table then begin
               Fmt.pr "@.All rows consistent with Figure 1-1.@.";
@@ -196,14 +211,15 @@ let hierarchy_run ~progress ~profile ?metrics_out ?metrics_port full no_por j =
       | None -> bad_jobs j)
 
 let hierarchy_cmd =
-  let run full no_por j progress profile metrics_out metrics_port =
-    hierarchy_run ~progress ~profile ?metrics_out ?metrics_port full no_por j
+  let run full no_por no_tt j progress profile metrics_out metrics_port =
+    hierarchy_run ~progress ~profile ?metrics_out ?metrics_port full no_por
+      no_tt j
   in
   Cmd.v
     (Cmd.info "hierarchy" ~doc:"Regenerate the Figure 1-1 hierarchy table")
     Term.(
-      const run $ hierarchy_full_arg $ no_por_arg $ jobs_arg $ progress_arg
-      $ profile_arg $ metrics_out_arg $ metrics_port_arg)
+      const run $ hierarchy_full_arg $ no_por_arg $ no_tt_arg $ jobs_arg
+      $ progress_arg $ profile_arg $ metrics_out_arg $ metrics_port_arg)
 
 (* --- verify --- *)
 
@@ -389,27 +405,50 @@ let solve_cmd =
   let budget =
     Arg.(value & opt int 20_000_000 & info [ "budget" ] ~doc:"Search-node budget.")
   in
-  let run object_name n depth budget =
+  let critical =
+    Arg.(
+      value & flag
+      & info [ "critical-depth" ]
+          ~doc:
+            "Instead of one verdict at --depth, binary-search the least \
+             step bound (up to --depth) at which consensus becomes \
+             solvable from some candidate initialization, sharing one \
+             transposition context across the probes.")
+  in
+  let run object_name n depth budget no_por no_tt critical =
     match Zoo.find object_name with
     | exception Invalid_argument msg ->
         Fmt.epr "%s@." msg;
         2
     | spec ->
-        let verdict =
-          Solver.solve ~max_nodes:budget (Solver.of_spec ~n ~depth spec)
-        in
-        Fmt.pr "%s, n = %d, depth = %d:@.%a@." object_name n depth
-          Solver.pp_verdict verdict;
-        (match verdict with
-        | Solver.Solvable _ | Solver.Unsolvable -> 0
-        | Solver.Out_of_budget _ -> 1)
+        if critical then begin
+          let c =
+            Census.critical_depth ~max_nodes:budget ~por:(not no_por)
+              ~tt:(not no_tt) ~n ~max_depth:depth spec
+          in
+          Fmt.pr "%s, n = %d, max depth = %d:@.%a@." object_name n depth
+            Census.pp_critical c;
+          match c.Census.critical with Some _ -> 0 | None -> 1
+        end
+        else
+          let verdict =
+            Solver.solve ~max_nodes:budget ~por:(not no_por) ~tt:(not no_tt)
+              (Solver.of_spec ~n ~depth spec)
+          in
+          Fmt.pr "%s, n = %d, depth = %d:@.%a@." object_name n depth
+            Solver.pp_verdict verdict;
+          (match verdict with
+          | Solver.Solvable _ | Solver.Unsolvable -> 0
+          | Solver.Out_of_budget _ -> 1)
   in
   Cmd.v
     (Cmd.info "solve"
        ~doc:
          "Decide bounded wait-free consensus solvability by strategy \
           synthesis; UNSOLVABLE is a machine-checked impossibility proof")
-    Term.(const run $ object_name $ n $ depth $ budget)
+    Term.(
+      const run $ object_name $ n $ depth $ budget $ no_por_arg $ no_tt_arg
+      $ critical)
 
 (* --- universal --- *)
 
@@ -480,7 +519,7 @@ let census_max_depth_arg =
            instances; defaults are 2 and 1).")
 
 let census_run ~progress ~profile ?metrics_out ?metrics_port budget max_states
-    max_depth no_por j =
+    max_depth no_por no_tt j =
   let max_nodes =
     match max_states with Some s -> min s budget | None -> budget
   in
@@ -495,7 +534,8 @@ let census_run ~progress ~profile ?metrics_out ?metrics_port budget max_states
                op(s),@.over initializations reachable in ≤ 2 operations):@.@."
               depth2 depth3;
             let results =
-              Census.run ~depth2 ~depth3 ~max_nodes ~por:(not no_por) ?pool ()
+              Census.run ~depth2 ~depth3 ~max_nodes ~por:(not no_por)
+                ~tt:(not no_tt) ?pool ()
             in
             Fmt.pr "%a@." Census.pp results;
             let budget_hit =
@@ -517,10 +557,10 @@ let census_run ~progress ~profile ?metrics_out ?metrics_port budget max_states
       | None -> bad_jobs j)
 
 let census_cmd =
-  let run budget max_states max_depth no_por j progress profile metrics_out
-      metrics_port =
+  let run budget max_states max_depth no_por no_tt j progress profile
+      metrics_out metrics_port =
     census_run ~progress ~profile ?metrics_out ?metrics_port budget max_states
-      max_depth no_por j
+      max_depth no_por no_tt j
   in
   Cmd.v
     (Cmd.info "census"
@@ -529,8 +569,8 @@ let census_cmd =
           solver alone")
     Term.(
       const run $ census_budget_arg $ census_max_states_arg
-      $ census_max_depth_arg $ no_por_arg $ jobs_arg $ progress_arg
-      $ profile_arg $ metrics_out_arg $ metrics_port_arg)
+      $ census_max_depth_arg $ no_por_arg $ no_tt_arg $ jobs_arg
+      $ progress_arg $ profile_arg $ metrics_out_arg $ metrics_port_arg)
 
 (* --- critical --- *)
 
@@ -901,6 +941,20 @@ module Live = struct
            Printf.sprintf "   sleep cut %s  %s" (Obs.Units.si c)
              (rate "wfs_solver_cutoff_sleep_total")
          else "");
+    (let h = v "wfs_solver_tt_hits_total"
+     and m = v "wfs_solver_tt_misses_total" in
+     if h +. m > 0. then
+       add "%s  hit %s (%s)   rejects %s   backjumps %s  %s\n"
+         (bold "solve-tt")
+         (Obs.Units.percent
+            (ratio
+               (d "wfs_solver_tt_hits_total")
+               (d "wfs_solver_tt_hits_total"
+               +. d "wfs_solver_tt_misses_total")))
+         (Obs.Units.si h)
+         (Obs.Units.si (v "wfs_solver_tt_footprint_rejects_total"))
+         (Obs.Units.si (v "wfs_solver_tt_backjumps_total"))
+         (rate "wfs_solver_tt_backjumps_total"));
     let hist = "wfs_universal_rt_wait_free_help_rounds_hist" in
     if v (hist ^ "_count") > 0. then
       add "%s  %s ops  %s   help rounds p50 %s p99 %s   announce %.0f   log %s\n"
@@ -1286,7 +1340,7 @@ let profile_cmd =
   let census =
     let run budget max_states max_depth j progress out =
       census_run ~progress ~profile:(Some out) budget max_states max_depth
-        false j
+        false false j
     in
     Cmd.v
       (Cmd.info "census" ~doc:"Profile the solver census over the zoo")
@@ -1296,7 +1350,7 @@ let profile_cmd =
   in
   let hierarchy =
     let run full j progress out =
-      hierarchy_run ~progress ~profile:(Some out) full false j
+      hierarchy_run ~progress ~profile:(Some out) full false false j
     in
     Cmd.v
       (Cmd.info "hierarchy"

@@ -77,8 +77,12 @@ let candidate_inits ?(max_candidates = 16) (spec : Object_spec.t) =
   List.filteri (fun i _ -> i < max_candidates) all
 
 (* Solve for one process count, trying each candidate initialization
-   until one admits a protocol. *)
-let solve_any_init ~n ~depth ~max_nodes ~intern_views ~por
+   until one admits a protocol.  All initializations of a row share one
+   solver context (when the transposition layer is on): the initial
+   environment state differs per candidate, but deeper subgames
+   transpose heavily across them, so later candidates replay verdicts
+   the earlier ones paid for. *)
+let solve_any_init ?ctx ~n ~depth ~max_nodes ~intern_views ~por ~tt
     (spec : Object_spec.t) inits =
   Wfs_obs.Profile.span ~cat:"census"
     ~args:(fun () ->
@@ -88,6 +92,11 @@ let solve_any_init ~n ~depth ~max_nodes ~intern_views ~por
       ])
     "census.solve"
   @@ fun () ->
+  let ctx =
+    match ctx with
+    | Some _ as c -> c
+    | None -> if tt && intern_views then Some (Solver.Ctx.create ~n ()) else None
+  in
   let rec go total_nodes budget_hit winning = function
     | [] ->
         if budget_hit then ((Budget, total_nodes), winning)
@@ -95,7 +104,7 @@ let solve_any_init ~n ~depth ~max_nodes ~intern_views ~por
     | init :: rest -> (
         let spec' = { spec with Object_spec.init } in
         let verdict, nodes =
-          Solver.solve_with_stats ~max_nodes ~intern_views ~por
+          Solver.solve_with_stats ~max_nodes ~intern_views ~por ~tt ?ctx
             (Solver.of_spec ~n ~depth spec')
         in
         let total_nodes = total_nodes + nodes in
@@ -122,14 +131,16 @@ let assemble ~depth2 ~depth3 (spec : Object_spec.t) inits
   }
 
 let measure ?(depth2 = 2) ?(depth3 = 1) ?(max_nodes = 20_000_000)
-    ?(max_candidates = 16) ?(intern_views = true) ?(por = true)
+    ?(max_candidates = 16) ?(intern_views = true) ?(por = true) ?(tt = true)
     (spec : Object_spec.t) =
   let inits = candidate_inits ~max_candidates spec in
   let two =
-    solve_any_init ~n:2 ~depth:depth2 ~max_nodes ~intern_views ~por spec inits
+    solve_any_init ~n:2 ~depth:depth2 ~max_nodes ~intern_views ~por ~tt spec
+      inits
   in
   let three =
-    solve_any_init ~n:3 ~depth:depth3 ~max_nodes ~intern_views ~por spec inits
+    solve_any_init ~n:3 ~depth:depth3 ~max_nodes ~intern_views ~por ~tt spec
+      inits
   in
   assemble ~depth2 ~depth3 spec inits two three
 
@@ -158,7 +169,7 @@ let job_weight (spec, inits, n, depth) =
   float_of_int (List.length inits) *. (branch ** float_of_int (n * depth))
 
 let run ?(depth2 = 2) ?(depth3 = 1) ?(max_nodes = 20_000_000)
-    ?(intern_views = true) ?(por = true) ?pool () =
+    ?(intern_views = true) ?(por = true) ?(tt = true) ?pool () =
   let specs = Zoo.all () in
   match pool with
   | Some p when Wfs_sim.Pool.size p > 1 ->
@@ -181,7 +192,10 @@ let run ?(depth2 = 2) ?(depth3 = 1) ?(max_nodes = 20_000_000)
         Wfs_sim.Pool.parallel_map p
           (fun i ->
             let spec, inits, n, depth = jobs.(i) in
-            solve_any_init ~n ~depth ~max_nodes ~intern_views ~por spec inits)
+            (* each job builds its own context inside [solve_any_init]:
+               the transposition store is single-domain state *)
+            solve_any_init ~n ~depth ~max_nodes ~intern_views ~por ~tt spec
+              inits)
           order
       in
       let halves = Array.make (Array.length jobs) results.(0) in
@@ -196,8 +210,79 @@ let run ?(depth2 = 2) ?(depth3 = 1) ?(max_nodes = 20_000_000)
   | _ ->
       List.map
         (fun spec ->
-          measure ~depth2 ~depth3 ~max_nodes ~intern_views ~por spec)
+          measure ~depth2 ~depth3 ~max_nodes ~intern_views ~por ~tt spec)
         specs
+
+(* Critical depth of an (object, n) row: the least step bound d at
+   which n-process consensus is solvable from some candidate
+   initialization.  Solvability is MONOTONE in the bound — a protocol
+   deciding within d operations per process decides within d' ≥ d — so
+   the row is a step function of d and binary search over [1,
+   max_depth] finds the threshold in ⌈log₂ max_depth⌉ probes instead
+   of max_depth.  All probes share one solver context: positions are
+   keyed by REMAINING step budget, so a subgame classified at one
+   probe depth replays verbatim at every other. *)
+
+type depth_probe = { probe_depth : int; probe_outcome : outcome; probe_nodes : int }
+
+type critical = {
+  critical : int option;
+      (* least solvable depth ≤ max_depth, None if the row is
+         unsolvable (or inconclusive) throughout *)
+  exact : bool;  (* false if a budget-exhausted probe widened the bracket *)
+  probes : depth_probe list;  (* in probe order *)
+  total_nodes : int;
+}
+
+let critical_depth ?(max_nodes = 20_000_000) ?(max_candidates = 16)
+    ?(intern_views = true) ?(por = true) ?(tt = true) ~n ~max_depth
+    (spec : Object_spec.t) =
+  if max_depth < 1 then invalid_arg "Census.critical_depth: max_depth < 1";
+  let inits = candidate_inits ~max_candidates spec in
+  let ctx =
+    if tt && intern_views then Some (Solver.Ctx.create ~n ()) else None
+  in
+  let probes = ref [] in
+  let total = ref 0 in
+  let exact = ref true in
+  let probe depth =
+    let (outcome, nodes), _ =
+      solve_any_init ?ctx ~n ~depth ~max_nodes ~intern_views ~por ~tt spec
+        inits
+    in
+    probes := { probe_depth = depth; probe_outcome = outcome; probe_nodes = nodes } :: !probes;
+    total := !total + nodes;
+    outcome
+  in
+  let result =
+    match probe max_depth with
+    | Unsolvable -> None  (* monotone: unsolvable at the cap ⇒ everywhere *)
+    | Budget ->
+        exact := false;
+        None
+    | Solvable ->
+        (* invariant: solvable at [hi], unsolvable below [lo] *)
+        let lo = ref 1 and hi = ref max_depth in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          match probe mid with
+          | Solvable -> hi := mid
+          | Unsolvable -> lo := mid + 1
+          | Budget ->
+              (* treat as unsolvable to keep the bracket sound from
+                 above; the reported threshold is then only an upper
+                 bound *)
+              exact := false;
+              lo := mid + 1
+        done;
+        Some !hi
+  in
+  {
+    critical = result;
+    exact = !exact;
+    probes = List.rev !probes;
+    total_nodes = !total;
+  }
 
 let pp_outcome ppf = function
   | Solvable -> Fmt.string ppf "solvable"
@@ -221,3 +306,17 @@ let pp_measurement ppf m =
 
 let pp ppf census =
   Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_measurement) census
+
+let pp_probe ppf p =
+  Fmt.pf ppf "d=%d: %s (%d nodes)" p.probe_depth
+    (outcome_label p.probe_outcome)
+    p.probe_nodes
+
+let pp_critical ppf c =
+  Fmt.pf ppf "@[<v 2>critical depth: %a%s  (%d nodes total)@ %a@]"
+    Fmt.(option ~none:(any "none") int)
+    c.critical
+    (if c.exact then "" else " (upper bound: budget hit)")
+    c.total_nodes
+    Fmt.(list ~sep:cut pp_probe)
+    c.probes

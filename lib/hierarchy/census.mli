@@ -35,11 +35,14 @@ val candidate_inits : ?max_candidates:int -> Object_spec.t -> Value.t list
     PERF bench section measures the difference.  [por] (default true)
     likewise forwards the solver's sleep-set cutoffs: verdicts and
     winning initializations are identical either way, only the
-    per-verdict node counts shrink ([por:false] reproduces the
-    unreduced counts). *)
+    per-verdict node counts shrink.  [tt] (default true) forwards the
+    transposition/no-good layer; all candidate initializations of an
+    (object, n) row share one {!Solver.Ctx}, so later candidates
+    replay subgames the earlier ones classified.  [por:false] with
+    [tt:false] reproduces the unreduced historical node counts. *)
 val measure :
   ?depth2:int -> ?depth3:int -> ?max_nodes:int -> ?max_candidates:int ->
-  ?intern_views:bool -> ?por:bool -> Object_spec.t -> measurement
+  ?intern_views:bool -> ?por:bool -> ?tt:bool -> Object_spec.t -> measurement
 
 (** [pool] shards the census across a domain pool: each (object, n)
     solver instance is an independent job, issued heaviest-first so a
@@ -48,8 +51,40 @@ val measure :
     byte-identical to the sequential census. *)
 val run :
   ?depth2:int -> ?depth3:int -> ?max_nodes:int -> ?intern_views:bool ->
-  ?por:bool -> ?pool:Wfs_sim.Pool.t -> unit -> measurement list
+  ?por:bool -> ?tt:bool -> ?pool:Wfs_sim.Pool.t -> unit -> measurement list
+
+(** {1 Critical depth}
+
+    The least step bound at which an (object, n) row becomes solvable.
+    Solvability is monotone in the bound (a depth-d protocol is a
+    depth-d' protocol for every d' ≥ d), so the row is a step function
+    of depth and the threshold is found by binary search — O(log
+    max_depth) solver probes, all sharing one {!Solver.Ctx} (positions
+    are keyed by remaining step budget, so subgames classified at one
+    probe depth replay at the others). *)
+
+type depth_probe = {
+  probe_depth : int;
+  probe_outcome : outcome;
+  probe_nodes : int;
+}
+
+type critical = {
+  critical : int option;
+      (** least solvable depth ≤ [max_depth]; [None] if unsolvable (or
+          inconclusive) throughout *)
+  exact : bool;
+      (** [false] when a budget-exhausted probe forced a conservative
+          bracket: [critical] is then only an upper bound *)
+  probes : depth_probe list;  (** in probe order *)
+  total_nodes : int;
+}
+
+val critical_depth :
+  ?max_nodes:int -> ?max_candidates:int -> ?intern_views:bool -> ?por:bool ->
+  ?tt:bool -> n:int -> max_depth:int -> Object_spec.t -> critical
 
 val pp_outcome : outcome Fmt.t
 val pp_measurement : measurement Fmt.t
 val pp : measurement list Fmt.t
+val pp_critical : critical Fmt.t

@@ -24,7 +24,31 @@
    [Wfs_consensus.Protocol]: agreement along every schedule, validity at
    every decide event (the named process must have stepped, or be the
    decider), and decision within the bound (wait-freedom is built into
-   the bounded-depth game). *)
+   the bounded-depth game).
+
+   On top of the chronological search sit two QBF-style learning layers
+   (default on, [tt:false] reproduces the bare search node for node):
+
+   - a TRANSPOSITION TABLE over canonicalized positions.  A position is
+     the full forall-node game state — interned environment state, each
+     undecided process's σ-key (= its view) and REMAINING step budget
+     (so entries transpose across different total depths), the decision
+     vector and the stepped mask — flattened to a small int array and
+     hash-consed to a dense id ([Intern.Ints]).  Because σ is shared
+     and mutable, a cached verdict is only valid relative to the σ
+     entries its subproof consulted: each entry carries that σ-footprint
+     and replays only when the current σ agrees with it ([Tt], which
+     documents the full soundness argument — pure refutations vs. clean
+     successes, a-fortiori dropping of unassigned reads, the exactness
+     condition that makes success replay commute with later
+     continuation failures, and sleep-mask subsumption).
+
+   - NO-GOOD driven backjumping.  A propagating [false] carries the
+     conflict that caused it (footprint + the serials of the choice
+     frames that formed the refuted structure); an existential choice
+     point outside that set whose σ-support is still intact skips its
+     remaining candidates, because re-exploring them provably re-derives
+     the same refutation. *)
 
 open Wfs_spec
 open Wfs_sim
@@ -56,7 +80,16 @@ type verdict =
    and carried in [skeys] — σ lookups (the memo probe in [step], the
    dominance peeks of the sleep-set reduction) then skip re-hashing the
    view.  Keys are pure functions of (pid, view), so the caching is
-   semantically invisible. *)
+   semantically invisible.
+
+   [env_id] and [chain] exist for the transposition layer only (-1/[]
+   with [tt:false]): [env_id] is the interned [Env.encode] of
+   [env_state], kept incrementally so position keys cost no
+   re-encoding; [chain] lists the serials of the choice frames whose
+   candidates formed this state — for σ-hit moves, the serial of the
+   frame that wrote the hit entry — which is what lets a conflict tell
+   "flipping this choice reshapes the refuted structure" apart from
+   "this choice is unrelated, skip it" (see [Tt]). *)
 type 'k state = {
   views : Value.t array;  (* response history per process, latest first *)
   skeys : 'k array;  (* σ-key of each process's current view *)
@@ -65,6 +98,8 @@ type 'k state = {
   env_state : Env.state;
   stepped : int;
   undecided : int;
+  env_id : int;
+  chain : int list;
 }
 
 let set arr i v =
@@ -107,11 +142,56 @@ module M = struct
      sets over the forall player's choices) *)
   let cutoff_sleep = Counter.make "solver.cutoff.sleep"
 
+  (* transposition layer: a hit replays a cached subgame verdict whose
+     σ-footprint still holds; a footprint_reject found entries at the
+     position but none valid under the current σ; a backjump skipped
+     the remaining candidates of a choice point a conflict proved
+     irrelevant *)
+  let tt_hits = Counter.make "solver.tt.hits"
+  let tt_misses = Counter.make "solver.tt.misses"
+  let tt_rejects = Counter.make "solver.tt.footprint_rejects"
+  let tt_backjumps = Counter.make "solver.tt.backjumps"
+
   (* the process-wide states-explored counter shared with the explorer
      (same registry name, hence the same instrument): solver schedule
      nodes are the states of its search tree, so census/hierarchy runs
      report live progress through the same series *)
   let states = Counter.make "explorer.states"
+end
+
+(* Shared solver context: the view/env/position intern arenas and the
+   transposition store, shareable across solves of the same arity —
+   the census threads one context through every cell of an
+   (object, n) row, so later cells replay subgames classified by
+   earlier ones (positions encode REMAINING depth, so entries
+   transpose across depth bounds; σ-footprints keep reuse sound even
+   though every solve grows a fresh σ).  Only meaningful on the
+   interned-σ path: σ-keys must be stable across solves for recorded
+   footprints to keep their meaning, which is exactly what sharing the
+   view interner provides. *)
+module Ctx = struct
+  type t = {
+    n : int;
+    views : Intern.t;
+    envs : Intern.t;
+    positions : Intern.Ints.t;
+    store : (int, action) Tt.store;
+    mutable vh_flushed : int;
+    mutable vl_flushed : int;
+  }
+
+  let create ~n () =
+    {
+      n;
+      views = Intern.create ~size_hint:4096 ();
+      envs = Intern.create ~size_hint:512 ();
+      positions = Intern.Ints.create ~size_hint:8192 ();
+      store = Tt.create ();
+      vh_flushed = 0;
+      vl_flushed = 0;
+    }
+
+  let tt_entries t = Tt.entries t.store
 end
 
 (* The strategy table σ maps (pid, local view) to the chosen action.
@@ -131,8 +211,12 @@ type 'k sigma_ops = {
   sigma_flush_metrics : unit -> unit;
 }
 
-let interned_sigma n =
-  let views = Intern.create ~size_hint:1024 () in
+let interned_sigma ?ctx n =
+  let views =
+    match ctx with
+    | Some c -> c.Ctx.views
+    | None -> Intern.create ~size_hint:1024 ()
+  in
   let sigma : (int, action) Hashtbl.t = Hashtbl.create 1024 in
   {
     sigma_key = (fun pid view -> (Intern.intern views view * n) + pid);
@@ -149,8 +233,19 @@ let interned_sigma n =
     sigma_flush_metrics =
       (fun () ->
         let open Wfs_obs.Metrics in
-        Counter.add M.view_intern_hits (Intern.hits views);
-        Counter.add M.view_intern_lookups (Intern.lookups views);
+        (* with a shared context the interner outlives the solve: flush
+           deltas since the last flush, not cumulative totals *)
+        let hb, lb =
+          match ctx with
+          | Some c ->
+              let r = (c.Ctx.vh_flushed, c.Ctx.vl_flushed) in
+              c.Ctx.vh_flushed <- Intern.hits views;
+              c.Ctx.vl_flushed <- Intern.lookups views;
+              r
+          | None -> (0, 0)
+        in
+        Counter.add M.view_intern_hits (Intern.hits views - hb);
+        Counter.add M.view_intern_lookups (Intern.lookups views - lb);
         Gauge.set_max M.view_arena_size (Intern.size views));
   }
 
@@ -169,17 +264,80 @@ let legacy_sigma () =
     sigma_flush_metrics = ignore;
   }
 
+(* Transposition glue, abstracting over the σ-key backend: an env-state
+   interner, a position canonicalizer, and the entry store. *)
+type 'k tt_glue = {
+  g_env_id : Env.state -> int;
+  g_pos : 'k state -> int;
+  g_store : ('k, action) Tt.store;
+}
+
+(* Canonical position key: [env_id; stepped; decisions; then for each
+   UNDECIDED process its σ-token and remaining step budget].  Decided
+   processes' views and step counts are dead state — nothing in the
+   subgame ever reads them — so dropping them canonicalizes more
+   positions together.  Remaining (not consumed) steps make entries
+   depth-transposable: the subgame below a position depends only on how
+   many operations each process may still take. *)
+let position_key ~depth ~n ~token positions st =
+  let buf = Array.make (2 + n + (2 * st.undecided)) 0 in
+  buf.(0) <- st.env_id;
+  buf.(1) <- st.stepped;
+  let j = ref (2 + n) in
+  for pid = 0 to n - 1 do
+    buf.(2 + pid) <- st.decisions.(pid);
+    if st.decisions.(pid) < 0 then begin
+      buf.(!j) <- token st.skeys.(pid);
+      buf.(!j + 1) <- depth - st.steps.(pid);
+      j := !j + 2
+    end
+  done;
+  Intern.Ints.intern positions buf
+
+let interned_glue (ctx : Ctx.t) inst =
+  {
+    g_env_id = (fun s -> Intern.intern ctx.Ctx.envs (Env.encode s));
+    g_pos =
+      (fun st ->
+        position_key ~depth:inst.depth ~n:inst.n
+          ~token:(fun (k : int) -> k)
+          ctx.Ctx.positions st);
+    g_store = ctx.Ctx.store;
+  }
+
+(* Reference-path glue: σ-keys are raw (pid, view) pairs, so position
+   tokens come from a private view interner (first-seen dense ids, the
+   same injective tokenization as the interned path — position equality
+   and hence the node counts are identical across backends). *)
+let legacy_glue inst =
+  let pv = Intern.create ~size_hint:1024 () in
+  let envs = Intern.create ~size_hint:256 () in
+  let positions = Intern.Ints.create ~size_hint:1024 () in
+  {
+    g_env_id = (fun s -> Intern.intern envs (Env.encode s));
+    g_pos =
+      (fun st ->
+        position_key ~depth:inst.depth ~n:inst.n
+          ~token:(fun ((pid, view) : int * Value.t) ->
+            (Intern.intern pv view * inst.n) + pid)
+          positions st);
+    g_store = Tt.create ();
+  }
+
 let solve_with_ops (type k) ~max_nodes ~prune_agreement ~indep
-    (ops : k sigma_ops) inst =
+    ~(tt : k tt_glue option) (ops : k sigma_ops) inst =
   let nodes = ref 0 in
   let memo_h = ref 0 and memo_m = ref 0 in
   let sleep_cut = ref 0 in
+  let tt_h = ref 0 and tt_m = ref 0 and tt_r = ref 0 and tt_b = ref 0 in
   (* live flush, batched: all counters below are plain refs on the
      search path; every 8192 nodes the deltas go to the registry (and
      the running pool member's shard series), so a mid-run scrape sees
      progress at a cost of one masked test per node *)
   let nodes_flushed = ref 0 and memo_h_flushed = ref 0
-  and memo_m_flushed = ref 0 and sleep_cut_flushed = ref 0 in
+  and memo_m_flushed = ref 0 and sleep_cut_flushed = ref 0
+  and tt_h_flushed = ref 0 and tt_m_flushed = ref 0
+  and tt_r_flushed = ref 0 and tt_b_flushed = ref 0 in
   let live_flush () =
     let d = !nodes - !nodes_flushed in
     let open Wfs_obs.Metrics in
@@ -189,20 +347,44 @@ let solve_with_ops (type k) ~max_nodes ~prune_agreement ~indep
     Counter.add M.memo_hits (!memo_h - !memo_h_flushed);
     Counter.add M.memo_misses (!memo_m - !memo_m_flushed);
     Counter.add M.cutoff_sleep (!sleep_cut - !sleep_cut_flushed);
+    Counter.add M.tt_hits (!tt_h - !tt_h_flushed);
+    Counter.add M.tt_misses (!tt_m - !tt_m_flushed);
+    Counter.add M.tt_rejects (!tt_r - !tt_r_flushed);
+    Counter.add M.tt_backjumps (!tt_b - !tt_b_flushed);
     nodes_flushed := !nodes;
     memo_h_flushed := !memo_h;
     memo_m_flushed := !memo_m;
-    sleep_cut_flushed := !sleep_cut
+    sleep_cut_flushed := !sleep_cut;
+    tt_h_flushed := !tt_h;
+    tt_m_flushed := !tt_m;
+    tt_r_flushed := !tt_r;
+    tt_b_flushed := !tt_b
   in
+  let tt_on = tt <> None in
+  (* Transposition bookkeeping, all per-solve: the footprint-frame
+     stack mirroring the open subproofs, the conflict carried by a
+     propagating [false], a serial supply for choice frames, and the
+     serial of the live frame that wrote each currently-assigned σ-key
+     (hit moves extend their child's [chain] with it). *)
+  let stack : (k, action) Tt.frame list ref = ref [] in
+  let conflict : (k, action) Tt.conflict option ref = ref None in
+  let serial = ref 0 in
+  let writer : (k, int) Hashtbl.t = Hashtbl.create (if tt_on then 512 else 1) in
+  let log_read key seen =
+    match !stack with fr :: _ -> Tt.log_read fr key seen | [] -> ()
+  in
+  let env0 = Env.init inst.env in
   let initial =
     {
       views = Array.make inst.n (Value.list []);
       skeys = Array.init inst.n (fun pid -> ops.sigma_key pid (Value.list []));
       steps = Array.make inst.n 0;
       decisions = Array.make inst.n (-1);
-      env_state = Env.init inst.env;
+      env_state = env0;
       stepped = 0;
       undecided = inst.n;
+      env_id = (match tt with Some g -> g.g_env_id env0 | None -> -1);
+      chain = [];
     }
   in
   let decide_candidates = List.init inst.n (fun j -> Decide j) in
@@ -218,6 +400,14 @@ let solve_with_ops (type k) ~max_nodes ~prune_agreement ~indep
       else go (i + 1)
     in
     go 0
+  in
+  (* A position- (and candidate-)determined refutation: no σ-support at
+     all, so the conflict footprint is empty and its chain is the full
+     derivation of the refuted structure, including the choice that
+     produced the failing action. *)
+  let refuted chain =
+    if tt_on then conflict := Some { Tt.c_fp = Some [||]; c_chain = chain };
+    false
   in
   (* [schedules st sleep k]: every schedule from [st] succeeds under the
      current strategy (extending it existentially where unassigned), and
@@ -236,22 +426,89 @@ let solve_with_ops (type k) ~max_nodes ~prune_agreement ~indep
     incr nodes;
     if !nodes land 8191 = 0 then live_flush ();
     if !nodes > max_nodes then raise Budget;
-    if st.undecided = 0 then agreement_ok st && k ()
+    if st.undecided = 0 then begin
+      if agreement_ok st then k ()
+      else begin
+        (* terminal disagreement is position-determined *)
+        if tt_on then
+          conflict := Some { Tt.c_fp = Some [||]; c_chain = st.chain };
+        false
+      end
+    end
     else
-      let rec obligations pid =
-        if pid >= inst.n then k ()
-        else if st.decisions.(pid) >= 0 then obligations (pid + 1)
-        else if sleep land (1 lsl pid) <> 0 then begin
-          incr sleep_cut;
-          obligations (pid + 1)
-        end
-        else step st sleep pid (fun () -> obligations (pid + 1))
-      in
-      obligations 0
+      match tt with
+      | None -> explore st sleep k
+      | Some g -> (
+          let pos = g.g_pos st in
+          match Tt.lookup g.g_store ~find:ops.sigma_find ~pos ~mask:sleep with
+          | Tt.Replay e ->
+              incr tt_h;
+              (* the replayed verdict depends on these σ values: they
+                 join the enclosing subproof's footprint *)
+              Array.iter (fun (fk, fv) -> log_read fk fv) e.Tt.e_fp;
+              if e.Tt.e_true then k ()
+              else begin
+                conflict :=
+                  Some { Tt.c_fp = Some e.Tt.e_fp; c_chain = st.chain };
+                false
+              end
+          | Tt.Miss rejected ->
+              incr tt_m;
+              tt_r := !tt_r + rejected;
+              let fr = Tt.frame () in
+              stack := fr :: !stack;
+              let kran = ref 0 in
+              let ok =
+                explore st sleep (fun () ->
+                    incr kran;
+                    k ())
+              in
+              stack := List.tl !stack;
+              (match !stack with
+              | parent :: _ -> Tt.merge ~child:fr ~parent
+              | [] -> ());
+              (if (not ok) && !kran = 0 then begin
+                 (* pure refutation: [k] never ran, so the false is a
+                    self-contained subgame impossibility — unless the
+                    frame is tainted/overflowed, in which case the
+                    inner conflict (still sound, possibly skip-derived)
+                    keeps propagating as-is *)
+                 match Tt.refutation_fp fr with
+                 | Some e_fp ->
+                     Tt.record g.g_store ~pos
+                       { Tt.e_true = false; e_mask = sleep; e_fp };
+                     conflict :=
+                       Some { Tt.c_fp = Some e_fp; c_chain = st.chain }
+                 | None -> ()
+               end
+               else if ok && !kran = 1 then
+                 (* clean success: the subproof completed every schedule
+                    and handed off exactly once *)
+                 match Tt.success_fp ~find:ops.sigma_find fr with
+                 | Some e_fp ->
+                     Tt.record g.g_store ~pos
+                       { Tt.e_true = true; e_mask = sleep; e_fp }
+                 | None -> ());
+              ok)
+  and explore st sleep k =
+    let rec obligations pid =
+      if pid >= inst.n then k ()
+      else if st.decisions.(pid) >= 0 then obligations (pid + 1)
+      else if sleep land (1 lsl pid) <> 0 then begin
+        incr sleep_cut;
+        obligations (pid + 1)
+      end
+      else step st sleep pid (fun () -> obligations (pid + 1))
+    in
+    obligations 0
   (* the σ-assigned action of [pid] at its current view, if any — used
      only to decide dominance, so it must not perturb the memo-hit
-     accounting *)
-  and peek st pid = ops.sigma_find st.skeys.(pid)
+     accounting (it does join the footprint: sleep decisions are
+     σ-dependent) *)
+  and peek st pid =
+    let r = ops.sigma_find st.skeys.(pid) in
+    if tt_on then log_read st.skeys.(pid) r;
+    r
   (* May the actions [aq] (by [q]) and [a] (by [pid]) be transposed at
      [st]?  Do/Do pairs consult the semantic diamond; a Decide naming a
      process that has not yet stepped is dependent on that process's
@@ -283,28 +540,37 @@ let solve_with_ops (type k) ~max_nodes ~prune_agreement ~indep
     match indep with
     | None -> 0
     | Some _ ->
-      begin
-      let m = ref 0 in
-      for q = 0 to inst.n - 1 do
-        if
-          q <> pid
-          && st.decisions.(q) < 0
-          && (sleep land (1 lsl q) <> 0 || q < pid)
-        then
-          match peek st q with
-          | Some aq when indep_action st q aq pid a ->
-              m := !m lor (1 lsl q)
-          | _ -> ()
-      done;
-      !m
-      end
+        let m = ref 0 in
+        for q = 0 to inst.n - 1 do
+          if
+            q <> pid
+            && st.decisions.(q) < 0
+            && (sleep land (1 lsl q) <> 0 || q < pid)
+          then
+            match peek st q with
+            | Some aq when indep_action st q aq pid a ->
+                m := !m lor (1 lsl q)
+            | _ -> ()
+        done;
+        !m
   and step st sleep pid k =
     let skey = st.skeys.(pid) in
     match ops.sigma_find skey with
     | Some a ->
         incr memo_h;
-        apply st sleep pid a k
-    | None ->
+        if tt_on then begin
+          log_read skey (Some a);
+          (* the move is σ-determined: the state about to be built
+             hangs off the choice frame that wrote this entry *)
+          let chain' =
+            match Hashtbl.find_opt writer skey with
+            | Some ws -> ws :: st.chain
+            | None -> st.chain
+          in
+          apply st sleep pid a chain' k
+        end
+        else apply st sleep pid a st.chain k
+    | None -> (
         incr memo_m;
         let ops_allowed = st.steps.(pid) < inst.depth in
         let cands =
@@ -313,25 +579,108 @@ let solve_with_ops (type k) ~max_nodes ~prune_agreement ~indep
            else [])
           @ decide_candidates
         in
-        List.exists
-          (fun a ->
-            ops.sigma_set skey a;
-            let ok = apply st sleep pid a k in
-            if not ok then ops.sigma_remove skey;
+        match tt with
+        | None ->
+            List.exists
+              (fun a ->
+                ops.sigma_set skey a;
+                let ok = apply st sleep pid a st.chain k in
+                if not ok then ops.sigma_remove skey;
+                ok)
+              cands
+        | Some _ ->
+            (* the choice point observed σ(skey) unassigned: that is a
+               constraint of the ENCLOSING subproof (logged before the
+               step frame opens) *)
+            log_read skey None;
+            let fr = Tt.frame () in
+            stack := fr :: !stack;
+            let sn = !serial in
+            incr serial;
+            let chain' = sn :: st.chain in
+            (* purity per candidate: a candidate's [false] is a
+               self-contained subgame refutation exactly when the
+               step's continuation never ran during it — if [k] ran,
+               the failure involved obligations beyond this subgame
+               and the exhaustion below is context-dependent *)
+            let kran = ref 0 in
+            let kw () =
+              incr kran;
+              k ()
+            in
+            let all_pure = ref true in
+            let rec try_cands = function
+              | [] ->
+                  (* natural exhaustion (conflict is clear here: every
+                     continue-branch below resets it).  If every
+                     candidate failed purely within its own subgame and
+                     the frame is clean, that is a position-determined
+                     no-good: (this position, this mover) exhausts
+                     under the frame's σ-support. *)
+                  (if !all_pure then
+                     match Tt.refutation_fp fr with
+                     | Some _ as fp ->
+                         conflict := Some { Tt.c_fp = fp; c_chain = st.chain }
+                     | None -> ());
+                  false
+              | a :: rest -> (
+                  ops.sigma_set skey a;
+                  Tt.log_write fr skey;
+                  Hashtbl.replace writer skey sn;
+                  let kb = !kran in
+                  if apply st sleep pid a chain' kw then true
+                  else begin
+                    ops.sigma_remove skey;
+                    if !kran > kb then all_pure := false;
+                    match !conflict with
+                    | Some { Tt.c_fp = Some fp; c_chain }
+                      when not (List.mem sn c_chain) ->
+                        (* this choice does not form the refuted
+                           structure; if its σ-support is intact, any
+                           completed search through the remaining
+                           candidates would re-demand and re-derive the
+                           same refutation — backjump past them,
+                           propagating the conflict unchanged (its
+                           global argument does not depend on this
+                           frame).  The skip proves global failure
+                           only, so the subproof is tainted against
+                           refutation caching. *)
+                        if Tt.fp_valid ~find:ops.sigma_find fp then begin
+                          incr tt_b;
+                          Tt.taint fr;
+                          false
+                        end
+                        else begin
+                          conflict := None;
+                          try_cands rest
+                        end
+                    | Some _ | None ->
+                        (* our choice formed the refuted structure, or
+                           the support is unknown/invalidated: flipping
+                           the candidate genuinely reshapes the search
+                           — explore on *)
+                        conflict := None;
+                        try_cands rest
+                  end)
+            in
+            let ok = try_cands cands in
+            stack := List.tl !stack;
+            (match !stack with
+            | parent :: _ -> Tt.merge ~child:fr ~parent
+            | [] -> ());
             ok)
-          cands
-  and apply st sleep pid a k =
+  and apply st sleep pid a chain k =
     match a with
     | Decide j ->
         (* validity: j must have stepped, or be the decider *)
-        if j <> pid && st.stepped land (1 lsl j) = 0 then false
+        if j <> pid && st.stepped land (1 lsl j) = 0 then refuted chain
         else if
           (* with pruning on, conflicting decisions fail immediately;
              otherwise the conflict is caught by the terminal agreement
              check (the ablation measured in the benchmarks) *)
           prune_agreement
           && (match pinned st with Some v -> v <> j | None -> false)
-        then false
+        then refuted chain
         else
           schedules
             {
@@ -339,18 +688,17 @@ let solve_with_ops (type k) ~max_nodes ~prune_agreement ~indep
               decisions = set st.decisions pid j;
               undecided = st.undecided - 1;
               stepped = st.stepped lor (1 lsl pid);
+              chain;
             }
             (child_sleep st sleep pid a)
             k
-    | Do (obj, op) ->
-        if st.steps.(pid) >= inst.depth then false
-        else begin
+    | Do (obj, op) -> (
+        if st.steps.(pid) >= inst.depth then refuted chain
+        else
           match Env.apply inst.env st.env_state obj op with
-          | exception Object_spec.Unknown_operation _ -> false
+          | exception Object_spec.Unknown_operation _ -> refuted chain
           | env_state, res ->
-              let view' =
-                Value.list (res :: Value.as_list st.views.(pid))
-              in
+              let view' = Value.list (res :: Value.as_list st.views.(pid)) in
               schedules
                 {
                   views = set st.views pid view';
@@ -360,11 +708,20 @@ let solve_with_ops (type k) ~max_nodes ~prune_agreement ~indep
                   env_state;
                   stepped = st.stepped lor (1 lsl pid);
                   undecided = st.undecided;
+                  env_id =
+                    (match tt with
+                    | Some g -> g.g_env_id env_state
+                    | None -> -1);
+                  chain;
                 }
                 (child_sleep st sleep pid a)
-                k
-        end
+                k)
   in
+  Fun.protect ~finally:(fun () ->
+      Wfs_obs.Metrics.Counter.incr M.runs;
+      live_flush ();
+      ops.sigma_flush_metrics ())
+  @@ fun () ->
   let verdict =
     match schedules initial 0 (fun () -> true) with
     | true ->
@@ -378,14 +735,10 @@ let solve_with_ops (type k) ~max_nodes ~prune_agreement ~indep
     | false -> Unsolvable
     | exception Budget -> Out_of_budget { nodes = !nodes }
   in
-  let open Wfs_obs.Metrics in
-  Counter.incr M.runs;
-  live_flush ();
-  ops.sigma_flush_metrics ();
   (verdict, !nodes)
 
 let solve_with_stats ?(max_nodes = 20_000_000) ?(prune_agreement = true)
-    ?(intern_views = true) ?(por = true) inst =
+    ?(intern_views = true) ?(por = true) ?(tt = true) ?ctx inst =
   Wfs_obs.Profile.span ~cat:"solver"
     ~args:(fun () -> [ ("n", Wfs_obs.Json.int inst.n) ])
     "solver.solve"
@@ -398,14 +751,36 @@ let solve_with_stats ?(max_nodes = 20_000_000) ?(prune_agreement = true)
         else None
       in
       if intern_views then
-        solve_with_ops ~max_nodes ~prune_agreement ~indep
-          (interned_sigma inst.n) inst
+        if tt then begin
+          let c =
+            match ctx with
+            | Some c ->
+                if c.Ctx.n <> inst.n then
+                  invalid_arg
+                    (Fmt.str
+                       "Solver.solve: shared ctx built for n=%d, instance \
+                        has n=%d"
+                       c.Ctx.n inst.n);
+                c
+            | None -> Ctx.create ~n:inst.n ()
+          in
+          solve_with_ops ~max_nodes ~prune_agreement ~indep
+            ~tt:(Some (interned_glue c inst))
+            (interned_sigma ~ctx:c inst.n)
+            inst
+        end
+        else
+          solve_with_ops ~max_nodes ~prune_agreement ~indep ~tt:None
+            (interned_sigma inst.n) inst
       else
-        solve_with_ops ~max_nodes ~prune_agreement ~indep (legacy_sigma ())
-          inst)
+        solve_with_ops ~max_nodes ~prune_agreement ~indep
+          ~tt:(if tt then Some (legacy_glue inst) else None)
+          (legacy_sigma ()) inst)
 
-let solve ?max_nodes ?prune_agreement ?intern_views ?por inst =
-  fst (solve_with_stats ?max_nodes ?prune_agreement ?intern_views ?por inst)
+let solve ?max_nodes ?prune_agreement ?intern_views ?por ?tt ?ctx inst =
+  fst
+    (solve_with_stats ?max_nodes ?prune_agreement ?intern_views ?por ?tt ?ctx
+       inst)
 
 let pp_action ppf = function
   | Do (obj, op) -> Fmt.pf ppf "%s.%a" obj Op.pp op

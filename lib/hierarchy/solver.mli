@@ -36,6 +36,24 @@ val of_spec :
   ?extra_candidates:(string * Op.t) list ->
   n:int -> depth:int -> Object_spec.t -> instance
 
+(** Shared solver context: the view/env/position intern arenas and the
+    transposition store, reusable across solves of the SAME arity [n] —
+    the census threads one context through every depth cell (and every
+    candidate initial state) of an (object, n) row, so later solves
+    replay subgames classified by earlier ones.  Positions encode
+    remaining (not consumed) step budget, which is what makes entries
+    transpose across different depth bounds; σ-footprints keep reuse
+    sound even though each solve grows a fresh strategy table.  Only
+    consulted on the default interned-σ path with [tt] on. *)
+module Ctx : sig
+  type t
+
+  val create : n:int -> unit -> t
+
+  (** Transposition entries currently held. *)
+  val tt_entries : t -> int
+end
+
 (** [solve inst] runs the search.  [prune_agreement] (default true) fails
     conflicting decisions at decide time instead of at terminal states —
     the ablation measured in the benchmarks.  [intern_views] (default
@@ -50,12 +68,27 @@ val of_spec :
     ({!Wfs_sim.Independence}): a schedule moving a slept process is a
     transposition of an already-verified sibling schedule, so the game
     value is unchanged — identical verdicts and synthesized strategies,
-    far fewer nodes.  Node counts differ from the unreduced search, so
-    [Out_of_budget] instances may become conclusive; [por:false]
+    far fewer nodes.
+
+    [tt] (default true) enables the transposition table with
+    σ-footprint-validated no-good learning ({!Tt}): subgame verdicts
+    are cached at canonicalized positions and replayed when the current
+    partial strategy agrees with the σ-entries the recorded subproof
+    actually consulted, and conflict analysis backjumps past
+    existential choice points a refutation never touched — identical
+    verdicts and synthesized strategies, far fewer nodes.  [ctx]
+    (requires [tt] and the default [intern_views]; must match the
+    instance's [n]) shares arenas and the transposition store across
+    solves, as the census does per row.
+
+    Node counts differ across [por]/[tt] settings, so [Out_of_budget]
+    instances may become conclusive; [por:false] with [tt:false]
     reproduces the historical search node for node.
 
     Each run feeds [solver.runs], [solver.nodes],
-    [solver.cutoff.sleep] and (interned path)
+    [solver.cutoff.sleep], the [solver.tt.hits] /
+    [solver.tt.misses] / [solver.tt.footprint_rejects] /
+    [solver.tt.backjumps] family and (interned path)
     [solver.view_intern.hits] / [solver.view_intern.lookups] /
     [solver.view_intern.arena_size] in the default [Wfs_obs.Metrics]
     registry. *)
@@ -64,6 +97,8 @@ val solve :
   ?prune_agreement:bool ->
   ?intern_views:bool ->
   ?por:bool ->
+  ?tt:bool ->
+  ?ctx:Ctx.t ->
   instance ->
   verdict
 
@@ -73,6 +108,8 @@ val solve_with_stats :
   ?prune_agreement:bool ->
   ?intern_views:bool ->
   ?por:bool ->
+  ?tt:bool ->
+  ?ctx:Ctx.t ->
   instance ->
   verdict * int
 

@@ -37,9 +37,9 @@ let verify_protocol ?(max_states = 2_000_000) ?pool ?por (p : Protocol.t) =
         protocol = p.Protocol.name }
   else Protocol_failed { n = p.Protocol.processes; protocol = p.Protocol.name }
 
-let run_solver ?(max_nodes = 20_000_000) ?por ~n ~depth spec =
+let run_solver ?(max_nodes = 20_000_000) ?por ?tt ~n ~depth spec =
   let outcome =
-    match Solver.solve ~max_nodes ?por (Solver.of_spec ~n ~depth spec) with
+    match Solver.solve ~max_nodes ?por ?tt (Solver.of_spec ~n ~depth spec) with
     | Solver.Solvable _ -> `Solvable
     | Solver.Unsolvable -> `Unsolvable
     | Solver.Out_of_budget _ -> `Budget
@@ -88,10 +88,10 @@ let classify_cas () =
    so the big verifications never straggle behind a drained batch, and
    the rows are reassembled in plan order — the table is byte-identical
    either way. *)
-let plan ~full ~por :
+let plan ~full ~por ~tt :
     (string * string * (int * (unit -> evidence list)) list) list =
   let run_solver ?max_nodes ~n ~depth spec =
-    run_solver ?max_nodes ~por ~n ~depth spec
+    run_solver ?max_nodes ~por ~tt ~n ~depth spec
   in
   (* One thunk per (protocol, n) of a registry key, skipping sizes the
      registry cannot build.  The weight is a scheduling rank only —
@@ -193,8 +193,8 @@ let plan ~full ~por :
       reg "ordered-broadcast" [ 2; 3 ] );
   ]
 
-let generate ?pool ?(full = false) ?(por = true) () : t =
-  let rows = plan ~full ~por in
+let generate ?pool ?(full = false) ?(por = true) ?(tt = true) () : t =
+  let rows = plan ~full ~por ~tt in
   let force_evidence family th =
     Wfs_obs.Profile.span ~cat:"table"
       ~args:(fun () -> [ ("family", Wfs_obs.Json.str family) ])

@@ -30,12 +30,15 @@ val verify_protocol :
     (Theorem 11's queue impossibility at n = 3, deeper register
     bounds).  [por] (default true) forwards the sleep-set reductions to
     every explorer and solver run — all evidence is identical either
-    way, [por:false] reproduces the unreduced searches.  [pool] shards
+    way.  [tt] (default true) forwards the solver's transposition /
+    no-good layer — identical verdicts, fewer nodes; [por:false] with
+    [tt:false] reproduces the unreduced searches.  [pool] shards
     the registry-wide evidence plan — one job per protocol
     verification, classification or solver run, issued heaviest-first —
     across a domain pool, reassembling rows in plan order: the table is
     byte-identical to a sequential [generate]. *)
-val generate : ?pool:Wfs_sim.Pool.t -> ?full:bool -> ?por:bool -> unit -> t
+val generate :
+  ?pool:Wfs_sim.Pool.t -> ?full:bool -> ?por:bool -> ?tt:bool -> unit -> t
 
 (** Every piece of evidence agrees with the paper's claimed level. *)
 val consistent : t -> bool

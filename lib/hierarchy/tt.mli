@@ -1,0 +1,95 @@
+(** Footprint-validated transposition entries for the bounded solver.
+
+    The solver caches subgame verdicts at canonicalized positions, but
+    the game value of a position is only defined relative to the shared
+    mutable strategy table σ.  Each cached entry therefore carries the
+    σ-FOOTPRINT its subproof actually consulted, and replays only when
+    the current σ agrees with it — dependency-directed memoization, the
+    no-good/clause-learning idea of QBF solvers lifted to the
+    exists-strategy/forall-schedule game.  See [tt.ml] for the full
+    soundness argument (refutation vs. verified entries, the CPS
+    success-replay condition, sleep-mask subsumption, and backjumping
+    via conflicts).
+
+    The module is generic in the σ-key type ['k] and the action type
+    ['v]; both are compared structurally.  It is purely sequential —
+    one store per solve (or per shared {!Solver.Ctx}), accessed by one
+    domain. *)
+
+(** Footprint accumulator for one open subproof.  Frames mirror the
+    search stack: reads/writes log into the innermost open frame, and
+    {!merge} folds a completed child into its parent. *)
+type ('k, 'v) frame
+
+(** A cached verdict.  [e_fp] maps each consulted σ-key to the value
+    the subproof requires ([None] = required unassigned — success
+    entries only); [e_mask] is the sleep mask at recording, checked
+    (for subsumption) on success replays only. *)
+type ('k, 'v) entry = {
+  e_true : bool;
+  e_mask : int;
+  e_fp : ('k * 'v option) array;
+}
+
+(** The no-good carried by a [false] currently unwinding the search:
+    σ-support of the refutation ([None] = unknown, never skips) plus
+    the serials of the choice frames that formed the refuted
+    structure. *)
+type ('k, 'v) conflict = {
+  c_fp : ('k * 'v option) array option;
+  c_chain : int list;
+}
+
+type ('k, 'v) store
+
+val fp_cap : int
+val entry_cap : int
+
+val create : unit -> ('k, 'v) store
+
+(** Total entries currently held (across all positions). *)
+val entries : ('k, 'v) store -> int
+
+val frame : unit -> ('k, 'v) frame
+
+(** Mark the open subproof as resting on a backjump: its [false] proves
+    global failure only, so {!refutation_fp} will refuse to produce a
+    subgame-refutation footprint for it (or for any ancestor it merges
+    into).  Successes are unaffected. *)
+val taint : ('k, 'v) frame -> unit
+
+(** [log_read fr k seen] / [log_write fr k]: record one σ access in the
+    open frame.  Cheap after overflow (single flag test). *)
+val log_read : ('k, 'v) frame -> 'k -> 'v option -> unit
+
+val log_write : ('k, 'v) frame -> 'k -> unit
+
+(** Fold a completed child subproof's footprint into its parent's. *)
+val merge : child:('k, 'v) frame -> parent:('k, 'v) frame -> unit
+
+(** Footprint of a pure refutation (external assigned reads only), or
+    [None] if the frame overflowed. *)
+val refutation_fp : ('k, 'v) frame -> ('k * 'v option) array option
+
+(** Exact footprint of a clean success: every consulted key at its
+    final value, written keys re-read through [find]. *)
+val success_fp :
+  find:('k -> 'v option) -> ('k, 'v) frame -> ('k * 'v option) array option
+
+(** Does the current σ still agree with a recorded footprint? *)
+val fp_valid : find:('k -> 'v option) -> ('k * 'v option) array -> bool
+
+type ('k, 'v) outcome =
+  | Replay of ('k, 'v) entry
+  | Miss of int  (** entries present but footprint/mask-rejected *)
+
+val lookup :
+  ('k, 'v) store ->
+  find:('k -> 'v option) ->
+  pos:int ->
+  mask:int ->
+  ('k, 'v) outcome
+
+(** Record a verdict at a position; keeps the newest {!entry_cap}
+    entries per position. *)
+val record : ('k, 'v) store -> pos:int -> ('k, 'v) entry -> unit

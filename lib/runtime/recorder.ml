@@ -11,12 +11,16 @@
 type t = {
   slots : Wfs_history.Event.t option Atomic.t array;
   next : int Atomic.t;
+  span_tick : int Atomic.t;
+      (* profiling-only sampling counter for [rt.op] spans, see
+         [around] *)
 }
 
 let create ~capacity =
   {
     slots = Array.init capacity (fun _ -> Atomic.make None);
     next = Atomic.make 0;
+    span_tick = Atomic.make 0;
   }
 
 exception Capacity_exceeded
@@ -63,8 +67,17 @@ let history t : Wfs_history.History.t =
    [History.operations] maps back to "pending") and re-raise. *)
 let around t ~pid ~obj ~op ~encode_res f =
   (* [Op.name] is one constant-time projection — cheap enough for the
-     profiler's per-op span args, unlike a full [Op.pp] render *)
-  let prof = Wfs_obs.Profile.enabled () in
+     profiler's per-op span args, unlike a full [Op.pp] render.
+
+     Runtime operations are sub-microsecond, so emitting a span per op
+     multiplies their cost several-fold when profiling is on (the
+     profile bench's recorder-op section measures it).  Sample 1 in 64:
+     the trace keeps the op mix and the per-op duration distribution at
+     1/64 the events, and the unprofiled path is untouched. *)
+  let prof =
+    Wfs_obs.Profile.enabled ()
+    && Atomic.fetch_and_add t.span_tick 1 land 63 = 0
+  in
   if prof then
     Wfs_obs.Profile.begin_ ~cat:"runtime"
       ~args:(fun () ->

@@ -82,6 +82,52 @@ let stats_of_hashtbl (s : Hashtbl.statistics) =
 
 let stats t = stats_of_hashtbl (Value.Tbl.stats t.ids)
 
+module Ints = struct
+  (* Hash-consing of small [int array] keys to dense ids — the same
+     contract as the [Value.t] interner above, minus the arena (no
+     caller decodes position ids back).  The solver's transposition
+     layer keys game positions by flat int encodings; hashing those
+     directly skips building a [Value.t] list per node.
+
+     FNV-1a over the elements: the arrays are short (a handful of
+     ids/bitmasks), so a simple multiplicative hash beats the generic
+     polymorphic hash without seeding concerns. *)
+
+  module Tbl = Hashtbl.Make (struct
+    type t = int array
+
+    let equal (a : int array) b =
+      let la = Array.length a in
+      la = Array.length b
+      &&
+      let rec eq i = i >= la || (a.(i) = b.(i) && eq (i + 1)) in
+      eq 0
+
+    let hash (a : int array) =
+      let h = ref 0x811c9dc5 in
+      for i = 0 to Array.length a - 1 do
+        h := (!h lxor a.(i)) * 0x01000193
+      done;
+      !h land max_int
+  end)
+
+  type t = { ids : int Tbl.t; mutable size : int }
+
+  let create ?(size_hint = 4096) () =
+    { ids = Tbl.create (max 16 size_hint); size = 0 }
+
+  let intern t (key : int array) =
+    match Tbl.find_opt t.ids key with
+    | Some id -> id
+    | None ->
+        let id = t.size in
+        t.size <- id + 1;
+        Tbl.replace t.ids key id;
+        id
+
+  let size t = t.size
+end
+
 module Sharded = struct
   (* Lock-striped interner shared across domains.  Each key hashes to a
      stripe; the stripe's mutex guards one ordinary [Value.Tbl].  Dense

@@ -44,6 +44,24 @@ type table_stats = {
 
 val stats : t -> table_stats
 
+(** Hash-consing of small [int array] keys to dense ids — same contract
+    as {!intern} ([intern t a = intern t b] iff the arrays are equal
+    elementwise), with a dedicated FNV hash over the elements and no
+    decode arena.  Used by the solver's transposition table, which keys
+    game positions by flat int encodings. *)
+module Ints : sig
+  type t
+
+  val create : ?size_hint:int -> unit -> t
+
+  (** The array is captured as the table key on first sight: callers
+      must not mutate it after interning. *)
+  val intern : t -> int array -> int
+
+  (** Number of distinct keys interned (= the next fresh id). *)
+  val size : t -> int
+end
+
 (** Lock-striped interner shared across domains.
 
     Ids are dense and unique but {e schedule-dependent} in order —
