@@ -100,17 +100,19 @@ let write_results path sections_run =
   let json =
     Obs.Json.obj
       [
-        (* /7 adds the tt/* series (transposition + no-good census
-           grid); /6 adds the universal-service/* series (batched vs
-           un-batched wait-free, plus the closed-loop load harness) and
-           the profile/wait-free-metrics overhead pair; /5 switches the
+        (* /8 adds the obs-causal/* series (sampled causal tracing
+           overhead on the universal service, target <=5%); /7 adds the
+           tt/* series (transposition + no-good census grid); /6 adds
+           the universal-service/* series (batched vs un-batched
+           wait-free, plus the closed-loop load harness) and the
+           profile/wait-free-metrics overhead pair; /5 switches the
            perf estimators from min-of-k to median-of-k, adds
            solver_nodes / explorer_states accounting to the perf and
            perf-par series, and adds the por/* reduction series; /4
            added shard_states / shard_imbalance / stripe_contention to
            the perf-par series; /3 added section_timings; /2 the
            provenance stamps; /1 fields unchanged. *)
-        ("schema", Obs.Json.str "wfs-bench/7");
+        ("schema", Obs.Json.str "wfs-bench/8");
         ("generated_unix_time", Obs.Json.float (Unix.time ()));
         ("domains_used", Obs.Json.int (Domain.recommended_domain_count ()));
         ("git_rev", Obs.Json.str (git_rev ()));
@@ -1565,6 +1567,81 @@ let profile_overhead () =
     (on_ /. float_of_int wf_ops *. 1e9)
     pct
 
+(* ---------- obs-causal: sampled causal tracing overhead ----------
+
+   The Causal contract (ISSUE 10): 1-in-64 sampled tracing on the
+   universal-service hot path costs <= 5%.  Same discipline as
+   profile/wait-free-metrics: interleaved min-of-reps with the
+   within-pair order alternated rep to rep, so machine drift and cache
+   warmth cancel instead of masquerading as (anti-)overhead.  The help
+   canary stays off — it deliberately parks invocations, so it belongs
+   to trace-quality runs, not to the overhead budget. *)
+
+let obs_causal () =
+  section "OBS-CAUSAL  sampled causal tracing: off vs on (target <=5%)";
+  let reps =
+    match Sys.getenv_opt "WFS_PERF_REPS" with
+    | Some s -> ( try max 1 (int_of_string s) with Failure _ -> 5)
+    | None -> 5
+  in
+  let module WC = Runtime.Universal.Wait_free (Runtime.Seq_objects.Counter) in
+  let ops = 100_000 in
+  let run () =
+    let w = WC.create ~label:"bench-counter" ~n:1 () in
+    for _ = 1 to ops do
+      ignore (WC.apply w ~pid:0 Runtime.Seq_objects.Counter.Incr)
+    done
+  in
+  let set_traced t =
+    if t then Obs.Causal.enable ~sample:64 ()
+    else begin
+      Obs.Causal.disable ();
+      Obs.Causal.reset ()
+    end
+  in
+  (* warm both modes before timing anything *)
+  set_traced false;
+  run ();
+  set_traced true;
+  run ();
+  let off = ref infinity and on_ = ref infinity in
+  let timed traced =
+    set_traced traced;
+    Gc.minor ();
+    let (), dt = time_once run in
+    let cell = if traced then on_ else off in
+    if dt < !cell then cell := dt
+  in
+  for rep = 1 to reps do
+    if rep land 1 = 0 then begin
+      timed false;
+      timed true
+    end
+    else begin
+      timed true;
+      timed false
+    end
+  done;
+  set_traced false;
+  let off = !off and on_ = !on_ in
+  let pct = if off > 0. then (on_ -. off) /. off *. 100. else 0. in
+  record_series "obs-causal/universal-service"
+    (Obs.Json.obj
+       [
+         ("off_ns_per_op", Obs.Json.float (off /. float_of_int ops *. 1e9));
+         ("on_ns_per_op", Obs.Json.float (on_ /. float_of_int ops *. 1e9));
+         ("overhead_pct", Obs.Json.float pct);
+         ("sample_every", Obs.Json.int 64);
+         ("ops", Obs.Json.int ops);
+         ("reps", Obs.Json.int reps);
+         ("budget_ok", Obs.Json.bool (pct <= 5.0));
+       ]);
+  Fmt.pr "  %-34s off %9.1f ns/op on %9.1f ns/op overhead %+5.1f%%@."
+    "universal-apply-traced"
+    (off /. float_of_int ops *. 1e9)
+    (on_ /. float_of_int ops *. 1e9)
+    pct
+
 (* ---------- entry point ----------
 
    With no arguments every section runs; positional arguments select a
@@ -1594,6 +1671,7 @@ let sections : (string * (unit -> unit)) list =
     ("perf-por", perf_por);
     ("perf-tt", perf_tt);
     ("profile", profile_overhead);
+    ("obs-causal", obs_causal);
   ]
 
 let () =

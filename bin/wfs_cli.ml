@@ -681,6 +681,59 @@ let service_spec name =
     (fun s -> s.Object_spec.name = name)
     (Runtime.Service.default_specs ())
 
+(* --- causal tracing plumbing (shared by load and serve) --- *)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record causal invocation traces (announce/claim/help/complete \
+           phases plus help edges) and write the merged Chrome \
+           trace_event JSON to $(docv) — help chains render as flow \
+           arrows between domain tracks in ui.perfetto.dev; audit it \
+           offline with wfs trace.")
+
+let trace_sample_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "trace-sample" ] ~docv:"N"
+        ~doc:
+          "Trace one invocation in $(docv) (rounded up to a power of \
+           two); 1 traces everything.")
+
+let help_canary_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "help-canary" ] ~docv:"N"
+        ~doc:
+          "Route every $(docv)-th announce ticket through the helped slow \
+           path (briefly parking after announcing) so cross-client help \
+           edges are recorded even when domains time-slice and never \
+           race.  Only meaningful while tracing; defaults to 64 when \
+           --trace-out is given, else off.")
+
+let resolve_canary ~trace_out ~help_canary =
+  match help_canary with
+  | Some c -> c
+  | None -> if trace_out <> None then 64 else 0
+
+(* After a traced run: write the merged Perfetto trace if requested and
+   report the recording volume. *)
+let finish_trace ~trace_out =
+  (match trace_out with
+  | Some path ->
+      Obs.Causal.write path;
+      let events, edges = Obs.Causal.counts () in
+      Fmt.epr "causal trace written to %s (%d events, %d help edges%s)@."
+        path events edges
+        (let d = Obs.Causal.dropped () in
+         if d = 0 then "" else Fmt.str ", %d dropped" d)
+  | None -> ());
+  Obs.Causal.disable ()
+
 let load_cmd =
   let clients =
     Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Client domains.")
@@ -699,8 +752,8 @@ let load_cmd =
             "Clients to halt mid-operation; crash runs record the history \
              and check it for linearizability, so --ops must stay small.")
   in
-  let run clients ops object_name window seed halts progress profile
-      metrics_out metrics_port =
+  let run clients ops object_name window seed halts trace_out trace_sample
+      help_canary progress profile metrics_out metrics_port =
     obs_setup ~progress ~profile ?metrics_out ?metrics_port ~label:"load"
       (fun () ->
         match service_spec object_name with
@@ -708,17 +761,46 @@ let load_cmd =
             Fmt.epr "unknown object %S (try fifo-queue, counter, kv-map)@."
               object_name;
             2
-        | Some spec -> (
-            match
-              Runtime.Service.Load.run ~seed ~window ~halts ~spec ~clients
-                ~ops_per_client:ops ()
-            with
-            | exception Invalid_argument msg ->
-                Fmt.epr "%s@." msg;
-                2
-            | r ->
-                Fmt.pr "%a@." Runtime.Service.Load.pp_report r;
-                if Runtime.Service.Load.passed r then 0 else 1))
+        | Some spec ->
+            (* Causal tracing is always on under load (sampled, so the
+               hot path stays within budget): the rings double as the
+               crash flight recorder, dumped as JSONL whenever the run
+               fails its checks or the harness dies mid-flight. *)
+            let canary = resolve_canary ~trace_out ~help_canary in
+            Obs.Causal.enable ~sample:trace_sample ();
+            let flight_path =
+              match trace_out with
+              | Some f -> f ^ ".flight.jsonl"
+              | None -> "wfs-flight.jsonl"
+            in
+            let ok = ref false in
+            Fun.protect
+              ~finally:(fun () ->
+                (* runs even when the harness aborts via exception: the
+                   post-mortem is most valuable exactly then *)
+                if not !ok then begin
+                  let lines = Obs.Causal.dump_jsonl flight_path in
+                  Fmt.epr "flight recorder: %d events -> %s@." lines
+                    flight_path
+                end;
+                finish_trace ~trace_out)
+              (fun () ->
+                match
+                  Runtime.Service.Load.run ~seed ~window ~halts ~spec ~canary
+                    ~clients ~ops_per_client:ops ()
+                with
+                | exception Invalid_argument msg ->
+                    (* an input error, not a crashed run: no post-mortem *)
+                    ok := true;
+                    Fmt.epr "%s@." msg;
+                    2
+                | r ->
+                    Fmt.pr "%a@." Runtime.Service.Load.pp_report r;
+                    if Runtime.Service.Load.passed r then begin
+                      ok := true;
+                      0
+                    end
+                    else 1))
   in
   Cmd.v
     (Cmd.info "load"
@@ -732,8 +814,9 @@ let load_cmd =
           live with --metrics-port and wfs top.")
     Term.(
       const run $ clients $ ops $ service_object_arg $ service_window_arg
-      $ service_seed_arg $ halts $ progress_arg $ profile_arg
-      $ metrics_out_arg $ metrics_port_arg)
+      $ service_seed_arg $ halts $ trace_out_arg $ trace_sample_arg
+      $ help_canary_arg $ progress_arg $ profile_arg $ metrics_out_arg
+      $ metrics_port_arg)
 
 let serve_cmd =
   let clients =
@@ -745,8 +828,8 @@ let serve_cmd =
       & info [ "duration" ] ~docv:"SECONDS"
           ~doc:"How long to keep the service under load before exiting.")
   in
-  let run clients duration window seed progress profile metrics_out
-      metrics_port =
+  let run clients duration window seed trace_out trace_sample help_canary
+      progress profile metrics_out metrics_port =
     obs_setup ~progress ~profile ?metrics_out ?metrics_port ~label:"serve"
       (fun () ->
         if clients <= 0 || duration <= 0. then begin
@@ -754,9 +837,16 @@ let serve_cmd =
           2
         end
         else begin
+          let canary = resolve_canary ~trace_out ~help_canary in
+          if trace_out <> None then
+            Obs.Causal.enable ~sample:trace_sample ();
           let r =
-            Runtime.Service.serve ~seed ~window ~clients ~duration_s:duration
-              ()
+            Fun.protect
+              ~finally:(fun () ->
+                if trace_out <> None then finish_trace ~trace_out)
+              (fun () ->
+                Runtime.Service.serve ~seed ~window ~canary ~clients
+                  ~duration_s:duration ())
           in
           Fmt.pr "served %s operations in %.1fs (%s ops/s)@."
             (Obs.Units.si_int r.Runtime.Service.served_ops)
@@ -781,7 +871,71 @@ let serve_cmd =
           wfs top, --metrics-out F appends a scrapeable file sink.")
     Term.(
       const run $ clients $ duration $ service_window_arg $ service_seed_arg
-      $ progress_arg $ profile_arg $ metrics_out_arg $ metrics_port_arg)
+      $ trace_out_arg $ trace_sample_arg $ help_canary_arg $ progress_arg
+      $ profile_arg $ metrics_out_arg $ metrics_port_arg)
+
+(* --- trace: summarize / audit a causal trace file --- *)
+
+let trace_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Trace JSON written by a --trace-out run.")
+  in
+  let audit =
+    Arg.(
+      value & flag
+      & info [ "audit" ]
+          ~doc:
+            "Exit nonzero unless the trace passes the wait-freedom audit: \
+             every completed invocation's own-step count within its \
+             object's registered bound, and the help edges acyclic.")
+  in
+  let run file audit =
+    let contents =
+      try
+        let ic = open_in_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+      with Sys_error msg -> Error msg
+    in
+    match contents with
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        2
+    | Ok contents -> (
+        match Obs.Causal.Audit.of_trace_json (Obs.Json.of_string contents) with
+        | exception Obs.Json.Parse_error msg ->
+            Fmt.epr "%s: not JSON: %s@." file msg;
+            2
+        | exception Invalid_argument msg ->
+            Fmt.epr "%s: %s@." file msg;
+            2
+        | report ->
+            Fmt.pr "%a@." Obs.Causal.Audit.pp report;
+            if audit then
+              if Obs.Causal.Audit.ok report then begin
+                Fmt.pr "audit: ok@.";
+                0
+              end
+              else begin
+                Fmt.pr "audit: FAILED@.";
+                1
+              end
+            else 0)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Summarize a causal trace recorded by wfs load/serve --trace-out: \
+          help-chain depth distribution, own-step and help-round maxima, \
+          top helpers — and with --audit, verify the wait-freedom bound \
+          (own steps within the construction's 2n+8) and that help edges \
+          form a DAG, exiting nonzero on violation")
+    Term.(const run $ file $ audit)
 
 (* --- randomized --- *)
 
@@ -1375,7 +1529,7 @@ let main =
           constructions of Herlihy (PODC 1988), executable")
     [
       hierarchy_cmd; verify_cmd; replay_cmd; solve_cmd; universal_cmd;
-      census_cmd; critical_cmd; fault_cmd; load_cmd; serve_cmd;
+      census_cmd; critical_cmd; fault_cmd; load_cmd; serve_cmd; trace_cmd;
       randomized_cmd; stats_cmd; top_cmd; zoo_cmd; profile_cmd;
     ]
 

@@ -78,6 +78,7 @@ module Obs = struct
   module Counterexample = Wfs_obs.Counterexample
   module Profile = Wfs_obs.Profile
   module Progress = Wfs_obs.Progress
+  module Causal = Wfs_obs.Causal
 end
 
 (* multicore runtime *)

@@ -1,0 +1,934 @@
+(* Causal invocation tracing, the wait-freedom auditor, and the crash
+   flight recorder.
+
+   Record path mirrors {!Profile}: each domain owns a [dstate] reached
+   through [Domain.DLS] (registered once under [reg_lock]) and writes
+   events only to its own bounded ring, so recording takes no lock and
+   contends with nobody.  Wraparound drops oldest events — the ring IS
+   the flight recorder: at any moment it holds the most recent causal
+   context, which {!dump_jsonl} turns into a JSONL post-mortem when a
+   load check fails or a crash-mode assertion fires.
+
+   Events name invocations by a process-global trace id issued at
+   invocation time ({!issue}).  Sampling is decided BEFORE issuing,
+   from the operation's own sequence number (ticket or op counter):
+   unsampled operations never touch the global id counter or the DLS,
+   which is what keeps the traced-path overhead inside the <=5%
+   budget.  Helper attribution rides on a per-domain "current
+   invocation" register set by [issue] and retired when the domain
+   pushes a [Complete]: when a domain, inside its own traced
+   invocation [h], applies a pending invocation [x] announced by
+   somebody else, the recording site reads the domain's current id and
+   emits the help edge [h -> x].  A domain helping outside any traced
+   invocation of its own records the edge with helper [-1] — an
+   anonymous edge, counted and drawn but never part of a chain.  Raw
+   edges can point "backwards" in linearization order when a lagging
+   filler replays an already-decided round, so the auditor keeps an
+   edge only when the helper is anonymous, still pending, or known to
+   linearize strictly after the invocation it helped; under that
+   orientation every participant of a would-be cycle has a known
+   position, so the kept traced subgraph is acyclic by construction —
+   matching the construction's helping discipline, where help always
+   flows to operations that linearize earlier. *)
+
+type kind = Invoke | Announce | Claim | Help | Complete
+
+(* One flat ring slot.  [a]/[b]/[c] are kind-specific:
+     Invoke    a=pid
+     Announce  a=pid, b=born (frontier seq at announce)
+     Claim     a=winning node id, b=linearization position
+     Help      trace=helped id, a=helper id, b=helped's position
+     Complete  a=position, b=own steps, c=help rounds *)
+type event = {
+  kind : kind;
+  ts : int;
+  dom : int;
+  obj : string;
+  trace : int;
+  a : int;
+  b : int;
+  c : int;
+}
+
+(* Registered served objects live outside the rings so they survive
+   wraparound: the auditor needs [n] and the step bound even when the
+   creation moment scrolled out of the flight recorder. *)
+type meta_entry = { m_obj : string; m_n : int; m_bound : int }
+
+(* Ring slots are flat unboxed int octets in a [Bigarray], not [event]
+   records in an OCaml array: pushing allocates nothing and triggers
+   no write barrier, and — decisive on the traced universal-service
+   bench — the ring's storage lives outside the OCaml heap, so the
+   major GC never scans it.  A boxed-record ring cost ~35% (per-event
+   allocation + re-marking tens of thousands of pointers every cycle);
+   even an unboxed [int array] ring cost ~20% just from the GC sweeping
+   4 MB of live immediates.  Slot layout, stride 8 (one cache line on
+   64-bit):
+     [0] kind code   [1] ts (ns)   [2] interned obj id   [3] trace
+     [4] a           [5] b         [6] c                 [7] pad *)
+type ring_arr = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let stride = 8
+let empty_ring : ring_arr = Bigarray.Array1.create Bigarray.int Bigarray.c_layout 0
+let kc_invoke = 0
+let kc_announce = 1
+let kc_claim = 2
+let kc_help = 3
+let kc_complete = 4
+
+let kind_of_code = function
+  | 0 -> Invoke
+  | 1 -> Announce
+  | 2 -> Claim
+  | 3 -> Help
+  | _ -> Complete
+
+type dstate = {
+  tid : int;
+  mutable ring : ring_arr; (* stride-8 flat slots, allocated on first push *)
+  mutable pos : int; (* next slot index (not word index) *)
+  mutable filled : int;
+  mutable dropped : int;
+  mutable current : int; (* trace id of this domain's in-flight invocation *)
+  mutable objs : (string * int) list; (* physical-equality intern cache *)
+}
+
+let on = ref false
+let ring_capacity = ref 65536
+let set_capacity c = ring_capacity := c
+let sample_mask = ref 63
+
+(* [trace_gate] fuses "enabled" and the sampling mask into one word
+   for the per-operation hot path: the mask while tracing, [-1] when
+   off.  One load + sign test + mask replaces two cross-module calls
+   on every untraced operation. *)
+let trace_gate = ref (-1)
+let ids = Atomic.make 0
+let reg_lock = Mutex.create ()
+let all : dstate list ref = ref []
+let metas : meta_entry list ref = ref [] (* guarded by reg_lock *)
+
+(* object-name interning, both directions, guarded by [reg_lock] *)
+let intern_tbl : (string, int) Hashtbl.t = Hashtbl.create 16
+let intern_rev : (int, string) Hashtbl.t = Hashtbl.create 16
+
+let dls : dstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let d =
+        {
+          tid = (Domain.self () :> int);
+          ring = empty_ring;
+          pos = 0;
+          filled = 0;
+          dropped = 0;
+          current = -1;
+          objs = [];
+        }
+      in
+      Mutex.lock reg_lock;
+      all := d :: !all;
+      Mutex.unlock reg_lock;
+      d)
+
+let enabled () = !on
+
+(* The ring itself survives a reset: [filled = 0] already makes stale
+   contents undecodable, and re-allocating megabytes of custom-block
+   storage on every enable both thrashes the allocator and — through
+   the GC's dependent-memory accounting — speeds up major collections
+   for the rest of the run, a real tax on enable/disable benchmark
+   loops.  A capacity change is picked up by [push], which reallocates
+   on size mismatch. *)
+let clear_dstate d =
+  d.pos <- 0;
+  d.filled <- 0;
+  d.dropped <- 0;
+  d.current <- -1;
+  d.objs <- []
+
+let reset () =
+  Mutex.lock reg_lock;
+  List.iter clear_dstate !all;
+  metas := [];
+  Hashtbl.reset intern_tbl;
+  Hashtbl.reset intern_rev;
+  Mutex.unlock reg_lock;
+  Atomic.set ids 0
+
+let enable ?(ring_capacity = 65536) ?(sample = 64) () =
+  (* round the sampling period up to a power of two so the per-op
+     sampledness check is a single mask *)
+  let rec pow2 k = if k >= sample then k else pow2 (k * 2) in
+  let k = pow2 1 in
+  reset ();
+  set_capacity (max 1 ring_capacity);
+  sample_mask := k - 1;
+  trace_gate := k - 1;
+  on := true
+
+let disable () =
+  on := false;
+  trace_gate := -1
+let sample_every () = !sample_mask + 1
+
+let issue () =
+  if not !on then -1
+  else begin
+    let tr = Atomic.fetch_and_add ids 1 in
+    (Domain.DLS.get dls).current <- tr;
+    tr
+  end
+
+let sampled seq = seq >= 0 && seq land !sample_mask = 0
+let current () = if !on then (Domain.DLS.get dls).current else -1
+
+(* Object names intern to small ints so ring slots stay unboxed.  The
+   per-domain cache is a physical-equality assoc list: recording sites
+   pass the same label string on every call, so the common case is a
+   pointer compare on the list head; a miss takes [reg_lock] once per
+   (domain, name). *)
+let obj_id d obj =
+  let rec find = function
+    | (s, id) :: tl -> if s == obj then id else find tl
+    | [] ->
+        Mutex.lock reg_lock;
+        let id =
+          match Hashtbl.find_opt intern_tbl obj with
+          | Some id -> id
+          | None ->
+              let id = Hashtbl.length intern_tbl in
+              Hashtbl.add intern_tbl obj id;
+              Hashtbl.add intern_rev id obj;
+              id
+        in
+        Mutex.unlock reg_lock;
+        d.objs <- (obj, id) :: d.objs;
+        id
+  in
+  find d.objs
+
+let push kc ~obj ~trace a b c =
+  let d = Domain.DLS.get dls in
+  let ring =
+    let r = d.ring in
+    if Bigarray.Array1.dim r = !ring_capacity * stride then r
+    else begin
+      (* no zero-fill: [filled] bounds exactly which slots decode, so
+         fresh memory is never read — and eagerly touching a multi-MB
+         ring here would bill megabytes of page faults to whichever
+         operation happened to record first *)
+      let r =
+        Bigarray.Array1.create Bigarray.int Bigarray.c_layout
+          (!ring_capacity * stride)
+      in
+      d.ring <- r;
+      r
+    end
+  in
+  let cap = Bigarray.Array1.dim ring / stride in
+  let base = d.pos * stride in
+  Bigarray.Array1.unsafe_set ring base kc;
+  Bigarray.Array1.unsafe_set ring (base + 1) (Clock.now_ns ());
+  Bigarray.Array1.unsafe_set ring (base + 2) (obj_id d obj);
+  Bigarray.Array1.unsafe_set ring (base + 3) trace;
+  Bigarray.Array1.unsafe_set ring (base + 4) a;
+  Bigarray.Array1.unsafe_set ring (base + 5) b;
+  Bigarray.Array1.unsafe_set ring (base + 6) c;
+  let p = d.pos + 1 in
+  d.pos <- (if p = cap then 0 else p);
+  if d.filled < cap then d.filled <- d.filled + 1
+  else d.dropped <- d.dropped + 1;
+  (* completion retires this domain's in-flight register, so help the
+     domain performs afterwards (outside any traced invocation of its
+     own) attributes to anonymous (-1), not to a finished invocation *)
+  if kc = kc_complete then d.current <- -1
+
+let invoke ~obj ~trace ~pid = if !on then push kc_invoke ~obj ~trace pid 0 0
+
+let announce ~obj ~trace ~pid ~born =
+  if !on then push kc_announce ~obj ~trace pid born 0
+
+let claim ~obj ~trace ~node ~pos =
+  if !on then push kc_claim ~obj ~trace node pos 0
+
+let help ~obj ~helper ~helped ~pos =
+  if !on then push kc_help ~obj ~trace:helped helper pos 0
+
+let complete ~obj ~trace ~pos ~own_steps ~help_rounds =
+  if !on then push kc_complete ~obj ~trace pos own_steps help_rounds
+
+let meta ~obj ~n ~bound =
+  if !on then begin
+    Mutex.lock reg_lock;
+    metas :=
+      { m_obj = obj; m_n = n; m_bound = bound }
+      :: List.filter (fun m -> m.m_obj <> obj) !metas;
+    Mutex.unlock reg_lock
+  end
+
+(* The audited own-step bound for the batched construction on [n]
+   processes.  An own step is one iteration of the proposer's work
+   loop (a consensus proposal + fill), counting the lost fast-path
+   attempt and the announce.  After the announce lands with the
+   frontier at [s0], every helper whose round starts later sees the
+   announced invocation; the starving check trips at most [n+2]
+   positions past [born], priority helping cycles to this process
+   within a further [n+2] positions, and each of the proposer's own
+   rounds advances the frontier it observes by at least one — so the
+   invocation is threaded within [2n+4] own rounds of the announce.
+   With the fast-path attempt, the announce itself, and the final
+   result check, [2n+8] dominates every schedule. *)
+let step_bound ~n = (2 * n) + 8
+
+(* The help canary parks the proposer between announce and self-help so
+   concurrently scheduled clients get a chance to collect and thread
+   the announced invocation.  A real sleep (not cpu_relax) matters on
+   few-core boxes: domains time-slice, and only a syscall deschedules
+   the canary long enough for another client's collect to run. *)
+let backoff () = Unix.sleepf 5e-5
+
+let snapshot () =
+  Mutex.lock reg_lock;
+  let ds = List.sort (fun a b -> compare a.tid b.tid) !all in
+  let ms = List.rev !metas in
+  let name_of id =
+    match Hashtbl.find_opt intern_rev id with Some s -> s | None -> "?"
+  in
+  let evs =
+    List.concat_map
+      (fun d ->
+        let ring = d.ring in
+        if Bigarray.Array1.dim ring = 0 then []
+        else
+          let cap = Bigarray.Array1.dim ring / stride in
+          let n = d.filled in
+          let start = ((d.pos - n) mod cap + cap) mod cap in
+          let get = Bigarray.Array1.get ring in
+          List.init n (fun i ->
+              let base = (start + i) mod cap * stride in
+              {
+                kind = kind_of_code (get base);
+                ts = get (base + 1);
+                dom = d.tid;
+                obj = name_of (get (base + 2));
+                trace = get (base + 3);
+                a = get (base + 4);
+                b = get (base + 5);
+                c = get (base + 6);
+              }))
+      ds
+  in
+  Mutex.unlock reg_lock;
+  (ms, evs)
+
+let counts () =
+  let _, evs = snapshot () in
+  ( List.length evs,
+    List.length (List.filter (fun e -> e.kind = Help) evs) )
+
+let dropped () =
+  Mutex.lock reg_lock;
+  let n = List.fold_left (fun acc d -> acc + d.dropped) 0 !all in
+  Mutex.unlock reg_lock;
+  n
+
+(* ---------- flight recorder (JSONL post-mortem) ---------- *)
+
+let json_of_event e =
+  let common k fields =
+    Json.obj
+      (("kind", Json.str k)
+      :: ("ts", Json.int e.ts)
+      :: ("dom", Json.int e.dom)
+      :: ("obj", Json.str e.obj)
+      :: ("trace", Json.int e.trace)
+      :: fields)
+  in
+  match e.kind with
+  | Invoke -> common "invoke" [ ("pid", Json.int e.a) ]
+  | Announce -> common "announce" [ ("pid", Json.int e.a); ("born", Json.int e.b) ]
+  | Claim -> common "claim" [ ("node", Json.int e.a); ("pos", Json.int e.b) ]
+  | Help -> common "help" [ ("helper", Json.int e.a); ("pos", Json.int e.b) ]
+  | Complete ->
+      common "complete"
+        [
+          ("pos", Json.int e.a);
+          ("own_steps", Json.int e.b);
+          ("help_rounds", Json.int e.c);
+        ]
+
+let dump_jsonl path =
+  let ms, evs = snapshot () in
+  let evs = List.stable_sort (fun x y -> compare (x.ts, x.dom) (y.ts, y.dom)) evs in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun m ->
+          output_string oc
+            (Json.to_string
+               (Json.obj
+                  [
+                    ("kind", Json.str "meta");
+                    ("obj", Json.str m.m_obj);
+                    ("n", Json.int m.m_n);
+                    ("bound", Json.int m.m_bound);
+                  ]));
+          output_char oc '\n')
+        ms;
+      List.iter
+        (fun e ->
+          output_string oc (Json.to_string (json_of_event e));
+          output_char oc '\n')
+        evs;
+      List.length ms + List.length evs)
+
+(* ---------- Perfetto export ---------- *)
+
+(* Causal events render into the same Chrome trace as {!Profile}'s
+   spans (joint timestamp rebase via [Profile.to_json ~extra]):
+     - each sampled completed invocation is a "X" complete slice on its
+       owner's domain track (cat "causal.op", args trace/pos/own_steps/
+       help_rounds/obj),
+     - each help edge is a flow-event pair: "s" on the helper's track
+       at the moment of the help, "f" (bp "e") on the helped
+       invocation's track at its completion — Perfetto draws these as
+       arrows between domain tracks,
+     - announce/claim phase events are "i" instants, and per-object
+       registrations are "causal.meta" instants whose args carry [n]
+       and the audited bound (this is what [wfs trace] reads back). *)
+let to_trace_json () =
+  let ms, evs = snapshot () in
+  let t_min = List.fold_left (fun acc e -> min acc e.ts) max_int evs in
+  Profile.to_json ~extra_min_ns:t_min
+    ~extra:(fun ts_us ->
+      let pid = Unix.getpid () in
+      let evs = List.stable_sort (fun x y -> compare x.ts y.ts) evs in
+      let invoke_of = Hashtbl.create 256 in
+      let complete_of = Hashtbl.create 256 in
+      List.iter
+        (fun e ->
+          match e.kind with
+          | Invoke ->
+              if not (Hashtbl.mem invoke_of e.trace) then
+                Hashtbl.add invoke_of e.trace e
+          | Complete ->
+              if not (Hashtbl.mem complete_of e.trace) then
+                Hashtbl.add complete_of e.trace e
+          | _ -> ())
+        evs;
+      let tids = List.sort_uniq compare (List.map (fun e -> e.dom) evs) in
+      let thread_meta =
+        List.map
+          (fun tid ->
+            Json.obj
+              [
+                ("name", Json.str "thread_name");
+                ("ph", Json.str "M");
+                ("pid", Json.int pid);
+                ("tid", Json.int tid);
+                ("args", Json.obj [ ("name", Json.str (Fmt.str "domain-%d" tid)) ]);
+              ])
+          tids
+      in
+      let meta_events =
+        List.map
+          (fun m ->
+            Json.obj
+              [
+                ("name", Json.str "causal.meta");
+                ("ph", Json.str "i");
+                ("ts", Json.float 0.);
+                ("pid", Json.int pid);
+                ("tid", Json.int 0);
+                ("s", Json.str "g");
+                ("cat", Json.str "causal");
+                ( "args",
+                  Json.obj
+                    [
+                      ("obj", Json.str m.m_obj);
+                      ("n", Json.int m.m_n);
+                      ("bound", Json.int m.m_bound);
+                      ("sample", Json.int (sample_every ()));
+                    ] );
+              ])
+          ms
+      in
+      let flow_id = ref 0 in
+      let out = ref [] in
+      let emit j = out := j :: !out in
+      let base name ph ~tid ts =
+        [
+          ("name", Json.str name);
+          ("ph", Json.str ph);
+          ("ts", ts_us ts);
+          ("pid", Json.int pid);
+          ("tid", Json.int tid);
+        ]
+      in
+      let instant name e fields =
+        emit
+          (Json.obj
+             (base name "i" ~tid:e.dom e.ts
+             @ [
+                 ("s", Json.str "t");
+                 ("cat", Json.str "causal");
+                 ("args", Json.obj (fields @ [ ("obj", Json.str e.obj) ]));
+               ]))
+      in
+      List.iter
+        (fun e ->
+          match e.kind with
+          | Invoke ->
+              (* completed invocations render as their X slice; an
+                 invoke without a completion is a crash-interrupted (or
+                 wraparound-torn) op and stays visible as an instant *)
+              if not (Hashtbl.mem complete_of e.trace) then
+                instant "causal.pending" e
+                  [ ("trace", Json.int e.trace); ("pid", Json.int e.a) ]
+          | Announce ->
+              instant "causal.announce" e
+                [
+                  ("trace", Json.int e.trace);
+                  ("pid", Json.int e.a);
+                  ("born", Json.int e.b);
+                ]
+          | Claim ->
+              instant "causal.claim" e
+                [
+                  ("trace", Json.int e.trace);
+                  ("node", Json.int e.a);
+                  ("pos", Json.int e.b);
+                ]
+          | Complete ->
+              let t0, inv_pid =
+                match Hashtbl.find_opt invoke_of e.trace with
+                | Some i -> (min i.ts e.ts, i.a)
+                | None -> (e.ts, -1)
+              in
+              emit
+                (Json.obj
+                   (base e.obj "X" ~tid:e.dom t0
+                   @ [
+                       ("dur", Json.float (float_of_int (e.ts - t0) /. 1_000.));
+                       ("cat", Json.str "causal.op");
+                       ( "args",
+                         Json.obj
+                           [
+                             ("trace", Json.int e.trace);
+                             ("pid", Json.int inv_pid);
+                             ("pos", Json.int e.a);
+                             ("own_steps", Json.int e.b);
+                             ("help_rounds", Json.int e.c);
+                             ("obj", Json.str e.obj);
+                           ] );
+                     ]))
+          | Help ->
+              let id = !flow_id in
+              incr flow_id;
+              let args =
+                Json.obj
+                  [
+                    ("helper", Json.int e.a);
+                    ("helped", Json.int e.trace);
+                    ("pos", Json.int e.b);
+                    ("obj", Json.str e.obj);
+                  ]
+              in
+              emit
+                (Json.obj
+                   (base "help" "s" ~tid:e.dom e.ts
+                   @ [
+                       ("cat", Json.str "causal");
+                       ("id", Json.int id);
+                       ("args", args);
+                     ]));
+              (* bind the arrow head to the helped invocation's
+                 completion on its owner's track when we have it; an
+                 unterminated flow start is still a countable edge *)
+              (match Hashtbl.find_opt complete_of e.trace with
+              | Some c ->
+                  emit
+                    (Json.obj
+                       (base "help" "f" ~tid:c.dom (max c.ts e.ts)
+                       @ [
+                           ("bp", Json.str "e");
+                           ("cat", Json.str "causal");
+                           ("id", Json.int id);
+                           ("args", args);
+                         ]))
+              | None -> ()))
+        evs;
+      thread_meta @ meta_events @ List.rev !out)
+    ()
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string_pretty (to_trace_json ()));
+      output_char oc '\n')
+
+(* ---------- wait-freedom auditor ---------- *)
+
+module Audit = struct
+  type inv = {
+    i_trace : int;
+    i_obj : string;
+    i_pid : int;
+    i_pos : int; (* -1 when pending *)
+    i_steps : int; (* -1 when pending *)
+    i_rounds : int;
+    i_completed : bool;
+  }
+
+  type edge = { e_helper : int; e_helped : int; e_pos : int; e_obj : string }
+
+  type violation = {
+    v_trace : int;
+    v_obj : string;
+    v_pid : int;
+    v_steps : int;
+    v_bound : int;
+  }
+
+  type report = {
+    objects : (string * int * int) list; (* name, n, audited bound *)
+    invocations : int;
+    completed : int;
+    announces : int;
+    claims : int;
+    edges_seen : int;
+    edges_kept : int;
+    edges_stale : int;
+    max_own_steps : int;
+    max_help_rounds : int;
+    depth_hist : (int * int) list; (* help-chain depth -> invocations *)
+    max_depth : int;
+    top_helpers : (int * int) list; (* helper trace id, out-edges *)
+    violations : violation list;
+    dag_ok : bool;
+  }
+
+  let build ~objects ~invs ~edges ~announces ~claims =
+    let pos_of = Hashtbl.create 256 in
+    List.iter
+      (fun i -> if i.i_pos >= 0 then Hashtbl.replace pos_of i.i_trace i.i_pos)
+      invs;
+    List.iter
+      (fun e ->
+        if e.e_pos >= 0 && not (Hashtbl.mem pos_of e.e_helped) then
+          Hashtbl.replace pos_of e.e_helped e.e_pos)
+      edges;
+    let edges_seen = List.length edges in
+    (* orientation filter: a genuine help edge has the helper linearize
+       strictly after the invocation it helped (a still-pending helper
+       trivially qualifies, as does an anonymous helper — an untraced
+       filler, recorded as -1); anything else is a lagging replay
+       echo *)
+    let kept, stale =
+      List.partition
+        (fun e ->
+          e.e_helper <> e.e_helped
+          && (e.e_helper < 0
+             ||
+             match Hashtbl.find_opt pos_of e.e_helper with
+             | None -> true
+             | Some p -> p > e.e_pos))
+        edges
+    in
+    (* chain depth (how many links of helpers-of-helpers end at each
+       invocation) with cycle detection over the kept edges *)
+    let in_edges = Hashtbl.create 256 in
+    List.iter
+      (fun e ->
+        let prev =
+          match Hashtbl.find_opt in_edges e.e_helped with
+          | None -> []
+          | Some l -> l
+        in
+        Hashtbl.replace in_edges e.e_helped (e :: prev))
+      kept;
+    let dag_ok = ref true in
+    let visiting = Hashtbl.create 256 in
+    let depth = Hashtbl.create 256 in
+    let rec chain tr =
+      match Hashtbl.find_opt depth tr with
+      | Some d -> d
+      | None ->
+          if Hashtbl.mem visiting tr then begin
+            dag_ok := false;
+            0
+          end
+          else begin
+            Hashtbl.replace visiting tr ();
+            (* an anonymous helper contributes one link but no further
+               ancestry — there is no trace id to chase *)
+            let d =
+              List.fold_left
+                (fun acc e ->
+                  max acc (if e.e_helper < 0 then 1 else 1 + chain e.e_helper))
+                0
+                (match Hashtbl.find_opt in_edges tr with
+                | None -> []
+                | Some l -> l)
+            in
+            Hashtbl.remove visiting tr;
+            Hashtbl.replace depth tr d;
+            d
+          end
+    in
+    let hist = Hashtbl.create 16 in
+    let max_depth = ref 0 in
+    List.iter
+      (fun i ->
+        let d = chain i.i_trace in
+        if d > !max_depth then max_depth := d;
+        Hashtbl.replace hist d
+          (1 + Option.value ~default:0 (Hashtbl.find_opt hist d)))
+      invs;
+    let depth_hist =
+      Hashtbl.fold (fun d c acc -> (d, c) :: acc) hist []
+      |> List.sort compare
+    in
+    let helpers = Hashtbl.create 64 in
+    List.iter
+      (fun e ->
+        if e.e_helper >= 0 then
+          Hashtbl.replace helpers e.e_helper
+            (1 + Option.value ~default:0 (Hashtbl.find_opt helpers e.e_helper)))
+      kept;
+    let top_helpers =
+      Hashtbl.fold (fun t c acc -> (t, c) :: acc) helpers []
+      |> List.sort (fun (t1, c1) (t2, c2) -> compare (-c1, t1) (-c2, t2))
+      |> List.filteri (fun i _ -> i < 5)
+    in
+    let bound_of obj =
+      List.find_map (fun (o, _, b) -> if o = obj then Some b else None) objects
+    in
+    let violations =
+      List.filter_map
+        (fun i ->
+          if not i.i_completed then None
+          else
+            match bound_of i.i_obj with
+            | Some b when i.i_steps > b ->
+                Some
+                  {
+                    v_trace = i.i_trace;
+                    v_obj = i.i_obj;
+                    v_pid = i.i_pid;
+                    v_steps = i.i_steps;
+                    v_bound = b;
+                  }
+            | _ -> None)
+        invs
+      |> List.sort (fun a b -> compare (-a.v_steps, a.v_trace) (-b.v_steps, b.v_trace))
+    in
+    let completed = List.filter (fun i -> i.i_completed) invs in
+    {
+      objects;
+      invocations = List.length invs;
+      completed = List.length completed;
+      announces;
+      claims;
+      edges_seen;
+      edges_kept = List.length kept;
+      edges_stale = List.length stale;
+      max_own_steps =
+        List.fold_left (fun acc i -> max acc i.i_steps) 0 completed;
+      max_help_rounds =
+        List.fold_left (fun acc i -> max acc i.i_rounds) 0 completed;
+      depth_hist;
+      max_depth = !max_depth;
+      top_helpers;
+      violations;
+      dag_ok = !dag_ok;
+    }
+
+  let ok r = r.violations = [] && r.dag_ok
+
+  (* partial invocation assembled from phase events *)
+  type partial = {
+    mutable p_obj : string;
+    mutable p_pid : int;
+    mutable p_pos : int;
+    mutable p_steps : int;
+    mutable p_rounds : int;
+    mutable p_completed : bool;
+  }
+
+  let assemble tbl edges_tbl announces claims =
+    let invs =
+      Hashtbl.fold
+        (fun tr p acc ->
+          {
+            i_trace = tr;
+            i_obj = p.p_obj;
+            i_pid = p.p_pid;
+            i_pos = p.p_pos;
+            i_steps = p.p_steps;
+            i_rounds = p.p_rounds;
+            i_completed = p.p_completed;
+          }
+          :: acc)
+        tbl []
+      |> List.sort (fun a b -> compare a.i_trace b.i_trace)
+    in
+    let edges =
+      Hashtbl.fold (fun _ e acc -> e :: acc) edges_tbl []
+      |> List.sort (fun a b ->
+             compare (a.e_helped, a.e_helper) (b.e_helped, b.e_helper))
+    in
+    (invs, edges, announces, claims)
+
+  let partial_of tbl tr obj =
+    match Hashtbl.find_opt tbl tr with
+    | Some p -> p
+    | None ->
+        let p =
+          {
+            p_obj = obj;
+            p_pid = -1;
+            p_pos = -1;
+            p_steps = -1;
+            p_rounds = 0;
+            p_completed = false;
+          }
+        in
+        Hashtbl.add tbl tr p;
+        p
+
+  let of_events (ms, evs) =
+    let tbl = Hashtbl.create 256 in
+    let edges_tbl = Hashtbl.create 256 in
+    let announces = ref 0 and claims = ref 0 in
+    List.iter
+      (fun e ->
+        match e.kind with
+        | Invoke ->
+            let p = partial_of tbl e.trace e.obj in
+            p.p_pid <- e.a
+        | Announce ->
+            incr announces;
+            let p = partial_of tbl e.trace e.obj in
+            if p.p_pid < 0 then p.p_pid <- e.a
+        | Claim ->
+            incr claims;
+            let p = partial_of tbl e.trace e.obj in
+            if p.p_pos < 0 then p.p_pos <- e.b
+        | Complete ->
+            let p = partial_of tbl e.trace e.obj in
+            p.p_pos <- e.a;
+            p.p_steps <- e.b;
+            p.p_rounds <- e.c;
+            p.p_completed <- true
+        | Help ->
+            Hashtbl.replace edges_tbl (e.a, e.trace)
+              { e_helper = e.a; e_helped = e.trace; e_pos = e.b; e_obj = e.obj })
+      evs;
+    let invs, edges, announces, claims =
+      assemble tbl edges_tbl !announces !claims
+    in
+    build
+      ~objects:(List.map (fun m -> (m.m_obj, m.m_n, m.m_bound)) ms)
+      ~invs ~edges ~announces ~claims
+
+  let of_recording () = of_events (snapshot ())
+
+  (* read a trace file written by {!write} back into a report; raises
+     [Invalid_argument] when the JSON is not a causal trace *)
+  let of_trace_json j =
+    let evs =
+      match Option.bind (Json.member "traceEvents" j) Json.to_list with
+      | Some l -> l
+      | None -> invalid_arg "trace: missing traceEvents array"
+    in
+    let geti k o = Option.bind (Json.member k o) Json.to_int in
+    let gets k o = Option.bind (Json.member k o) Json.to_str in
+    let tbl = Hashtbl.create 256 in
+    let edges_tbl = Hashtbl.create 256 in
+    let objects = ref [] in
+    let announces = ref 0 and claims = ref 0 in
+    List.iter
+      (fun e ->
+        let name = gets "name" e and ph = gets "ph" e and cat = gets "cat" e in
+        let args = Option.value ~default:Json.null (Json.member "args" e) in
+        let argi k = Option.value ~default:(-1) (geti k args) in
+        let arg_obj () = Option.value ~default:"" (gets "obj" args) in
+        match (name, ph) with
+        | Some "causal.meta", _ ->
+            let o = arg_obj () in
+            if not (List.exists (fun (o', _, _) -> o' = o) !objects) then
+              objects := (o, argi "n", argi "bound") :: !objects
+        | _, Some "X" when cat = Some "causal.op" ->
+            let p = partial_of tbl (argi "trace") (arg_obj ()) in
+            p.p_pid <- argi "pid";
+            p.p_pos <- argi "pos";
+            p.p_steps <- argi "own_steps";
+            p.p_rounds <- argi "help_rounds";
+            p.p_completed <- true
+        | Some "causal.pending", _ ->
+            let p = partial_of tbl (argi "trace") (arg_obj ()) in
+            p.p_pid <- argi "pid"
+        | Some "help", Some "s" ->
+            let helper = argi "helper" and helped = argi "helped" in
+            Hashtbl.replace edges_tbl (helper, helped)
+              {
+                e_helper = helper;
+                e_helped = helped;
+                e_pos = argi "pos";
+                e_obj = arg_obj ();
+              }
+        | Some "causal.announce", _ -> incr announces
+        | Some "causal.claim", _ -> incr claims
+        | _ -> ())
+      evs;
+    let invs, edges, announces, claims =
+      assemble tbl edges_tbl !announces !claims
+    in
+    build ~objects:(List.rev !objects) ~invs ~edges ~announces ~claims
+
+  let pp ppf r =
+    Fmt.pf ppf "@[<v>";
+    Fmt.pf ppf
+      "invocations %d (%d completed, %d pending)   announces %d   claims %d@,"
+      r.invocations r.completed
+      (r.invocations - r.completed)
+      r.announces r.claims;
+    Fmt.pf ppf "help edges   %d kept (%d recorded, %d stale replay echoes)@,"
+      r.edges_kept r.edges_seen r.edges_stale;
+    Fmt.pf ppf "help chains  ";
+    if r.depth_hist = [] then Fmt.pf ppf "none"
+    else
+      List.iter (fun (d, c) -> Fmt.pf ppf "depth %d: %d  " d c) r.depth_hist;
+    Fmt.pf ppf "(max depth %d, dag %s)@," r.max_depth
+      (if r.dag_ok then "ok" else "CYCLIC");
+    (match r.top_helpers with
+    | [] -> Fmt.pf ppf "top helpers  none@,"
+    | hs ->
+        Fmt.pf ppf "top helpers  ";
+        List.iter (fun (t, c) -> Fmt.pf ppf "#%d (x%d)  " t c) hs;
+        Fmt.pf ppf "@,");
+    List.iter
+      (fun (obj, n, bound) ->
+        Fmt.pf ppf "object %-16s n=%d  audited own-step bound %d@," obj n bound)
+      r.objects;
+    Fmt.pf ppf "own steps    max %d   help rounds max %d@," r.max_own_steps
+      r.max_help_rounds;
+    (match r.violations with
+    | [] ->
+        Fmt.pf ppf
+          "wait-freedom audit: ok — every invocation within its bound"
+    | vs ->
+        Fmt.pf ppf "wait-freedom audit: %d VIOLATION%s" (List.length vs)
+          (if List.length vs = 1 then "" else "S");
+        List.iter
+          (fun v ->
+            Fmt.pf ppf "@,  trace=%d obj=%s pid=%d own_steps=%d > bound=%d"
+              v.v_trace v.v_obj v.v_pid v.v_steps v.v_bound)
+          vs);
+    Fmt.pf ppf "@]"
+end

@@ -293,11 +293,13 @@ let events_of_entry = function
         };
       ]
 
-let to_json () =
+let to_json ?(extra_min_ns = max_int) ?extra () =
   let snap = snapshot () in
   let pid = Unix.getpid () in
   (* rebase on the earliest timestamp so microsecond floats keep
-     nanosecond precision (epoch-ns / 1000 exceeds the mantissa) *)
+     nanosecond precision (epoch-ns / 1000 exceeds the mantissa);
+     [extra_min_ns] lets a co-exported event source (Causal) share the
+     rebase so both sets of timestamps stay aligned *)
   let t_base =
     List.fold_left
       (fun acc (_, entries) ->
@@ -305,7 +307,7 @@ let to_json () =
           (fun acc e ->
             List.fold_left (fun acc v -> min acc v.v_ts) acc (events_of_entry e))
           acc entries)
-      max_int snap
+      extra_min_ns snap
   in
   let t_base = if t_base = max_int then 0 else t_base in
   let ts_us ns = Json.float (float_of_int (ns - t_base) /. 1_000.) in
@@ -370,9 +372,12 @@ let to_json () =
         Json.obj base)
       evs
   in
+  let extra_events =
+    match extra with None -> [] | Some f -> f (fun ns -> ts_us ns)
+  in
   Json.obj
     [
-      ("traceEvents", Json.list (meta @ List.concat_map row snap));
+      ("traceEvents", Json.list (meta @ List.concat_map row snap @ extra_events));
       ("displayTimeUnit", Json.str "ms");
     ]
 

@@ -85,8 +85,17 @@ val dropped : unit -> int
 (** The whole recording as one Chrome trace-event JSON object:
     [traceEvents] holds [M] (process/thread name) metadata, balanced
     [B]/[E] span pairs, [i] instants and [C] counters.  Per-[tid]
-    timestamps are non-decreasing and spans are properly nested. *)
-val to_json : unit -> Json.t
+    timestamps are non-decreasing and spans are properly nested.
+
+    [extra_min_ns] folds a co-exported event source's earliest raw
+    timestamp into the rebase (timestamps are exported as microseconds
+    relative to the earliest event, keeping ns precision inside the
+    float mantissa), and [extra] — called with the resulting
+    ns-to-rebased-µs renderer — appends that source's already-rendered
+    events to [traceEvents].  {!Causal.to_trace_json} uses both to
+    merge help-edge flow events into the same timeline. *)
+val to_json :
+  ?extra_min_ns:int -> ?extra:((int -> Json.t) -> Json.t list) -> unit -> Json.t
 
 (** [write path] = {!to_json} pretty-printed to [path]. *)
 val write : string -> unit

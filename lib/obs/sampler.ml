@@ -84,12 +84,12 @@ let sampler_main core () =
 
 (* --- HTTP endpoint --- *)
 
-let http_response core =
-  let body =
-    match Atomic.get core.ring with
-    | snap :: _ -> Export.of_dump snap.values
-    | [] -> Export.of_dump (take_snap core.registry).values
-  in
+(* Response framing is a pure function of the body so the tests can
+   check it byte-for-byte: an explicit Content-Length (the exposition
+   contains no length hint of its own) plus Connection: close tells
+   curl/Prometheus exactly where the body ends and that no keep-alive
+   follows — the two things a scraper needs to not hang. *)
+let http_response_of_body body =
   Printf.sprintf
     "HTTP/1.1 200 OK\r\n\
      Content-Type: application/openmetrics-text; version=1.0.0; \
@@ -100,23 +100,55 @@ let http_response core =
      %s"
     (String.length body) body
 
+let http_response core =
+  http_response_of_body
+    (match Atomic.get core.ring with
+    | snap :: _ -> Export.of_dump snap.values
+    | [] -> Export.of_dump (take_snap core.registry).values)
+
+(* a request is complete once the header block terminator arrives (this
+   endpoint only ever serves bodyless GETs) *)
+let request_complete req =
+  let n = String.length req in
+  let rec go i =
+    i + 4 <= n && (String.sub req i 4 = "\r\n\r\n" || go (i + 1))
+  in
+  go 0
+
 let serve_client core client =
   Fun.protect
     ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
     (fun () ->
-      (* read (and ignore) the request line + headers; any GET gets the
-         metrics page, which is all this endpoint is for *)
+      (* drain the request up to the header terminator before replying:
+         responding while the peer is still sending — then closing —
+         can turn the close into a RST that discards our response
+         mid-flight on the client side *)
       let buf = Bytes.create 4096 in
-      (try ignore (Unix.read client buf 0 (Bytes.length buf))
-       with Unix.Unix_error _ -> ());
+      let got = Buffer.create 256 in
+      let rec slurp () =
+        if
+          (not (request_complete (Buffer.contents got)))
+          && Buffer.length got < 65536
+        then
+          match Unix.read client buf 0 (Bytes.length buf) with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes got buf 0 n;
+              slurp ()
+          | exception Unix.Unix_error _ -> ()
+      in
+      slurp ();
       let resp = http_response core in
       let n = String.length resp in
       let sent = ref 0 in
-      try
-        while !sent < n do
-          sent :=
-            !sent + Unix.write_substring client resp !sent (n - !sent)
-        done
+      (try
+         while !sent < n do
+           sent := !sent + Unix.write_substring client resp !sent (n - !sent)
+         done
+       with Unix.Unix_error _ -> ());
+      (* half-close the send side so the client gets a clean FIN (and
+         therefore end-of-body) before the descriptor goes away *)
+      try Unix.shutdown client Unix.SHUTDOWN_SEND
       with Unix.Unix_error _ -> ())
 
 let http_main core listen_fd () =
@@ -177,7 +209,13 @@ let latest t =
 let stop t =
   Atomic.set t.core.stopping true;
   (match t.http with
-  | Some (fd, _) -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | Some (fd, _) ->
+      (* shutdown BEFORE close: closing a listening socket from another
+         thread does not wake a blocked accept(2) on Linux — the join
+         below would deadlock.  shutdown makes the pending (and any
+         future) accept fail immediately. *)
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      ( try Unix.close fd with Unix.Unix_error _ -> ())
   | None -> ());
   Domain.join t.sampler_domain;
   (match t.http with Some (_, d) -> Domain.join d | None -> ());

@@ -39,3 +39,16 @@ val latest : t -> snap option
     the ring and the file sink.  Idempotence is not required of
     callers; call once. *)
 val stop : t -> unit
+
+(** {1 HTTP response framing} — pure, exposed for the unit tests. *)
+
+(** The full [/metrics] response for [body]: status line, content type,
+    an explicit [Content-Length] and [Connection: close], a blank line,
+    then the body verbatim — so scrapers know exactly where the body
+    ends and never wait on keep-alive. *)
+val http_response_of_body : string -> string
+
+(** Whether a received request prefix contains the header-block
+    terminator (CRLFCRLF) — the point at which the endpoint may safely
+    respond and half-close. *)
+val request_complete : string -> bool

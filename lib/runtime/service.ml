@@ -59,10 +59,10 @@ let seq_of_spec (spec : Object_spec.t) =
      and type op = Op.t
      and type res = Value.t)
 
-let make_handle ?window ~n spec =
+let make_handle ?window ?canary ~n spec =
   let module S = (val seq_of_spec spec) in
   let module U = Universal_rt.Wait_free (S) in
-  let t = U.create ?window ~n () in
+  let t = U.create ~label:spec.Object_spec.name ?canary ?window ~n () in
   {
     spec;
     apply = (fun ~pid op -> U.apply t ~pid op);
@@ -79,10 +79,10 @@ let default_specs () =
 
 type t = { n : int; handles : (string * handle) list }
 
-let create ?window ~n ?(specs = default_specs ()) () =
+let create ?window ?canary ~n ?(specs = default_specs ()) () =
   if n <= 0 then invalid_arg "Service.create: n";
   let handles =
-    List.map (fun s -> (s.Object_spec.name, make_handle ?window ~n s)) specs
+    List.map (fun s -> (s.Object_spec.name, make_handle ?window ?canary ~n s)) specs
   in
   (match
      List.find_opt
@@ -148,8 +148,8 @@ module Load = struct
      into its local high-water mark. *)
   let retained_sample_period = 128
 
-  let run_crash_free ~seed ~window ~clients ~ops_per_client ~spec () =
-    let h = make_handle ~window ~n:clients spec in
+  let run_crash_free ~seed ~window ?canary ~clients ~ops_per_client ~spec () =
+    let h = make_handle ~window ?canary ~n:clients spec in
     let next_op = Array.init clients (fun pid -> op_stream ~seed ~pid spec.Object_spec.menu) in
     let client pid =
       let ops = Array.make ops_per_client (Op.nullary "nop") in
@@ -242,7 +242,7 @@ module Load = struct
      effect boundary — the hard case: a pending operation that DID
      happen) and verify the recorded history exhaustively.  The
      workload must fit the checker ([Linearizability.max_ops]). *)
-  let run_with_halts ~seed ~window ~clients ~ops_per_client ~spec ~halts () =
+  let run_with_halts ~seed ~window ?canary ~clients ~ops_per_client ~spec ~halts () =
     if halts >= clients then invalid_arg "Load.run: halts must be < clients";
     if clients * ops_per_client > Wfs_history.Linearizability.max_ops then
       invalid_arg
@@ -250,7 +250,7 @@ module Load = struct
            "Load.run: crash-mode workload %d exceeds checker capacity %d"
            (clients * ops_per_client)
            Wfs_history.Linearizability.max_ops);
-    let h = make_handle ~window ~n:clients spec in
+    let h = make_handle ~window ?canary ~n:clients spec in
     let obj = spec.Object_spec.name in
     let next_op = Array.init clients (fun pid -> op_stream ~seed ~pid spec.Object_spec.menu) in
     let inj =
@@ -311,7 +311,7 @@ module Load = struct
       linearizable = Some linearizable;
     }
 
-  let run ?(seed = 1) ?(window = 32) ?(halts = 0) ?spec ~clients
+  let run ?(seed = 1) ?(window = 32) ?(halts = 0) ?spec ?canary ~clients
       ~ops_per_client () =
     if clients <= 0 then invalid_arg "Load.run: clients";
     if ops_per_client < 0 then invalid_arg "Load.run: ops_per_client";
@@ -321,8 +321,10 @@ module Load = struct
        quadratic) *)
     let spec = match spec with Some s -> s | None -> Collections.counter () in
     if halts = 0 then
-      run_crash_free ~seed ~window ~clients ~ops_per_client ~spec ()
-    else run_with_halts ~seed ~window ~clients ~ops_per_client ~spec ~halts ()
+      run_crash_free ~seed ~window ?canary ~clients ~ops_per_client ~spec ()
+    else
+      run_with_halts ~seed ~window ?canary ~clients ~ops_per_client ~spec
+        ~halts ()
 
   (* The checks a run must pass: results replay sequentially (or the
      recorded crash history linearizes), truncation keeps the retained
@@ -374,9 +376,9 @@ type serve_report = {
    domains until the deadline; the point is to hold the service under
    load while the sampler exports live metrics (`wfs serve` + `wfs
    top`), so nothing is recorded per-operation beyond the metrics. *)
-let serve ?(seed = 1) ?window ?specs ~clients ~duration_s () =
+let serve ?(seed = 1) ?window ?canary ?specs ~clients ~duration_s () =
   if clients <= 0 then invalid_arg "Service.serve: clients";
-  let t = create ?window ~n:clients ?specs () in
+  let t = create ?window ?canary ~n:clients ?specs () in
   let handles = Array.of_list (List.map snd t.handles) in
   let deadline =
     Wfs_obs.Clock.now_ns () + int_of_float (duration_s *. 1e9)

@@ -22,17 +22,21 @@ type handle = {
   obj_window : int;
 }
 
-(** Lift one specification (processes [0..n-1]). *)
-val make_handle : ?window:int -> n:int -> Object_spec.t -> handle
+(** Lift one specification (processes [0..n-1]).  [canary] is forwarded
+    to the construction's help canary (see
+    {!Runtime.Universal_rt.Wait_free.create}); the object is labelled
+    with its spec name in causal trace events. *)
+val make_handle : ?window:int -> ?canary:int -> n:int -> Object_spec.t -> handle
 
 (** The default registry contents: FIFO queue, counter, kv-map. *)
 val default_specs : unit -> Object_spec.t list
 
 type t
 
-(** [create ?window ~n ?specs ()] builds a registry of served objects;
-    object names must be distinct. *)
-val create : ?window:int -> n:int -> ?specs:Object_spec.t list -> unit -> t
+(** [create ?window ?canary ~n ?specs ()] builds a registry of served
+    objects; object names must be distinct. *)
+val create :
+  ?window:int -> ?canary:int -> n:int -> ?specs:Object_spec.t list -> unit -> t
 
 val names : t -> string list
 
@@ -67,12 +71,16 @@ module Load : sig
       [halts = k > 0] clients [0..k-1] halt mid-operation and the
       recorded history is checked for linearizability instead (the
       workload must fit {!Wfs_history.Linearizability.max_ops}).
-      Deterministic for a fixed [seed]. *)
+      Deterministic for a fixed [seed].  [canary] routes every
+      [canary]-th announce ticket through the helped slow path while
+      causal tracing is enabled (for recording help edges on machines
+      that time-slice domains); it does not change results. *)
   val run :
     ?seed:int ->
     ?window:int ->
     ?halts:int ->
     ?spec:Object_spec.t ->
+    ?canary:int ->
     clients:int ->
     ops_per_client:int ->
     unit ->
@@ -98,6 +106,7 @@ type serve_report = {
 val serve :
   ?seed:int ->
   ?window:int ->
+  ?canary:int ->
   ?specs:Object_spec.t list ->
   clients:int ->
   duration_s:float ->

@@ -197,6 +197,11 @@ module Wait_free (Seq : SEQ) = struct
         (* canonical singleton node all helpers propose when this
            invocation is starving, made canonical by the CAS in
            [help_node_of] *)
+    trace : int;  (* causal trace id; -1 when tracing is off *)
+    traced : bool;  (* in the 1-in-k sample (or a forced canary) *)
+    mutable edge_done : bool;
+        (* one claim/help event per invocation; benign race — two
+           fillers may both record, the auditor dedups *)
   }
 
   and node = {
@@ -233,10 +238,19 @@ module Wait_free (Seq : SEQ) = struct
            deterministic value before its [seq] store, so any process
            that sees the node threaded can read its state in O(1).  A
            stale [None] read just falls back to the bounded replay. *)
+    own_trace : int;  (* causal trace id of [own_op]; -1 untraced *)
+    own_traced : bool;
+    mutable own_edge_done : bool;
   }
 
   type t = {
     n : int;
+    label : string;  (* object name in causal events *)
+    canary : int;
+        (* when > 0, every [canary]-th ticket skips the fast path,
+           announces, and parks briefly so another client's collect
+           threads it — deterministic cross-client help edges even on
+           boxes where domains time-slice and never naturally race *)
     window : int;  (* log positions between state snapshots *)
     tickets : int Atomic.t;  (* per-object: see the regression test *)
     node_ids : int Atomic.t;
@@ -250,7 +264,7 @@ module Wait_free (Seq : SEQ) = struct
     frontier : node Atomic.t;  (* latest threaded node *)
   }
 
-  let make_node t ~own_op batch =
+  let make_node t ?(own_trace = -1) ?(own_traced = false) ~own_op batch =
     {
       id =
         (if Array.length batch = 0 then 0
@@ -264,6 +278,9 @@ module Wait_free (Seq : SEQ) = struct
       opcount = 0;
       prev = t.unlinked;
       post = None;
+      own_trace;
+      own_traced;
+      own_edge_done = false;
     }
 
   (* a self-severed node with no batch: the sentinel and the
@@ -281,18 +298,26 @@ module Wait_free (Seq : SEQ) = struct
         opcount = 0;
         prev = node;
         post;
+        own_trace = -1;
+        own_traced = false;
+        own_edge_done = false;
       }
     in
     node
 
-  let create ?(window = 32) ~n () =
+  let create ?(label = "universal") ?(canary = 0) ?(window = 32) ~n () =
     if n <= 0 then invalid_arg "Wait_free.create: n";
     if window <= 0 then invalid_arg "Wait_free.create: window";
+    if canary < 0 then invalid_arg "Wait_free.create: canary";
+    if Wfs_obs.Causal.enabled () then
+      Wfs_obs.Causal.meta ~obj:label ~n ~bound:(Wfs_obs.Causal.step_bound ~n);
     (* the sentinel is born severed: the log starts truncated at its
        initial snapshot *)
     let sentinel = blank_node ~post:(Some Seq.init) in
     {
       n;
+      label;
+      canary;
       window;
       tickets = Atomic.make 0;
       node_ids = Atomic.make 1;
@@ -302,6 +327,26 @@ module Wait_free (Seq : SEQ) = struct
       progress = Array.init n (fun _ -> Atomic.make max_int);
       frontier = Atomic.make sentinel;
     }
+
+  (* Causal recording, off the hot path: called at most once per traced
+     invocation (the [edge_done] flags), and only when the invocation
+     was sampled at issue time.  The helper attribution reads the
+     recording domain's current trace id — when a filler applies
+     somebody else's invocation, that is a help edge. *)
+  let note_claim t inv node pos =
+    if Wfs_obs.Causal.enabled () then begin
+      Wfs_obs.Causal.claim ~obj:t.label ~trace:inv.trace ~node:node.id ~pos;
+      let helper = Wfs_obs.Causal.current () in
+      if helper <> inv.trace then
+        Wfs_obs.Causal.help ~obj:t.label ~helper ~helped:inv.trace ~pos
+    end
+
+  let note_own_help t node pos =
+    if Wfs_obs.Causal.enabled () then begin
+      let helper = Wfs_obs.Causal.current () in
+      if helper <> node.own_trace then
+        Wfs_obs.Causal.help ~obj:t.label ~helper ~helped:node.own_trace ~pos
+    end
 
   (* State after a threaded [node]: its memoized post-state, or a
      replay from the predecessor — bounded by [window] since
@@ -327,7 +372,7 @@ module Wait_free (Seq : SEQ) = struct
      batch order is fixed at collect time — so the value writes below
      are idempotent.  [pos], [own_pos] and [opcount] are plain writes
      published by the atomic result / [seq] stores. *)
-  and apply_batch _t ~base ~base_ops node =
+  and apply_batch t ~base ~base_ops node =
     let st = ref base and k = ref 0 in
     (* a for loop, not [Array.iter]: the iter closure would allocate on
        every fill, which is the per-operation hot path *)
@@ -337,6 +382,14 @@ module Wait_free (Seq : SEQ) = struct
         let st', r = Seq.apply !st inv.iop in
         st := st';
         inv.pos <- base_ops + !k;
+        (* claim consensus just decided where this invocation threads:
+           record the claim and, when the filler is somebody else's
+           invocation, the help edge (untraced invocations pay one
+           immediate-false branch here) *)
+        if inv.traced && not inv.edge_done then begin
+          inv.edge_done <- true;
+          note_claim t inv node (base_ops + !k)
+        end;
         Atomic.set inv.result (Some r);
         incr k
       end
@@ -346,6 +399,10 @@ module Wait_free (Seq : SEQ) = struct
         let st', r = Seq.apply !st op in
         st := st';
         node.own_pos <- base_ops + !k;
+        if node.own_traced && not node.own_edge_done then begin
+          node.own_edge_done <- true;
+          note_own_help t node (base_ops + !k)
+        end;
         node.own_res <- Some r;
         incr k
     | None -> ());
@@ -480,7 +537,7 @@ module Wait_free (Seq : SEQ) = struct
     let after = Consensus_rt.One_shot.decide head.decide_next prefer in
     fill t ~before:head after
 
-  let announce t ~pid op =
+  let announce t ~pid ~trace ~traced op =
     let born = Atomic.get (Atomic.get t.frontier).seq in
     let inv =
       {
@@ -491,11 +548,52 @@ module Wait_free (Seq : SEQ) = struct
         result = Atomic.make None;
         born;
         help = Atomic.make None;
+        trace;
+        traced;
+        edge_done = false;
       }
     in
     Atomic.set t.progress.(pid) born;
     Atomic.set t.announce.(pid) (Some inv);
+    if traced && Wfs_obs.Causal.enabled () then
+      Wfs_obs.Causal.announce ~obj:t.label ~trace ~pid ~born;
     inv
+
+  (* bounded park between announce and self-help for canary
+     invocations: up to 20 short sleeps, then Herlihy as usual *)
+  let canary_grace = 20
+
+  (* The announce + help path: announce, (optionally) park so another
+     client can collect us, then run helping rounds until some filler
+     publishes our result.  [steps0] counts own steps already spent
+     before announcing (the lost fast-path attempt). *)
+  let apply_announced t ~pid ~trace ~traced ~steps0 ~grace op =
+    let inv = announce t ~pid ~trace ~traced op in
+    if grace > 0 then begin
+      let patience = ref grace in
+      while !patience > 0 && Atomic.get inv.result = None do
+        decr patience;
+        Wfs_obs.Causal.backoff ()
+      done
+    end;
+    let rounds = ref 1 in
+    while Atomic.get inv.result = None do
+      incr rounds;
+      round t
+    done;
+    Atomic.set t.announce.(pid) None;
+    Atomic.set t.progress.(pid) max_int;
+    (* help-round telemetry is recorded here, for the operations
+       that actually fell back to announce + help (fast-path wins
+       are trivially one round), sampled 1 ticket in 64 *)
+    if Wfs_obs.Metrics.hot () && inv.ticket land 63 = 0 then begin
+      Wfs_obs.Metrics.Counter.add M.wf_help_rounds !rounds;
+      Wfs_obs.Metrics.Histogram.observe M.wf_help_rounds_hist !rounds
+    end;
+    if traced && Wfs_obs.Causal.enabled () then
+      Wfs_obs.Causal.complete ~obj:t.label ~trace ~pos:inv.pos
+        ~own_steps:(steps0 + !rounds) ~help_rounds:!rounds;
+    (Option.get (Atomic.get inv.result), inv.pos)
 
   (* One direct attempt, then Herlihy.  The fast path races a batch
      node straight at the frontier's successor without touching the
@@ -507,42 +605,51 @@ module Wait_free (Seq : SEQ) = struct
      the original wait-freedom bound. *)
   let apply_own t ~pid op =
     let ticket = Atomic.fetch_and_add t.tickets 1 in
-    let head = Atomic.get t.frontier in
-    let batch =
-      match collect t with
-      | [] -> [||]
-      | pending ->
-          if Wfs_obs.Metrics.hot () && ticket land 63 = 0 then
-            Wfs_obs.Metrics.Gauge.set M.wf_announce_occupancy
-              (List.length pending);
-          Array.of_list pending
+    (* sampling is decided from the ticket BEFORE a trace id is issued:
+       the unsampled common case costs one gate load and a mask — no
+       global id counter, no DLS — which is what holds the traced
+       service inside its <=5% overhead budget *)
+    let gate = !Wfs_obs.Causal.trace_gate in
+    let trace, traced, canary_op =
+      if gate >= 0 then begin
+        let canary_op = t.canary > 0 && (ticket + 1) mod t.canary = 0 in
+        if canary_op || ticket land gate = 0 then
+          (Wfs_obs.Causal.issue (), true, canary_op)
+        else (-1, false, false)
+      end
+      else (-1, false, false)
     in
-    let node = make_node t ~own_op:(Some op) batch in
-    let after = Consensus_rt.One_shot.decide head.decide_next node in
-    fill t ~before:head after;
-    if after != node then begin
-      let inv = announce t ~pid op in
-      let rounds = ref 1 in
-      while Atomic.get inv.result = None do
-        incr rounds;
-        round t
-      done;
-      Atomic.set t.announce.(pid) None;
-      Atomic.set t.progress.(pid) max_int;
-      (* help-round telemetry is recorded here, for the operations
-         that actually fell back to announce + help (fast-path wins
-         are trivially one round), sampled 1 ticket in 64 *)
-      if Wfs_obs.Metrics.hot () && inv.ticket land 63 = 0 then begin
-        Wfs_obs.Metrics.Counter.add M.wf_help_rounds !rounds;
-        Wfs_obs.Metrics.Histogram.observe M.wf_help_rounds_hist !rounds
-      end;
-      (* the lost proposal node is ours and was never threaded: reuse
-         its own-invocation fields as the (allocation-free) result
-         cell, sharing the announced invocation's result option *)
-      node.own_pos <- inv.pos;
-      node.own_res <- Atomic.get inv.result
-    end;
-    node
+    if traced then Wfs_obs.Causal.invoke ~obj:t.label ~trace ~pid;
+    if canary_op then
+      (* forced slow path: announce first and linger so a concurrent
+         client's collect (not our own round) threads the invocation *)
+      apply_announced t ~pid ~trace ~traced ~steps0:0 ~grace:canary_grace op
+    else begin
+      let head = Atomic.get t.frontier in
+      let batch =
+        match collect t with
+        | [] -> [||]
+        | pending ->
+            if Wfs_obs.Metrics.hot () && ticket land 63 = 0 then
+              Wfs_obs.Metrics.Gauge.set M.wf_announce_occupancy
+                (List.length pending);
+            Array.of_list pending
+      in
+      let node =
+        make_node t ~own_trace:trace ~own_traced:traced ~own_op:(Some op)
+          batch
+      in
+      let after = Consensus_rt.One_shot.decide head.decide_next node in
+      fill t ~before:head after;
+      if after != node then
+        apply_announced t ~pid ~trace ~traced ~steps0:1 ~grace:0 op
+      else begin
+        if traced && Wfs_obs.Causal.enabled () then
+          Wfs_obs.Causal.complete ~obj:t.label ~trace ~pos:node.own_pos
+            ~own_steps:1 ~help_rounds:0;
+        (Option.get node.own_res, node.own_pos)
+      end
+    end
 
   (* The per-operation hot path pays two branches: the ops counter
      lives in [fill] (per node, exact), and the latency sample is
@@ -552,18 +659,13 @@ module Wait_free (Seq : SEQ) = struct
      patrols. *)
   let apply_pos t ~pid op =
     if Wfs_obs.Metrics.hot () && Atomic.get t.tickets land 63 = 0 then begin
-      let node, dur =
-        Wfs_obs.Clock.elapsed_ns (fun () -> apply_own t ~pid op)
-      in
+      let rp, dur = Wfs_obs.Clock.elapsed_ns (fun () -> apply_own t ~pid op) in
       Wfs_obs.Metrics.Histogram.observe M.wf_apply_ns dur;
-      (Option.get node.own_res, node.own_pos)
+      rp
     end
-    else begin
-      let node = apply_own t ~pid op in
-      (Option.get node.own_res, node.own_pos)
-    end
+    else apply_own t ~pid op
 
-  let apply t ~pid op = Option.get (apply_own t ~pid op).own_res
+  let apply t ~pid op = fst (apply_own t ~pid op)
 end
 
 (* Herlihy's original universal algorithm — one invocation per node,

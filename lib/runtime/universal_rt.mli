@@ -51,10 +51,24 @@ module Wait_free (Seq : SEQ) : sig
   type op = Seq.op
   type res = Seq.res
 
-  (** [create ?window ~n ()] builds an object for processes [0..n-1];
-      every [window]-th log node (default 32) carries a state snapshot
-      and severs the log behind it. *)
-  val create : ?window:int -> n:int -> unit -> t
+  (** [create ?label ?canary ?window ~n ()] builds an object for
+      processes [0..n-1]; every [window]-th log node (default 32)
+      carries a state snapshot and severs the log behind it.
+
+      [label] names the object in causal trace events (default
+      ["universal"]); when {!Wfs_obs.Causal} is enabled at creation the
+      object registers its [n] and audited own-step bound
+      ({!Wfs_obs.Causal.step_bound}) for the wait-freedom auditor.
+
+      [canary > 0] (meaningful only while causal tracing is enabled)
+      routes every [canary]-th ticket through the announce + help slow
+      path with a short bounded park after announcing, so a concurrent
+      client's collect threads it — guaranteeing recorded cross-client
+      help edges even on machines where domains time-slice and the
+      fast path never loses a race.  Canary invocations are
+      force-sampled; [0] (the default) disables the canary and leaves
+      the hot path untouched. *)
+  val create : ?label:string -> ?canary:int -> ?window:int -> n:int -> unit -> t
 
   (** [apply t ~pid op]; [pid] must be in [0..n-1] and unique per
       concurrent caller. *)

@@ -163,13 +163,21 @@ let verify ?(max_states = 2_000_000) ~target ~scripts () =
 
 (* Single-schedule execution, plus the induced *abstract* history of
    target-object operations (each spanning exactly its fetch-and-cons
-   step), for linearizability cross-checks. *)
+   step), for linearizability cross-checks.  When causal tracing is
+   enabled the decoded fetch-and-cons order is recorded as
+   invoke/complete events (own_steps = 1 — the construction's whole
+   point: one shared-memory step per abstract operation). *)
 let run ?(max_steps = 100_000) ~target ~scripts ~schedule () =
   let cfg = config ~target ~scripts in
   let outcome =
     Runner.run ~max_steps ~procs:cfg.Explorer.procs ~env:cfg.Explorer.env
       ~schedule ()
   in
+  let causal = Wfs_obs.Causal.enabled () in
+  let causal_obj = "sim.log/" ^ target.Object_spec.name in
+  if causal then
+    Wfs_obs.Causal.meta ~obj:causal_obj ~n:(Array.length scripts) ~bound:1;
+  let pos = ref 0 in
   let abstract =
     List.concat_map
       (fun (step : Runner.step) ->
@@ -178,6 +186,17 @@ let run ?(max_steps = 100_000) ~target ~scripts ~schedule () =
             let result, _, _ =
               Replay.response target (Value.as_list step.Runner.res) op
             in
+            if causal then begin
+              (* sample on the op counter, issue ids only for traced
+                 ops — mirrors the runtime's ticket-gated discipline *)
+              if Wfs_obs.Causal.sampled !pos then begin
+                let tr = Wfs_obs.Causal.issue () in
+                Wfs_obs.Causal.invoke ~obj:causal_obj ~trace:tr ~pid;
+                Wfs_obs.Causal.complete ~obj:causal_obj ~trace:tr ~pos:!pos
+                  ~own_steps:1 ~help_rounds:0
+              end;
+              incr pos
+            end;
             [
               Wfs_history.Event.invoke ~pid ~obj:target.Object_spec.name op;
               Wfs_history.Event.respond ~pid ~obj:target.Object_spec.name result;

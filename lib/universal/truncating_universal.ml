@@ -207,8 +207,36 @@ let verify ?(max_states = 2_000_000) ~target ~scripts () =
   }
 
 (* Single-schedule run (for benchmarks): returns per-process responses
-   and replay costs. *)
+   and replay costs.  When causal tracing is enabled, each decoded
+   fetch-and-cons is recorded as an invoke/complete pair with
+   own_steps = 2 (fetch-and-cons + the destructive truncate — both
+   shared-memory steps belong to the same abstract operation). *)
 let run ?(max_steps = 1_000_000) ~target ~scripts ~schedule () =
   let cfg = config ~target ~scripts in
-  Runner.run ~max_steps ~procs:cfg.Explorer.procs ~env:cfg.Explorer.env
-    ~schedule ()
+  let outcome =
+    Runner.run ~max_steps ~procs:cfg.Explorer.procs ~env:cfg.Explorer.env
+      ~schedule ()
+  in
+  if Wfs_obs.Causal.enabled () then begin
+    let causal_obj = "sim.trunc/" ^ target.Object_spec.name in
+    Wfs_obs.Causal.meta ~obj:causal_obj ~n:(Array.length scripts) ~bound:2;
+    let pos = ref 0 in
+    List.iter
+      (fun (step : Runner.step) ->
+        if Op.name step.Runner.op = "fetch-and-cons" then begin
+          match Replay.decode_entry (Op.arg step.Runner.op) with
+          | Replay.Op { pid; _ } ->
+              (* sample on the op counter, issue ids only for traced
+                 ops — mirrors the runtime's ticket-gated discipline *)
+              if Wfs_obs.Causal.sampled !pos then begin
+                let tr = Wfs_obs.Causal.issue () in
+                Wfs_obs.Causal.invoke ~obj:causal_obj ~trace:tr ~pid;
+                Wfs_obs.Causal.complete ~obj:causal_obj ~trace:tr ~pos:!pos
+                  ~own_steps:2 ~help_rounds:0
+              end;
+              incr pos
+          | Replay.State _ -> ()
+        end)
+      outcome.Runner.trace
+  end;
+  outcome

@@ -258,6 +258,111 @@ let test_sampler_ring_and_file_sink () =
     "file sink has final value" (Some 100.0)
     (Export.find (Export.parse text) "wfs_ticks_total" [])
 
+(* --- HTTP response framing ---
+
+   Scrapers hang on /metrics for exactly two reasons: no Content-Length
+   (the reader waits for EOF that keep-alive never sends) or a response
+   fired before the request finished arriving (the close can turn into
+   a RST that discards the body).  The framing is a pure function, so
+   check it byte-for-byte. *)
+
+let test_http_response_framing () =
+  let body = "# TYPE wfs_ops counter\nwfs_ops_total 42\n# EOF\n" in
+  let resp = Sampler.http_response_of_body body in
+  Alcotest.(check bool)
+    "status line" true
+    (String.length resp > 17 && String.sub resp 0 17 = "HTTP/1.1 200 OK\r\n");
+  let header_end =
+    let rec find i =
+      if i + 4 > String.length resp then Alcotest.fail "no CRLFCRLF"
+      else if String.sub resp i 4 = "\r\n\r\n" then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let headers = String.sub resp 0 header_end in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    "explicit Content-Length" true
+    (contains headers
+       (Printf.sprintf "Content-Length: %d" (String.length body)));
+  Alcotest.(check bool)
+    "Connection: close" true
+    (contains headers "Connection: close");
+  Alcotest.(check string) "body verbatim after the blank line" body
+    (String.sub resp (header_end + 4) (String.length resp - header_end - 4))
+
+let test_http_request_complete () =
+  Alcotest.(check bool)
+    "bare GET line incomplete" false
+    (Sampler.request_complete "GET /metrics HTTP/1.1\r\n");
+  Alcotest.(check bool)
+    "split terminator incomplete" false
+    (Sampler.request_complete "GET /metrics HTTP/1.1\r\nHost: x\r\n\r");
+  Alcotest.(check bool)
+    "terminated request complete" true
+    (Sampler.request_complete "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  Alcotest.(check bool)
+    "terminator anywhere suffices" true
+    (Sampler.request_complete "GET / HTTP/1.1\r\n\r\ntrailing");
+  Alcotest.(check bool) "empty incomplete" false (Sampler.request_complete "")
+
+(* and end-to-end once over a real socket: curl-style GET, one read to
+   EOF, body length must equal the advertised Content-Length *)
+let test_http_endpoint_round_trip () =
+  let r = Metrics.create () in
+  Metrics.Counter.add (Metrics.Counter.make ~registry:r "served") 7;
+  let port = 18080 + (Unix.getpid () mod 1000) in
+  match Sampler.start ~registry:r ~interval_ms:1000 ~port () with
+  | exception Unix.Unix_error _ ->
+      (* port collision on a busy CI box: framing is covered above *)
+      ()
+  | s ->
+      Fun.protect
+        ~finally:(fun () -> Sampler.stop s)
+        (fun () ->
+          let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close sock with Unix.Unix_error _ -> ())
+            (fun () ->
+              Unix.connect sock
+                (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+              let req = "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n" in
+              ignore (Unix.write_substring sock req 0 (String.length req));
+              let buf = Bytes.create 65536 in
+              let got = Buffer.create 1024 in
+              let rec drain () =
+                match Unix.read sock buf 0 (Bytes.length buf) with
+                | 0 -> ()
+                | n ->
+                    Buffer.add_subbytes got buf 0 n;
+                    drain ()
+              in
+              drain ();
+              let resp = Buffer.contents got in
+              let body =
+                let rec find i =
+                  if i + 4 > String.length resp then
+                    Alcotest.fail "no header terminator in response"
+                  else if String.sub resp i 4 = "\r\n\r\n" then
+                    String.sub resp (i + 4) (String.length resp - i - 4)
+                  else find (i + 1)
+                in
+                find 0
+              in
+              Alcotest.(check string)
+                "response framing matches the pure function"
+                (Sampler.http_response_of_body body)
+                resp;
+              Alcotest.(check (option (float 0.0)))
+                "body is the exposition" (Some 7.0)
+                (Export.find (Export.parse body) "wfs_served_total" [])))
+
 (* --- humanized units --- *)
 
 let test_units () =
@@ -301,6 +406,12 @@ let suite =
       [
         Alcotest.test_case "ring capacity, order, final sample, file sink"
           `Quick test_sampler_ring_and_file_sink;
+        Alcotest.test_case "HTTP response framing" `Quick
+          test_http_response_framing;
+        Alcotest.test_case "HTTP request termination" `Quick
+          test_http_request_complete;
+        Alcotest.test_case "HTTP endpoint round trip" `Quick
+          test_http_endpoint_round_trip;
       ] );
     ( "obs.units",
       [ Alcotest.test_case "humanized magnitudes" `Quick test_units ] );

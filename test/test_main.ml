@@ -4,4 +4,5 @@ let () =
    @ Test_consensus.suite @ Test_hierarchy.suite @ Test_universal.suite
    @ Test_runtime.suite @ Test_service.suite @ Test_extensions.suite @ Test_obs.suite
    @ Test_profile.suite @ Test_fault.suite @ Test_perf_engine.suite
-   @ Test_por.suite @ Test_tt.suite @ Test_pool.suite @ Test_export.suite)
+   @ Test_por.suite @ Test_tt.suite @ Test_pool.suite @ Test_export.suite
+   @ Test_causal.suite)
